@@ -1,0 +1,42 @@
+"""Benchmark harness configuration.
+
+Every ``bench_*`` module regenerates one of the paper's tables or figures.
+Figure sweeps run through the ``benchmark`` fixture (so the suite works
+under ``--benchmark-only``) with a single round — the interesting output is
+the sweep data, which is printed and also written to
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+collect_ignore_glob: list[str] = []
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20250301)
+
+
+@pytest.fixture
+def record_result():
+    """Write a named text artifact under benchmarks/results/."""
+
+    def _record(name: str, text: str) -> pathlib.Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+        return path
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under the benchmark fixture."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,52 @@
+"""Per-layer algorithm selection — the paper's future-work heuristic.
+
+Sec. 4.2: "Ideally, heuristics should be developed to choose the best
+convolution method for each API invocation."  This example walks a
+20-layer synthetic network, asks the cost model for the best algorithm at
+every convolution layer, and compares the resulting mixed-algorithm
+schedule against forcing any single algorithm network-wide.
+
+Run:  python examples/algorithm_selection.py
+"""
+
+from repro.nn.layers import Conv2d
+from repro.nn.network import profile_conv_time
+from repro.nn.synthetic import synthetic_network
+from repro.selection import select_algorithm
+
+DEVICE = "3090ti"
+INPUT = (16, 3, 96, 96)
+
+
+def main() -> None:
+    network = synthetic_network(INPUT[2], seed=1)
+    shapes = network.layer_shapes(INPUT)
+
+    print(f"per-layer selection on {DEVICE} for input {INPUT}:\n")
+    print(f"{'layer':<6}{'conv shape':<30}{'chosen':<24}{'predicted ms':>12}")
+    mixed_total = 0.0
+    for idx, (layer, shape) in enumerate(zip(network.layers, shapes)):
+        if not isinstance(layer, Conv2d):
+            continue
+        conv_shape = layer.conv_shape(shape)
+        result = select_algorithm(conv_shape, DEVICE)
+        layer.algorithm = result.algorithm
+        mixed_total += result.predicted_ms
+        desc = (f"{conv_shape.ih}x{conv_shape.iw} "
+                f"k{conv_shape.kh} c{conv_shape.c}->f{conv_shape.f}")
+        print(f"{idx:<6}{desc:<30}{result.algorithm.value:<24}"
+              f"{result.predicted_ms:>12.3f}")
+
+    print(f"\nmixed schedule total: {mixed_total:.3f} ms")
+
+    print("\nversus forcing one algorithm everywhere:")
+    for algo in ("polyhankel", "gemm", "implicit_precomp_gemm", "fft",
+                 "winograd"):
+        profile = profile_conv_time(network, INPUT, DEVICE, algorithm=algo)
+        gain = profile.total_ms / mixed_total
+        print(f"  {algo:<22} {profile.total_ms:8.3f} ms "
+              f"({gain:4.2f}x the mixed schedule)")
+
+
+if __name__ == "__main__":
+    main()

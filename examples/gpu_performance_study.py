@@ -1,0 +1,56 @@
+"""Regenerate the paper's evaluation figures from the command line.
+
+Runs the Fig. 3-7 sweeps on the simulated GPUs and prints each panel as a
+table, together with the paper-style summary statistics.
+
+Run:  python examples/gpu_performance_study.py [--quick]
+"""
+
+import sys
+
+from repro.experiments import (
+    fig3_input_sweep,
+    fig4_kernel_sweep,
+    fig5_channel_sweep,
+    fig6_network_sweep,
+    fig7_counters,
+    format_table,
+    summarize,
+)
+from repro.experiments.config import Fig3Config, Fig6Config
+
+
+def main(quick: bool = False) -> None:
+    fig3_cfg = Fig3Config(input_sizes=(16, 64, 112, 224)) if quick else None
+    devices = ("3090ti",) if quick else ("3090ti", "a10g", "v100")
+
+    for device in devices:
+        result = fig3_input_sweep(device, fig3_cfg)
+        print(format_table(result))
+        print(summarize(result), "\n")
+
+    result = fig4_kernel_sweep("3090ti")
+    print(format_table(result))
+    print(summarize(result), "\n")
+
+    result = fig5_channel_sweep()
+    print(format_table(result))
+    print(summarize(result), "\n")
+
+    fig6_cfg = Fig6Config(input_sizes=(16, 48, 96), seeds=(0,)) \
+        if quick else None
+    for device in devices:
+        result = fig6_network_sweep(device, fig6_cfg)
+        print(format_table(result))
+        print(summarize(result))
+        from repro.baselines.registry import ConvAlgorithm
+        avg = result.average_speedup_for(ConvAlgorithm.POLYHANKEL)
+        print(f"avg speedup over next best = {avg:.2f}\n")
+
+    flops, transactions = fig7_counters()
+    print(format_table(flops, precision=0), "\n")
+    print(format_table(transactions, precision=0))
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

@@ -1,0 +1,51 @@
+"""Quickstart: convolve with PolyHankel and check it against the baselines.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro
+
+rng = np.random.default_rng(0)
+
+
+def main() -> None:
+    # An NCHW batch (8 RGB images of 64x64) and 16 5x5 filters.
+    x = rng.standard_normal((8, 3, 64, 64))
+    w = rng.standard_normal((16, 3, 5, 5)) * 0.1
+
+    # PolyHankel is the default algorithm.
+    y = repro.conv2d(x, w, padding=2)
+    print(f"output shape: {y.shape}")
+
+    # Every registered algorithm computes the same result.
+    print("\ncross-checking all algorithms:")
+    shape = repro.ConvShape.from_tensors(x.shape, w.shape, padding=2)
+    for algo in repro.list_algorithms():
+        if not repro.supports(algo, shape):
+            continue
+        out = repro.conv2d(x, w, padding=2, algorithm=algo)
+        err = np.abs(out - y).max()
+        print(f"  {algo.value:<22} max |diff| vs PolyHankel = {err:.2e}")
+        assert err < 1e-6
+
+    # Simulated GPU time on the paper's three devices.
+    print("\nsimulated GPU time for this call:")
+    for device in repro.PAPER_DEVICES:
+        ms = {
+            algo.value: repro.simulate_gpu_ms(algo, shape, device)
+            for algo in (repro.ConvAlgorithm.GEMM, repro.ConvAlgorithm.FFT,
+                         repro.ConvAlgorithm.POLYHANKEL)
+        }
+        pretty = ", ".join(f"{k}={v:.3f}ms" for k, v in ms.items())
+        print(f"  {device.name:<15} {pretty}")
+
+    # Ask the cost model which algorithm to use.
+    choice = repro.select_algorithm(shape, "v100")
+    print(f"\nmodel-selected algorithm on V100: {choice.algorithm.value} "
+          f"(predicted {choice.predicted_ms:.3f} ms)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517 editable
+installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` path, which needs no wheel.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

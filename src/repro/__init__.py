@@ -1,0 +1,96 @@
+"""PolyHankel: polynomial-multiplication-derived convolution (CGO 2025).
+
+Reproduction of Xu, Zhang, Cheng & Li, "An Efficient Polynomial
+Multiplication Derived Implementation of Convolution in Neural Networks".
+
+Quickstart::
+
+    import numpy as np
+    import repro
+
+    x = np.random.randn(8, 3, 64, 64)      # NCHW input
+    w = np.random.randn(16, 3, 5, 5)       # FCKhKw kernels
+    y = repro.conv2d(x, w, padding=2)      # PolyHankel by default
+
+    # compare against any cuDNN-style baseline
+    y_ref = repro.conv2d(x, w, padding=2, algorithm="gemm")
+    assert np.allclose(y, y_ref)
+
+    # simulated GPU timing on the paper's devices
+    shape = repro.ConvShape.from_tensors(x.shape, w.shape, padding=2)
+    repro.simulate_gpu_ms("polyhankel", shape, "v100")
+
+Packages:
+
+- :mod:`repro.core`       — the PolyHankel method itself;
+- :mod:`repro.baselines`  — naive / GEMM-family / FFT-family / Winograd /
+  fine-grain FFT comparators;
+- :mod:`repro.fft`        — from-scratch FFT substrate;
+- :mod:`repro.hankel`     — structured (doubly blocked) Hankel matrices;
+- :mod:`repro.nn`         — minimal inference framework + synthetic nets;
+- :mod:`repro.perfmodel`  — GPU counter & roofline timing models;
+- :mod:`repro.selection`  — per-call algorithm selection heuristics.
+"""
+
+from repro.baselines.registry import (
+    ConvAlgorithm,
+    convolve,
+    list_algorithms,
+    supports,
+)
+from repro.core.multichannel import PolyHankelPlan, conv2d_polyhankel
+from repro.core.ndim import (
+    conv1d_polyhankel,
+    conv3d_polyhankel,
+    convnd_polyhankel,
+)
+from repro.core.polyhankel import conv2d_single
+from repro.perfmodel.counters import count as count_operations
+from repro.perfmodel.device import PAPER_DEVICES, get_device
+from repro.perfmodel.timing import simulate as simulate_gpu
+from repro.perfmodel.timing import simulate_ms as simulate_gpu_ms
+from repro.selection.heuristic import select_algorithm
+from repro.utils.shapes import ConvShape
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "conv2d",
+    "conv2d_single",
+    "conv2d_polyhankel",
+    "conv1d_polyhankel",
+    "conv3d_polyhankel",
+    "convnd_polyhankel",
+    "convolve",
+    "ConvAlgorithm",
+    "ConvShape",
+    "PolyHankelPlan",
+    "list_algorithms",
+    "supports",
+    "select_algorithm",
+    "simulate_gpu",
+    "simulate_gpu_ms",
+    "count_operations",
+    "get_device",
+    "PAPER_DEVICES",
+    "__version__",
+]
+
+
+def conv2d(x, weight, bias=None, padding: int = 0, stride: int = 1,
+           dilation=1, groups: int = 1,
+           algorithm: "ConvAlgorithm | str" = ConvAlgorithm.POLYHANKEL,
+           **kwargs):
+    """2D convolution on NCHW input, PolyHankel by default.
+
+    ``algorithm`` accepts any :class:`ConvAlgorithm` or its string value
+    (``"gemm"``, ``"fft"``, ``"winograd"``, ``"polyhankel"``, ...);
+    ``dilation``/``groups`` work with every algorithm.  Extra keyword
+    arguments are forwarded to the algorithm implementation (e.g.
+    ``fft_policy=`` for the FFT-based methods).
+    """
+    from repro.nn.functional import conv2d as _conv2d
+
+    return _conv2d(x, weight, bias=bias, padding=padding, stride=stride,
+                   dilation=dilation, groups=groups, algorithm=algorithm,
+                   **kwargs)

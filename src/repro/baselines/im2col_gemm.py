@@ -1,0 +1,34 @@
+"""The im2col + GEMM algorithm (cuDNN's explicit GEMM path).
+
+Materializes the unrolled patch matrix — the doubly blocked Hankel matrix of
+Sec. 2.1, with its full data redundancy — and hands the work to a dense
+matrix multiply.  This is the "high data redundancy, high operational
+efficiency" corner of the paper's design space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hankel.im2col_view import im2col_patches
+from repro.utils.shapes import ConvShape
+from repro.utils.validation import check_conv_inputs, ensure_array
+
+
+def conv2d_im2col_gemm(x: np.ndarray, weight: np.ndarray, padding: int = 0,
+                       stride: int = 1) -> np.ndarray:
+    """NCHW convolution via explicit im2col expansion and one GEMM."""
+    x = ensure_array(x, "x", dtype=float)
+    weight = ensure_array(weight, "weight", dtype=float)
+    check_conv_inputs(x, weight, padding, stride)
+    shape = ConvShape.from_tensors(x.shape, weight.shape, padding, stride)
+
+    patches = im2col_patches(x, shape.kh, shape.kw, padding, stride)
+    kernel_matrix = weight.reshape(shape.f, -1)          # (f, c*kh*kw)
+    out = patches @ kernel_matrix.T                      # (n, oh*ow, f)
+    return out.transpose(0, 2, 1).reshape(shape.output_shape())
+
+
+def im2col_workspace_elems(shape: ConvShape) -> int:
+    """Elements of the materialized im2col matrix (Table 3, row 1)."""
+    return shape.n * shape.c * shape.kernel_elems * shape.output_elems

@@ -1,0 +1,79 @@
+"""Implicit GEMM convolution (cuDNN IMPLICIT_GEMM / IMPLICIT_PRECOMP_GEMM).
+
+Performs the same arithmetic as im2col + GEMM without materializing the
+unrolled matrix: the patch gather is fused into the accumulation loop.  The
+"precomp" variant precomputes (and caches) the gather offset tables once per
+shape, matching cuDNN's IMPLICIT_PRECOMP_GEMM which trades a small index
+workspace for not recomputing addressing on the fly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hankel.im2col_view import pad2d
+from repro.utils.shapes import ConvShape
+from repro.utils.validation import check_conv_inputs, ensure_array
+
+_OFFSET_CACHE: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _gather_offsets(shape: ConvShape) -> tuple[np.ndarray, np.ndarray]:
+    """Row/col index tables mapping output positions x kernel taps to the
+    padded input."""
+    rows = (shape.stride * np.arange(shape.oh)[:, None, None, None]
+            + np.arange(shape.kh)[None, None, :, None])
+    cols = (shape.stride * np.arange(shape.ow)[None, :, None, None]
+            + np.arange(shape.kw)[None, None, None, :])
+    rows, cols = np.broadcast_arrays(rows, cols)
+    return np.ascontiguousarray(rows), np.ascontiguousarray(cols)
+
+
+def precomputed_offsets(shape: ConvShape) -> tuple[np.ndarray, np.ndarray]:
+    """Cached offset tables for *shape* (the PRECOMP workspace)."""
+    key = (shape.oh, shape.ow, shape.kh, shape.kw, shape.stride)
+    if key not in _OFFSET_CACHE:
+        _OFFSET_CACHE[key] = _gather_offsets(shape)
+    return _OFFSET_CACHE[key]
+
+
+def clear_offset_cache() -> None:
+    """Drop cached offset tables (tests / memory control)."""
+    _OFFSET_CACHE.clear()
+
+
+def conv2d_implicit_gemm(x: np.ndarray, weight: np.ndarray, padding: int = 0,
+                         stride: int = 1,
+                         precomputed: bool = False) -> np.ndarray:
+    """NCHW convolution with the patch gather fused into the contraction.
+
+    With ``precomputed=False`` the kernel-tap loop recomputes slice
+    addressing each step (IMPLICIT_GEMM); with ``precomputed=True`` a cached
+    index table drives one gather + one einsum (IMPLICIT_PRECOMP_GEMM).
+    """
+    x = ensure_array(x, "x", dtype=float)
+    weight = ensure_array(weight, "weight", dtype=float)
+    check_conv_inputs(x, weight, padding, stride)
+    shape = ConvShape.from_tensors(x.shape, weight.shape, padding, stride)
+    xp = pad2d(x, padding)
+
+    if precomputed:
+        rows, cols = precomputed_offsets(shape)
+        # One big gather (n, c, oh, ow, kh, kw), then a single contraction.
+        patches = xp[:, :, rows, cols]
+        return np.einsum("ncijuv,fcuv->nfij", patches, weight)
+
+    out = np.zeros(shape.output_shape(), dtype=float)
+    s = shape.stride
+    for u in range(shape.kh):
+        for v in range(shape.kw):
+            window = xp[:, :, u: u + s * shape.oh: s, v: v + s * shape.ow: s]
+            out += np.einsum("nchw,fc->nfhw", window, weight[:, :, u, v])
+    return out
+
+
+def conv2d_implicit_precomp_gemm(x: np.ndarray, weight: np.ndarray,
+                                 padding: int = 0,
+                                 stride: int = 1) -> np.ndarray:
+    """Convenience wrapper for the PRECOMP variant."""
+    return conv2d_implicit_gemm(x, weight, padding, stride, precomputed=True)

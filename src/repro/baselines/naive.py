@@ -1,0 +1,37 @@
+"""Direct (definition-following) convolution.
+
+The correctness reference every other algorithm is tested against.  It
+follows the naive definition from Sec. 1 of the paper:
+
+``conv2D(I, K)[ih, iw] = sum_kh sum_kw I[ih + kh, iw + kw] * K[kh, kw]``
+
+(i.e. cross-correlation, the deep-learning convention used throughout the
+paper and in cuDNN/PyTorch).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hankel.im2col_view import pad2d
+from repro.utils.shapes import ConvShape
+from repro.utils.validation import check_conv_inputs, ensure_array
+
+
+def conv2d_naive(x: np.ndarray, weight: np.ndarray, padding: int = 0,
+                 stride: int = 1) -> np.ndarray:
+    """Direct NCHW convolution; O(N*F*C*Oh*Ow*Kh*Kw), loops over output."""
+    x = ensure_array(x, "x", dtype=float)
+    weight = ensure_array(weight, "weight", dtype=float)
+    check_conv_inputs(x, weight, padding, stride)
+    shape = ConvShape.from_tensors(x.shape, weight.shape, padding, stride)
+
+    xp = pad2d(x, padding)
+    out = np.zeros(shape.output_shape(), dtype=float)
+    for i in range(shape.oh):
+        for j in range(shape.ow):
+            top = i * stride
+            left = j * stride
+            patch = xp[:, :, top: top + shape.kh, left: left + shape.kw]
+            out[:, :, i, j] = np.einsum("nchw,fchw->nf", patch, weight)
+    return out

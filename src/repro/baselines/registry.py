@@ -1,0 +1,144 @@
+"""Algorithm registry: cuDNN-style enumeration and dispatch.
+
+The paper compares PolyHankel against the full cuDNN menu (Sec. 4, Fig. 5).
+This registry mirrors cuDNN's ``cudnnConvolutionFwdAlgo_t`` naming so the
+benchmarks read like the paper's figures, and adds the two research methods
+(fine-grain FFT, PolyHankel).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines.fft2d import conv2d_fft
+from repro.baselines.fft_tiling import conv2d_fft_tiling
+from repro.baselines.finegrain_fft import conv2d_finegrain_fft
+from repro.baselines.im2col_gemm import conv2d_im2col_gemm
+from repro.baselines.implicit_gemm import (
+    conv2d_implicit_gemm,
+    conv2d_implicit_precomp_gemm,
+)
+from repro.baselines.naive import conv2d_naive
+from repro.baselines.winograd import (
+    MAX_ALPHA,
+    conv2d_winograd,
+    conv2d_winograd_nonfused,
+)
+from repro.core.multichannel import conv2d_polyhankel
+from repro.core.overlap_save import conv2d_polyhankel_os
+from repro.utils.shapes import ConvShape
+
+
+class ConvAlgorithm(enum.Enum):
+    """Every convolution algorithm known to the library."""
+
+    NAIVE = "naive"
+    GEMM = "gemm"
+    IMPLICIT_GEMM = "implicit_gemm"
+    IMPLICIT_PRECOMP_GEMM = "implicit_precomp_gemm"
+    FFT = "fft"
+    FFT_TILING = "fft_tiling"
+    WINOGRAD = "winograd"
+    WINOGRAD_NONFUSED = "winograd_nonfused"
+    FINEGRAIN_FFT = "finegrain_fft"
+    POLYHANKEL = "polyhankel"
+    POLYHANKEL_OS = "polyhankel_os"
+
+
+@dataclass(frozen=True)
+class AlgorithmEntry:
+    """Dispatch record: callable plus capability predicate."""
+
+    algorithm: ConvAlgorithm
+    fn: Callable[..., np.ndarray]
+    description: str
+    supports: Callable[[ConvShape], bool]
+
+
+def _winograd_supported(shape: ConvShape) -> bool:
+    # cuDNN restricts Winograd to 3x3 stride-1; our generated transforms are
+    # a bit more general but still bounded by conditioning.
+    return (shape.stride == 1
+            and 2 + shape.kh - 1 <= MAX_ALPHA
+            and 2 + shape.kw - 1 <= MAX_ALPHA)
+
+
+_ENTRIES: dict[ConvAlgorithm, AlgorithmEntry] = {}
+
+
+def _register(algorithm: ConvAlgorithm, fn, description: str,
+              supports=lambda shape: True) -> None:
+    _ENTRIES[algorithm] = AlgorithmEntry(algorithm, fn, description, supports)
+
+
+_register(ConvAlgorithm.NAIVE, conv2d_naive,
+          "direct definition-following convolution (reference)")
+_register(ConvAlgorithm.GEMM, conv2d_im2col_gemm,
+          "explicit im2col expansion + GEMM")
+_register(ConvAlgorithm.IMPLICIT_GEMM, conv2d_implicit_gemm,
+          "GEMM with the patch gather fused into the contraction")
+_register(ConvAlgorithm.IMPLICIT_PRECOMP_GEMM, conv2d_implicit_precomp_gemm,
+          "implicit GEMM with precomputed gather offset tables")
+_register(ConvAlgorithm.FFT, conv2d_fft,
+          "monolithic 2D-FFT convolution")
+_register(ConvAlgorithm.FFT_TILING, conv2d_fft_tiling,
+          "tiled 2D-FFT convolution (2D overlap-save)")
+_register(ConvAlgorithm.WINOGRAD, conv2d_winograd,
+          "Winograd F(2x2, KhxKw) with generated transforms",
+          _winograd_supported)
+_register(ConvAlgorithm.WINOGRAD_NONFUSED, conv2d_winograd_nonfused,
+          "Winograd with materialized transform workspaces",
+          _winograd_supported)
+_register(ConvAlgorithm.FINEGRAIN_FFT, conv2d_finegrain_fft,
+          "Zhang & Li's per-row block-FFT method (PACT'20)")
+_register(ConvAlgorithm.POLYHANKEL, conv2d_polyhankel,
+          "this paper: polynomial-multiplication convolution, one 1D FFT")
+_register(ConvAlgorithm.POLYHANKEL_OS, conv2d_polyhankel_os,
+          "PolyHankel executed with overlap-save batch streaming")
+
+
+def list_algorithms() -> list[ConvAlgorithm]:
+    """All registered algorithms, in registration order."""
+    return list(_ENTRIES)
+
+
+def get_entry(algorithm: ConvAlgorithm | str) -> AlgorithmEntry:
+    """Resolve an algorithm (enum or its string value) to its entry."""
+    if isinstance(algorithm, str):
+        try:
+            algorithm = ConvAlgorithm(algorithm)
+        except ValueError:
+            names = [a.value for a in ConvAlgorithm]
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; one of {names}"
+            ) from None
+    return _ENTRIES[algorithm]
+
+
+def supports(algorithm: ConvAlgorithm | str, shape: ConvShape) -> bool:
+    """Whether *algorithm* can run the problem *shape*."""
+    return get_entry(algorithm).supports(shape)
+
+
+def convolve(x: np.ndarray, weight: np.ndarray,
+             algorithm: ConvAlgorithm | str = ConvAlgorithm.POLYHANKEL,
+             padding: int = 0, stride: int = 1, **kwargs) -> np.ndarray:
+    """Run a convolution with an explicitly chosen algorithm.
+
+    Raises ``ValueError`` when the algorithm cannot handle the shape (e.g.
+    Winograd with stride 2), mirroring cuDNN's NOT_SUPPORTED status.
+    """
+    entry = get_entry(algorithm)
+    shape = ConvShape.from_tensors(
+        np.shape(x), np.shape(weight), padding, stride
+    )
+    if not entry.supports(shape):
+        raise ValueError(
+            f"algorithm {entry.algorithm.value} does not support this shape "
+            f"(stride={stride}, kernel={shape.kh}x{shape.kw})"
+        )
+    return entry.fn(x, weight, padding=padding, stride=stride, **kwargs)

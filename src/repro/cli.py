@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``selftest``   — quick cross-algorithm correctness check;
+- ``figures``    — regenerate the paper's figures as text tables;
+- ``simulate``   — simulated GPU time for one convolution shape;
+- ``select``     — algorithm recommendation (model + rules) for a shape;
+- ``tune``       — measure algorithms on this machine for a shape;
+- ``algorithms`` — list the registered algorithms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _shape_from_args(args) -> "ConvShape":
+    from repro.utils.shapes import ConvShape
+
+    return ConvShape(ih=args.size, iw=args.size, kh=args.kernel,
+                     kw=args.kernel, n=args.batch, c=args.channels,
+                     f=args.filters, padding=args.padding,
+                     stride=args.stride)
+
+
+def _add_shape_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--size", type=int, default=64,
+                        help="input height/width (default 64)")
+    parser.add_argument("--kernel", type=int, default=3,
+                        help="kernel height/width (default 3)")
+    parser.add_argument("--batch", type=int, default=8)
+    parser.add_argument("--channels", type=int, default=3)
+    parser.add_argument("--filters", type=int, default=16)
+    parser.add_argument("--padding", type=int, default=1)
+    parser.add_argument("--stride", type=int, default=1)
+
+
+def cmd_selftest(args) -> int:
+    from repro.baselines.registry import (
+        ConvAlgorithm, convolve, list_algorithms, supports,
+    )
+    from repro.utils.random import random_problem
+    from repro.utils.shapes import ConvShape
+
+    shape = ConvShape(ih=12, iw=11, kh=3, kw=3, n=2, c=3, f=4, padding=1)
+    x, w = random_problem(shape)
+    reference = convolve(x, w, algorithm=ConvAlgorithm.NAIVE, padding=1)
+    failures = 0
+    for algo in list_algorithms():
+        if not supports(algo, shape):
+            continue
+        out = convolve(x, w, algorithm=algo, padding=1)
+        err = float(np.abs(out - reference).max())
+        status = "ok" if err < 1e-6 else "FAIL"
+        if status == "FAIL":
+            failures += 1
+        print(f"{algo.value:<24} max|diff| = {err:.2e}  {status}")
+    print("selftest", "FAILED" if failures else "passed")
+    return 1 if failures else 0
+
+
+def cmd_figures(args) -> int:
+    from repro.baselines.registry import ConvAlgorithm
+    from repro.experiments import (
+        fig3_input_sweep, fig4_kernel_sweep, fig5_channel_sweep,
+        fig6_network_sweep, fig7_counters, format_table, summarize,
+    )
+
+    which = args.figure
+    if which in ("3", "all"):
+        for device in args.devices:
+            result = fig3_input_sweep(device)
+            print(format_table(result))
+            print(summarize(result), "\n")
+    if which in ("4", "all"):
+        for device in args.devices:
+            result = fig4_kernel_sweep(device)
+            print(format_table(result))
+            print(summarize(result), "\n")
+    if which in ("5", "all"):
+        result = fig5_channel_sweep()
+        print(format_table(result))
+        print(summarize(result), "\n")
+    if which in ("6", "all"):
+        for device in args.devices:
+            result = fig6_network_sweep(device)
+            print(format_table(result))
+            avg = result.average_speedup_for(ConvAlgorithm.POLYHANKEL)
+            print(summarize(result))
+            print(f"avg speedup over next best = {avg:.2f}\n")
+    if which in ("7", "all"):
+        flops, tx = fig7_counters()
+        print(format_table(flops, precision=0), "\n")
+        print(format_table(tx, precision=0))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from repro.perfmodel.timing import simulate
+
+    shape = _shape_from_args(args)
+    print(f"shape: {shape}")
+    for device in args.devices:
+        report = simulate(args.algorithm, shape, device)
+        print(f"\n{report.device.name}: {report.total_ms:.4f} ms")
+        for stage in report.stage_times:
+            print(f"  {stage.stage.name:<26} {stage.total_s * 1e3:8.4f} ms"
+                  f"  ({stage.bound}-bound)")
+    return 0
+
+
+def cmd_select(args) -> int:
+    from repro.selection import select_algorithm, select_algorithm_rules
+
+    shape = _shape_from_args(args)
+    result = select_algorithm(shape, args.devices[0])
+    print(f"shape: {shape}")
+    print(f"model-driven choice on {result.device}: "
+          f"{result.algorithm.value} ({result.predicted_ms:.4f} ms)")
+    print(f"rule-based choice: {select_algorithm_rules(shape).value}")
+    print("\nfull ranking:")
+    for algo, ms in result.ranking:
+        print(f"  {algo.value:<24} {ms:10.4f} ms")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from repro.selection.tuner import ConvTuner
+
+    shape = _shape_from_args(args)
+    tuner = ConvTuner(repeats=args.repeats)
+    result = tuner.tune(shape)
+    print(f"measured on this machine for {shape}:")
+    for algo, seconds in result.ranking():
+        print(f"  {algo.value:<24} {seconds * 1e3:10.3f} ms")
+    print(f"best: {result.best.value}")
+    return 0
+
+
+def cmd_algorithms(args) -> int:
+    from repro.baselines.registry import get_entry, list_algorithms
+
+    for algo in list_algorithms():
+        print(f"{algo.value:<24} {get_entry(algo).description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PolyHankel convolution (CGO'25) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("selftest", help="cross-algorithm correctness check") \
+        .set_defaults(fn=cmd_selftest)
+
+    figures = sub.add_parser("figures", help="regenerate paper figures")
+    figures.add_argument("figure", choices=["3", "4", "5", "6", "7", "all"],
+                         nargs="?", default="all")
+    figures.add_argument("--devices", nargs="+",
+                         default=["3090ti", "a10g", "v100"])
+    figures.set_defaults(fn=cmd_figures)
+
+    simulate = sub.add_parser("simulate",
+                              help="simulated GPU time for a shape")
+    _add_shape_arguments(simulate)
+    simulate.add_argument("--algorithm", default="polyhankel")
+    simulate.add_argument("--devices", nargs="+", default=["3090ti"])
+    simulate.set_defaults(fn=cmd_simulate)
+
+    select = sub.add_parser("select", help="algorithm recommendation")
+    _add_shape_arguments(select)
+    select.add_argument("--devices", nargs="+", default=["3090ti"])
+    select.set_defaults(fn=cmd_select)
+
+    tune = sub.add_parser("tune", help="measure algorithms on this machine")
+    _add_shape_arguments(tune)
+    tune.add_argument("--repeats", type=int, default=3)
+    tune.set_defaults(fn=cmd_tune)
+
+    sub.add_parser("algorithms", help="list registered algorithms") \
+        .set_defaults(fn=cmd_algorithms)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

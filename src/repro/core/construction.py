@@ -1,0 +1,135 @@
+"""Constructing the convolution polynomials (Sec. 2.2 and 3.2).
+
+Three layouts are produced here:
+
+- **single-channel** coefficient vectors: ``A(t)`` is the row-major flatten
+  of the (padded) input; ``U(t)`` places ``u[i, j]`` at degree
+  ``M - (iw * i + j)`` with ``M = (kh-1) * iw + kw - 1``.
+- **per-channel stacks** for the "FFT each channel and sum in the frequency
+  domain" strategy (the paper's chosen option in Sec. 3.2).
+- the **merged/interleaved** layout for the alternative "merge all channels
+  into one polynomial" strategy: channel ``c`` of the input occupies degrees
+  ``f * C + c`` and channel ``c`` of the kernel degrees
+  ``(M - g) * C + (C - 1 - c)``, so per-channel products land on *the same*
+  output degrees (channels aggregate for free) while kernel degrees stay
+  non-overlapping across channels, as Sec. 3.2 requires.
+
+Everything is computed directly from the input and kernel; the im2col matrix
+is never formed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.degree_map import (
+    kernel_degrees,
+    max_kernel_degree,
+    output_degrees,
+)
+from repro.hankel.im2col_view import pad2d
+from repro.utils.shapes import ConvShape
+from repro.utils.validation import ensure_array, require
+
+
+def input_polynomial(image: np.ndarray, padding: int = 0) -> np.ndarray:
+    """Coefficient vector of A(t) for one 2D image (Eq. 10).
+
+    With the Eq. 10 degree assignment ``deg(a[i,j]) = iw * i + j``, the
+    coefficient vector is simply the row-major flatten of the padded image.
+    """
+    image = ensure_array(image, "image", ndim=2)
+    padded = pad2d(image[None, None], padding)[0, 0]
+    return padded.reshape(-1)
+
+
+def kernel_polynomial(kernel: np.ndarray, iw: int) -> np.ndarray:
+    """Coefficient vector of U(t) for one 2D kernel (Eq. 6 / Eq. 11).
+
+    *iw* is the **padded** input width.  The vector has length ``M + 1 =
+    (kh - 1) * iw + kw`` — the "combined kernel size" of Sec. 3.2: each
+    kernel row is followed by ``iw - kw`` zeros, and rows appear reversed.
+    """
+    kernel = ensure_array(kernel, "kernel", ndim=2)
+    kh, kw = kernel.shape
+    m = max_kernel_degree(kh, kw, iw)
+    coeffs = np.zeros(m + 1, dtype=kernel.dtype)
+    coeffs[kernel_degrees(kh, kw, iw)] = kernel
+    return coeffs
+
+
+def output_gather_indices(shape: ConvShape) -> np.ndarray:
+    """Indices into the product coefficient vector holding the output.
+
+    Shape ``(oh, ow)``; entry ``(i, j)`` is the degree from Eq. 12 adjusted
+    for stride.
+    """
+    return output_degrees(shape.oh, shape.ow, shape.padded_iw,
+                          shape.kh, shape.kw, shape.stride)
+
+
+def channel_kernel_stack(weight: np.ndarray, iw: int) -> np.ndarray:
+    """Per-channel U(t) vectors for a weight tensor.
+
+    *weight* is ``(f, c, kh, kw)``; returns ``(f, c, M + 1)``.  All channels
+    share the same degrees because the channel aggregation happens as a sum
+    in the frequency domain (Sec. 3.2, chosen option).
+    """
+    weight = ensure_array(weight, "weight", ndim=4)
+    f, c, kh, kw = weight.shape
+    m = max_kernel_degree(kh, kw, iw)
+    coeffs = np.zeros((f, c, m + 1), dtype=weight.dtype)
+    coeffs[:, :, kernel_degrees(kh, kw, iw)] = weight.reshape(f, c, kh, kw)
+    return coeffs
+
+
+# ---------------------------------------------------------------------------
+# Merged (interleaved) multi-channel layout — the paper's alternative option.
+# ---------------------------------------------------------------------------
+
+def merged_input_polynomial(x_padded: np.ndarray) -> np.ndarray:
+    """Interleaved multi-channel A(t) for one image.
+
+    *x_padded* is ``(c, ph, pw)``; element ``(c, i, j)`` gets degree
+    ``(pw * i + j) * C + c``.  Returns a vector of length ``C * ph * pw``.
+    """
+    x_padded = ensure_array(x_padded, "x_padded", ndim=3)
+    c = x_padded.shape[0]
+    # (c, L) -> transpose -> (L, c) -> ravel interleaves channels.
+    return x_padded.reshape(c, -1).T.reshape(-1)
+
+
+def merged_kernel_polynomial(weight_c: np.ndarray, iw: int) -> np.ndarray:
+    """Interleaved multi-channel U(t) for one filter.
+
+    *weight_c* is ``(c, kh, kw)``; element ``(c, i, j)`` gets degree
+    ``(M - (iw * i + j)) * C + (C - 1 - c)``.  Per-channel degrees are
+    disjoint (distinct residues mod C), and ``deg_in + deg_ker`` is
+    independent of the channel, so the product aggregates channels
+    automatically.
+    """
+    weight_c = ensure_array(weight_c, "weight_c", ndim=3)
+    c, kh, kw = weight_c.shape
+    m = max_kernel_degree(kh, kw, iw)
+    coeffs = np.zeros(c * (m + 1), dtype=weight_c.dtype)
+    deg = kernel_degrees(kh, kw, iw)  # (kh, kw)
+    for ch in range(c):
+        coeffs[deg * c + (c - 1 - ch)] = weight_c[ch]
+    return coeffs
+
+
+def merged_output_gather_indices(shape: ConvShape) -> np.ndarray:
+    """Gather indices for the merged layout: ``C * deg + (C - 1)``."""
+    return shape.c * output_gather_indices(shape) + (shape.c - 1)
+
+
+def polynomial_lengths(shape: ConvShape) -> tuple[int, int, int]:
+    """(len A, len U, required linear-convolution length) for *shape*.
+
+    These drive FFT size planning; the linear length is what the FFT size
+    must meet or exceed for the circular product to equal the linear one.
+    """
+    require(shape.stride >= 1, "stride must be positive")
+    len_a = shape.poly_input_len
+    len_u = shape.poly_kernel_len
+    return len_a, len_u, len_a + len_u - 1

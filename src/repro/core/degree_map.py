@@ -1,0 +1,129 @@
+"""Degree maps: from matrix indices to polynomial exponents.
+
+This module implements Sec. 3.1 of the paper ("Calculating The Degrees of
+Polynomial Terms").  The conceptual im2col matrix is doubly blocked Hankel,
+so its distinct elements can be enumerated once by the L-shaped traversal of
+Fig. 2; the resulting integer map simultaneously provides
+
+- the exponents of the **input polynomial** A(t) (all map entries, Eq. 10),
+- the exponents of the **kernel polynomial** U(t) (the reversed first row of
+  the map, Eq. 11 / Eq. 6), and
+- the exponents holding the **result** (the last column of the map, Eq. 12).
+
+For a stride-1 convolution with padded input width ``iw`` the map value at
+distinct element ``(r, s)`` is simply ``r * iw + s`` — the flattened input
+index — which is what makes the whole construction implementable without
+building the im2col matrix.  ``lshaped_traversal_map`` builds the map by the
+literal Fig. 2 traversal; tests assert it coincides with the closed form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import require
+
+
+def max_kernel_degree(kh: int, kw: int, iw: int) -> int:
+    """Highest exponent M in the kernel polynomial U(t).
+
+    ``M = (kh - 1) * iw + kw - 1`` is the flattened index of the kernel's
+    bottom-right element inside a width-``iw`` input, i.e. the last entry of
+    the first row-degree vector RD_1 (Sec. 2.2).
+    """
+    require(kh >= 1 and kw >= 1 and iw >= kw,
+            "need kh, kw >= 1 and iw >= kw")
+    return (kh - 1) * iw + kw - 1
+
+
+def input_degrees(ih: int, iw: int) -> np.ndarray:
+    """Exponent of each input element in A(t): ``iw * i + j`` (Eq. 10)."""
+    require(ih >= 1 and iw >= 1, "input extents must be positive")
+    return iw * np.arange(ih)[:, None] + np.arange(iw)[None, :]
+
+
+def kernel_degrees(kh: int, kw: int, iw: int) -> np.ndarray:
+    """Exponent of each kernel element in U(t): ``M - (iw * i + j)``.
+
+    This is the reversed first-row degree vector — the Eq. 6 construction.
+    The paper's closed form Eq. 11 has an off-by-one in its constant term
+    (it disagrees with the worked example); this matches the example and is
+    verified against direct convolution.
+    """
+    m = max_kernel_degree(kh, kw, iw)
+    return m - (iw * np.arange(kh)[:, None] + np.arange(kw)[None, :])
+
+
+def output_degrees(oh: int, ow: int, iw: int, kh: int, kw: int,
+                   stride: int = 1) -> np.ndarray:
+    """Exponents in P(t) = A(t) U(t) that hold the convolution output.
+
+    Output position ``(i, j)`` reads coefficient ``M + iw*stride*i +
+    stride*j`` (Eq. 12): the degrees of the last column of the conceptual
+    im2col matrix.  Stride simply subsamples the gather positions.
+    """
+    require(oh >= 1 and ow >= 1 and stride >= 1,
+            "output extents and stride must be positive")
+    m = max_kernel_degree(kh, kw, iw)
+    return (m + iw * stride * np.arange(oh)[:, None]
+            + stride * np.arange(ow)[None, :])
+
+
+def lshaped_traversal_map(oh: int, ow: int, kh: int, kw: int) -> np.ndarray:
+    """The Fig. 2 degree map, built by the literal L-shaped traversal.
+
+    The doubly blocked Hankel matrix has ``oh x kh`` blocks of shape
+    ``ow x kw``.  Distinct blocks are indexed by the block skew-diagonal
+    ``r = I + J`` (``oh + kh - 1`` of them); distinct elements within a block
+    by the inner skew-diagonal ``s = i + j`` (``ow + kw - 1`` of them).  The
+    traversal walks the first row of blocks left-to-right then the last
+    column top-to-bottom, and within each block the first row then the last
+    column, assigning consecutive integers.
+
+    Returns the ``(oh + kh - 1, ow + kw - 1)`` base map: entry ``[r, s]`` is
+    the degree of the distinct element on block diagonal ``r``, inner
+    diagonal ``s`` — for stride-1 convolution, exactly ``r * iw + s`` with
+    ``iw = ow + kw - 1``.
+    """
+    require(min(oh, ow, kh, kw) >= 1, "all extents must be positive")
+    base_rows = oh + kh - 1
+    base_cols = ow + kw - 1
+    base = np.full((base_rows, base_cols), -1, dtype=np.intp)
+    counter = 0
+
+    # Outer L-path: blocks (0, 0..kh-1) then (1..oh-1, kh-1).  Block (I, J)
+    # covers base row r = I + J, so the path visits r = 0 .. base_rows-1.
+    outer_path = [(0, j) for j in range(kh)]
+    outer_path += [(i, kh - 1) for i in range(1, oh)]
+    for block_i, block_j in outer_path:
+        r = block_i + block_j
+        # Inner L-path: element (0, 0..kw-1) then (1..ow-1, kw-1); element
+        # (i, j) covers base column s = i + j.
+        inner_path = [(0, j) for j in range(kw)]
+        inner_path += [(i, kw - 1) for i in range(1, ow)]
+        for inner_i, inner_j in inner_path:
+            s = inner_i + inner_j
+            base[r, s] = counter
+            counter += 1
+
+    return base
+
+
+def first_row_of_map(base: np.ndarray, kh: int, kw: int,
+                     ow: int) -> np.ndarray:
+    """Degrees of the first im2col row (starred entries of Fig. 2).
+
+    Row 0 of the conceptual matrix touches blocks ``(0, J)`` at inner
+    position ``(0, j)``: base entries ``[J, j]`` for ``J < kh, j < kw``.
+    """
+    return base[:kh, :kw].reshape(-1)
+
+
+def last_col_of_map(base: np.ndarray, kh: int, kw: int, oh: int,
+                    ow: int) -> np.ndarray:
+    """Degrees of the last im2col column (bold entries of Fig. 2).
+
+    The last column touches blocks ``(I, kh-1)`` at inner position
+    ``(i, kw-1)``: base entries ``[I + kh - 1, i + kw - 1]``.
+    """
+    return base[kh - 1:, kw - 1:].reshape(-1)

@@ -1,0 +1,170 @@
+"""N-dimensional PolyHankel convolution (extension beyond the paper).
+
+The paper develops the construction for 2D, but nothing in it is specific
+to two dimensions: for a d-dimensional input with padded extents
+``P_1 x ... x P_d`` and row-major strides ``s_l``, assign input element
+``a[i_1..i_d]`` the degree ``sum_l s_l i_l`` (the flattened index) and
+kernel element ``u[j_1..j_d]`` the degree ``M - sum_l s_l j_l`` with
+``M = sum_l s_l (K_l - 1)``.  Every conceptual im2col row again collapses
+to a single product term, and output ``(o_1..o_d)`` is the coefficient at
+``M + sum_l s_l stride_l o_l``.  The 2D case recovers Eqs. 10-12 exactly.
+
+This gives the library 1D (sequence/audio) and 3D (volumetric/video)
+convolution through the same single-FFT pipeline, with channel summation in
+the frequency domain as in Sec. 3.2.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro import fft as _fft
+from repro.core.planning import FftPolicy, plan_fft_size
+from repro.utils.validation import ensure_array, require
+
+
+def _normalize_per_dim(value, ndim: int, name: str) -> tuple[int, ...]:
+    """Broadcast an int (or validate a tuple) to one entry per spatial dim."""
+    if isinstance(value, int):
+        value = (value,) * ndim
+    value = tuple(int(v) for v in value)
+    require(len(value) == ndim,
+            f"{name} must have one entry per spatial dimension ({ndim})")
+    return value
+
+
+def _row_major_strides(extents: tuple[int, ...]) -> tuple[int, ...]:
+    strides = [1]
+    for extent in extents[:0:-1]:
+        strides.append(strides[-1] * extent)
+    return tuple(reversed(strides))
+
+
+def max_kernel_degree_nd(kernel_extents: tuple[int, ...],
+                         strides: tuple[int, ...]) -> int:
+    """Highest kernel-polynomial exponent: sum_l s_l (K_l - 1)."""
+    return int(sum(s * (k - 1) for s, k in zip(strides, kernel_extents)))
+
+
+def kernel_polynomial_nd(kernel: np.ndarray,
+                         padded_extents: tuple[int, ...]) -> np.ndarray:
+    """Coefficient vector of U(t) for one d-dimensional kernel."""
+    kernel = ensure_array(kernel, "kernel", dtype=float)
+    strides = _row_major_strides(padded_extents)
+    m = max_kernel_degree_nd(kernel.shape, strides)
+    coeffs = np.zeros(m + 1, dtype=kernel.dtype)
+    grids = np.meshgrid(*[np.arange(k) for k in kernel.shape],
+                        indexing="ij")
+    degrees = sum(s * g for s, g in zip(strides, grids))
+    coeffs[m - degrees] = kernel
+    return coeffs
+
+
+def output_gather_nd(out_extents: tuple[int, ...],
+                     strides: tuple[int, ...],
+                     conv_strides: tuple[int, ...], m: int) -> np.ndarray:
+    """Gather indices: M + sum_l s_l * stride_l * o_l (shape out_extents)."""
+    grids = np.meshgrid(*[np.arange(o) for o in out_extents], indexing="ij")
+    return m + sum(s * cs * g
+                   for s, cs, g in zip(strides, conv_strides, grids))
+
+
+def convnd_polyhankel(x: np.ndarray, weight: np.ndarray, padding=0,
+                      stride=1, fft_policy: FftPolicy = "pow2",
+                      backend: str | None = None) -> np.ndarray:
+    """d-dimensional convolution of an ``(n, c, *spatial)`` batch.
+
+    *weight* is ``(f, c, *kernel_spatial)``; *padding* and *stride* are
+    ints or per-dimension tuples.  Works for any d >= 1 (1D/2D/3D are the
+    practically useful cases).
+    """
+    x = ensure_array(x, "x", dtype=float)
+    weight = ensure_array(weight, "weight", dtype=float)
+    require(x.ndim >= 3, "input must be (n, c, *spatial)")
+    require(weight.ndim == x.ndim, "weight rank must match input rank")
+    require(x.shape[1] == weight.shape[1],
+            f"channel mismatch: input C={x.shape[1]}, "
+            f"weight C={weight.shape[1]}")
+    ndim = x.ndim - 2
+    padding = _normalize_per_dim(padding, ndim, "padding")
+    stride = _normalize_per_dim(stride, ndim, "stride")
+    require(all(p >= 0 for p in padding), "padding must be non-negative")
+    require(all(s >= 1 for s in stride), "stride must be positive")
+
+    n, c = x.shape[:2]
+    f = weight.shape[0]
+    spatial = x.shape[2:]
+    kernel_extents = weight.shape[2:]
+    padded = tuple(e + 2 * p for e, p in zip(spatial, padding))
+    out_extents = []
+    for e, k, s in zip(padded, kernel_extents, stride):
+        require(e >= k, f"kernel extent {k} exceeds padded extent {e}")
+        out_extents.append((e - k) // s + 1)
+    out_extents = tuple(out_extents)
+
+    xp = np.pad(x, [(0, 0), (0, 0)] + [(p, p) for p in padding])
+    strides = _row_major_strides(padded)
+    m = max_kernel_degree_nd(kernel_extents, strides)
+    input_len = int(np.prod(padded))
+    nfft = plan_fft_size(input_len + m, fft_policy)
+
+    fft = _fft.get_backend(backend)
+    flat = xp.reshape(n, c, input_len)
+    x_hat = fft.rfft(flat, nfft)                        # (n, c, bins)
+
+    kernels = np.stack([
+        np.stack([kernel_polynomial_nd(weight[fi, ci], padded)
+                  for ci in range(c)])
+        for fi in range(f)
+    ])                                                  # (f, c, M+1)
+    w_hat = fft.rfft(kernels, nfft)                     # (f, c, bins)
+
+    out_hat = np.einsum("ncb,fcb->nfb", x_hat, w_hat)
+    product = fft.irfft(out_hat, nfft)                  # (n, f, nfft)
+    gather = output_gather_nd(out_extents, strides, stride, m)
+    return product[..., gather]
+
+
+def conv1d_polyhankel(x: np.ndarray, weight: np.ndarray, padding: int = 0,
+                      stride: int = 1, **kwargs) -> np.ndarray:
+    """1D convolution of an ``(n, c, length)`` batch."""
+    x = ensure_array(x, "x")
+    require(x.ndim == 3, "conv1d input must be (n, c, length)")
+    return convnd_polyhankel(x, weight, padding, stride, **kwargs)
+
+
+def conv3d_polyhankel(x: np.ndarray, weight: np.ndarray, padding=0,
+                      stride=1, **kwargs) -> np.ndarray:
+    """3D convolution of an ``(n, c, depth, height, width)`` batch."""
+    x = ensure_array(x, "x")
+    require(x.ndim == 5, "conv3d input must be (n, c, d, h, w)")
+    return convnd_polyhankel(x, weight, padding, stride, **kwargs)
+
+
+def convnd_naive(x: np.ndarray, weight: np.ndarray, padding=0,
+                 stride=1) -> np.ndarray:
+    """Direct d-dimensional reference (for testing the fast path)."""
+    x = ensure_array(x, "x", dtype=float)
+    weight = ensure_array(weight, "weight", dtype=float)
+    ndim = x.ndim - 2
+    padding = _normalize_per_dim(padding, ndim, "padding")
+    stride = _normalize_per_dim(stride, ndim, "stride")
+    xp = np.pad(x, [(0, 0), (0, 0)] + [(p, p) for p in padding])
+    kernel_extents = weight.shape[2:]
+    out_extents = tuple(
+        (e - k) // s + 1
+        for e, k, s in zip(xp.shape[2:], kernel_extents, stride)
+    )
+    out = np.zeros((x.shape[0], weight.shape[0], *out_extents))
+    for idx in itertools.product(*[range(o) for o in out_extents]):
+        window = tuple(
+            slice(i * s, i * s + k)
+            for i, s, k in zip(idx, stride, kernel_extents)
+        )
+        patch = xp[(slice(None), slice(None)) + window]
+        flat_patch = patch.reshape(patch.shape[0], -1)
+        flat_weight = weight.reshape(weight.shape[0], -1)
+        out[(slice(None), slice(None)) + idx] = flat_patch @ flat_weight.T
+    return out

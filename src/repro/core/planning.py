@@ -1,0 +1,39 @@
+"""FFT size planning and plan caching for PolyHankel.
+
+Sec. 3.2: cuFFT is fastest on sizes ``2^a 3^b 5^c 7^d``; the authors found
+plain multiples of two best in their tests and "pad the kernel size to the
+nearest multiple of 2".  We expose that choice as a policy:
+
+- ``"pow2"``    — round the FFT size up to the next power of two (paper's
+  default choice);
+- ``"smooth7"`` — round up to the next 7-smooth size (cuFFT/pocketfft fast
+  lengths; usually smaller, sometimes slower per point);
+- ``"even"``    — just round up to an even size (the literal "nearest
+  multiple of 2");
+- ``"exact"``   — no rounding (useful for counting-model experiments).
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from repro import fft as _fft
+from repro.utils.validation import require
+
+FftPolicy = Literal["pow2", "smooth7", "even", "exact"]
+
+POLICIES: tuple[str, ...] = ("pow2", "smooth7", "even", "exact")
+
+
+def plan_fft_size(min_len: int, policy: FftPolicy = "pow2") -> int:
+    """Smallest FFT size >= *min_len* permitted by *policy*."""
+    require(min_len >= 1, "minimum length must be positive")
+    if policy == "pow2":
+        return _fft.next_pow2(min_len)
+    if policy == "smooth7":
+        return _fft.next_fast_len(min_len)
+    if policy == "even":
+        return min_len + (min_len % 2)
+    if policy == "exact":
+        return min_len
+    raise ValueError(f"unknown FFT policy {policy!r}; one of {POLICIES}")

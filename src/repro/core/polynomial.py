@@ -1,0 +1,137 @@
+"""Dense polynomial arithmetic (Sec. 2.3).
+
+``Polynomial`` is the pedagogical/value type behind the conceptual
+construction: coefficient-vector form, naive O(MN) multiplication, and the
+FFT multiplication of Eqs. 13-15.  The production convolution path in
+:mod:`repro.core.multichannel` inlines the same steps on raw arrays; this
+class keeps the algebra visible, testable and reusable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import fft as _fft
+from repro.utils.validation import ensure_array
+
+
+class Polynomial:
+    """A polynomial in coefficient-vector form: ``coeffs[k]`` is the
+    coefficient of ``t^k``."""
+
+    def __init__(self, coeffs):
+        coeffs = np.atleast_1d(ensure_array(coeffs, "coeffs"))
+        if coeffs.ndim != 1:
+            raise ValueError("coefficients must be one-dimensional")
+        if len(coeffs) == 0:
+            coeffs = np.zeros(1)
+        self.coeffs = coeffs
+
+    @classmethod
+    def from_terms(cls, terms: dict[int, float]) -> "Polynomial":
+        """Build from a ``{degree: coefficient}`` mapping.
+
+        >>> Polynomial.from_terms({0: 1.0, 3: 2.0}).coeffs.tolist()
+        [1.0, 0.0, 0.0, 2.0]
+        """
+        if not terms:
+            return cls(np.zeros(1))
+        degree = max(terms)
+        if min(terms) < 0:
+            raise ValueError("negative degrees are not representable")
+        coeffs = np.zeros(degree + 1)
+        for deg, coeff in terms.items():
+            coeffs[deg] = coeff
+        return cls(coeffs)
+
+    @classmethod
+    def zero(cls) -> "Polynomial":
+        return cls(np.zeros(1))
+
+    @property
+    def degree(self) -> int:
+        """Degree of the highest nonzero term (0 for the zero polynomial)."""
+        nonzero = np.nonzero(self.coeffs)[0]
+        return int(nonzero[-1]) if len(nonzero) else 0
+
+    def coeff(self, k: int) -> float:
+        """Coefficient of ``t^k`` (0.0 beyond the stored length)."""
+        if k < 0:
+            raise ValueError("degrees are non-negative")
+        return float(self.coeffs[k]) if k < len(self.coeffs) else 0.0
+
+    def trimmed(self) -> "Polynomial":
+        """Copy with trailing zero coefficients removed."""
+        return Polynomial(self.coeffs[: self.degree + 1].copy())
+
+    def __call__(self, t):
+        """Evaluate via Horner's rule (scalar or array argument)."""
+        result = np.zeros_like(np.asarray(t, dtype=self.coeffs.dtype
+                                          if np.iscomplexobj(self.coeffs)
+                                          else float))
+        for c in self.coeffs[::-1]:
+            result = result * t + c
+        return result
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        a, b = self.coeffs, other.coeffs
+        if len(a) < len(b):
+            a, b = b, a
+        out = a.copy()
+        out[: len(b)] += b
+        return Polynomial(out)
+
+    def __sub__(self, other: "Polynomial") -> "Polynomial":
+        return self + Polynomial(-other.coeffs)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        a = self.trimmed().coeffs
+        b = other.trimmed().coeffs
+        return a.shape == b.shape and bool(np.allclose(a, b))
+
+    def __hash__(self):  # pragma: no cover - polynomials are mutable-ish
+        return NotImplemented
+
+    def naive_mul(self, other: "Polynomial") -> "Polynomial":
+        """Schoolbook O(MN) product — the baseline of Sec. 2.3."""
+        return Polynomial(np.convolve(self.coeffs, other.coeffs))
+
+    def fft_mul(self, other: "Polynomial",
+                backend: str | None = None) -> "Polynomial":
+        """FFT product, Eqs. 14-15: pad both to N+M-1, transform, multiply,
+        inverse-transform."""
+        with _fft.use_backend(_fft.get_backend(backend)):
+            n = len(self.coeffs) + len(other.coeffs) - 1
+            nfft = _fft.next_fast_len(n)
+            if np.iscomplexobj(self.coeffs) or np.iscomplexobj(other.coeffs):
+                prod = _fft.ifft(
+                    _fft.fft(self.coeffs, nfft) * _fft.fft(other.coeffs, nfft)
+                )[:n]
+            else:
+                prod = _fft.irfft(
+                    _fft.rfft(self.coeffs, nfft)
+                    * _fft.rfft(other.coeffs, nfft),
+                    nfft,
+                )[:n]
+        return Polynomial(prod)
+
+    def __mul__(self, other):
+        if isinstance(other, Polynomial):
+            # FFT pays off quickly; use it beyond tiny products.
+            if len(self.coeffs) * len(other.coeffs) <= 1024:
+                return self.naive_mul(other)
+            return self.fft_mul(other)
+        return Polynomial(self.coeffs * other)
+
+    __rmul__ = __mul__
+
+    def __repr__(self) -> str:
+        t = self.trimmed()
+        terms = [
+            f"{c:g}*t^{k}" for k, c in enumerate(t.coeffs) if c != 0
+        ] or ["0"]
+        return "Polynomial(" + " + ".join(terms[:8]) + (
+            " + ..." if len(terms) > 8 else ""
+        ) + ")"

@@ -1,0 +1,33 @@
+"""Reproductions of every table and figure in the paper's evaluation."""
+
+from repro.experiments.config import (
+    DEVICES,
+    Fig3Config,
+    Fig4Config,
+    Fig5Config,
+    Fig6Config,
+    Fig7Config,
+)
+from repro.experiments.figures import (
+    fig3_input_sweep,
+    fig4_kernel_sweep,
+    fig5_channel_sweep,
+    fig6_network_sweep,
+    fig7_counters,
+)
+from repro.experiments.report import SweepResult, format_table, summarize
+from repro.experiments.tables import (
+    SPACE_ROWS,
+    TIME_ROWS,
+    complexity_report,
+    scaling_ratio,
+)
+
+__all__ = [
+    "DEVICES",
+    "Fig3Config", "Fig4Config", "Fig5Config", "Fig6Config", "Fig7Config",
+    "fig3_input_sweep", "fig4_kernel_sweep", "fig5_channel_sweep",
+    "fig6_network_sweep", "fig7_counters",
+    "SweepResult", "format_table", "summarize",
+    "TIME_ROWS", "SPACE_ROWS", "complexity_report", "scaling_ratio",
+]

@@ -1,0 +1,125 @@
+"""Experiment configurations for every table and figure in the paper.
+
+The paper states some workload parameters explicitly (kernel 5 and batch 128
+for Fig. 3; input 112, kernel 3, channels 1-128 for Fig. 5; 20-layer
+networks for Fig. 6) and leaves others unstated.  Where a parameter is not
+given we fix a documented choice here, so every reproduction is fully
+deterministic and auditable.  See EXPERIMENTS.md for the paper-vs-measured
+record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.registry import ConvAlgorithm as A
+
+#: Methods plotted in Figs. 3, 4 and 7 ("cudnn GEMM" is cuDNN's
+#: IMPLICIT_PRECOMP_GEMM per Sec. 4; we show our explicit-GEMM model for it
+#: as well in the table output).
+FIG3_METHODS: tuple[A, ...] = (
+    A.GEMM, A.FFT, A.WINOGRAD, A.FINEGRAIN_FFT, A.POLYHANKEL,
+)
+
+#: Fig. 5 compares against *all* cuDNN variants.
+FIG5_METHODS: tuple[A, ...] = (
+    A.GEMM, A.IMPLICIT_GEMM, A.IMPLICIT_PRECOMP_GEMM, A.FFT, A.FFT_TILING,
+    A.WINOGRAD, A.WINOGRAD_NONFUSED, A.POLYHANKEL,
+)
+
+#: Fig. 6 uses the methods PyTorch can be forced to (Winograd included).
+FIG6_METHODS: tuple[A, ...] = (A.GEMM, A.FFT, A.WINOGRAD, A.POLYHANKEL)
+
+DEVICES: tuple[str, ...] = ("3090ti", "a10g", "v100")
+
+
+@dataclass(frozen=True)
+class Fig3Config:
+    """API time vs input size (Sec. 4.1, Fig. 3).
+
+    Paper-stated: kernel 5, batch 128, input sizes 4..224.  Chosen: RGB
+    input (c=3), 16 filters, same-padding 2; sizes start at 8 so the 5x5
+    kernel fits every padded input.
+    """
+
+    input_sizes: tuple[int, ...] = (8, 16, 32, 48, 64, 96, 112, 128, 160,
+                                    192, 224)
+    kernel: int = 5
+    batch: int = 128
+    channels: int = 3
+    filters: int = 16
+    padding: int = 2
+    methods: tuple[A, ...] = FIG3_METHODS
+
+
+@dataclass(frozen=True)
+class Fig4Config:
+    """API time vs kernel size (Sec. 4.1, Fig. 4).
+
+    Paper-stated: kernel sizes 4..20ish; Winograd has a single point
+    (cuDNN supports only 3x3).  Chosen: input 96 (keeps the cuDNN FFT's
+    power-of-two padding stable across the whole sweep, isolating the
+    kernel-size effect), batch 128, c=3, f=16; the sweep extends to 25 so
+    the FFT/PolyHankel crossover is visible (our calibrated crossover sits
+    later than the paper's ~15, see EXPERIMENTS.md).
+    """
+
+    kernel_sizes: tuple[int, ...] = (3, 4, 6, 8, 10, 12, 14, 16, 18, 20,
+                                     22, 25)
+    input_size: int = 96
+    batch: int = 128
+    channels: int = 3
+    filters: int = 16
+    winograd_kernel: int = 3  # the lone Winograd data point
+    methods: tuple[A, ...] = (A.GEMM, A.FFT, A.FINEGRAIN_FFT, A.POLYHANKEL)
+
+
+@dataclass(frozen=True)
+class Fig5Config:
+    """API time vs channel count (Sec. 4.1, Fig. 5).
+
+    Paper-stated: input 112x112, kernel 3x3, channels 1..128, 3090Ti, all
+    cuDNN methods.  Chosen: batch 32, filters = channels.
+    """
+
+    channel_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
+    input_size: int = 112
+    kernel: int = 3
+    batch: int = 32
+    padding: int = 1
+    device: str = "3090ti"
+    methods: tuple[A, ...] = FIG5_METHODS
+
+
+@dataclass(frozen=True)
+class Fig6Config:
+    """End-to-end network time vs input size (Sec. 4.2, Fig. 6).
+
+    Paper-stated: 20-layer synthetic networks with varied designs, input
+    sizes up to ~112, accumulated conv-operator time.  Chosen: batch 32,
+    500 accumulation iterations, network seeds 0-2 averaged.
+    """
+
+    input_sizes: tuple[int, ...] = (16, 32, 48, 64, 80, 96, 112)
+    batch: int = 32
+    iterations: int = 500
+    seeds: tuple[int, ...] = (0, 1, 2)
+    methods: tuple[A, ...] = FIG6_METHODS
+
+
+@dataclass(frozen=True)
+class Fig7Config:
+    """Performance counters vs input size on A10G (Sec. 4.3, Fig. 7).
+
+    Same sweep as Fig. 3, profiled for FLOPs and memory transactions.
+    """
+
+    input_sizes: tuple[int, ...] = (8, 16, 32, 48, 64, 96, 112, 128, 160,
+                                    192, 224)
+    kernel: int = 5
+    batch: int = 128
+    channels: int = 3
+    filters: int = 16
+    padding: int = 2
+    device: str = "a10g"
+    methods: tuple[A, ...] = FIG3_METHODS

@@ -1,0 +1,103 @@
+"""Plain-text reporting for experiment reproductions.
+
+Each figure generator returns a :class:`SweepResult`; this module renders
+it as the kind of table the paper's figures plot, and computes the summary
+statistics the paper quotes (who wins where, max speedup over the next
+best method).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.registry import ConvAlgorithm
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One figure panel: a metric per (x value, method)."""
+
+    title: str
+    x_name: str
+    x_values: tuple
+    methods: tuple[ConvAlgorithm, ...]
+    values: dict[tuple, float]  # (x, method) -> metric
+    metric: str = "time_ms"
+
+    def value(self, x, method: ConvAlgorithm) -> float:
+        return self.values[(x, method)]
+
+    def winner(self, x) -> ConvAlgorithm:
+        """Method with the smallest metric at *x*."""
+        present = [m for m in self.methods if (x, m) in self.values]
+        return min(present, key=lambda m: self.values[(x, m)])
+
+    def winners(self) -> dict:
+        return {x: self.winner(x) for x in self.x_values}
+
+    def win_count(self, method: ConvAlgorithm) -> int:
+        return sum(1 for x in self.x_values if self.winner(x) is method)
+
+    def speedup_over_next_best(self, x) -> float:
+        """(next best) / (winner) - 1 at *x* — the paper's speedup metric."""
+        ranked = sorted(
+            self.values[(x, m)] for m in self.methods
+            if (x, m) in self.values
+        )
+        if len(ranked) < 2 or ranked[0] == 0:
+            return 0.0
+        return ranked[1] / ranked[0] - 1.0
+
+    def max_speedup_for(self, method: ConvAlgorithm) -> float:
+        """Max speedup-over-next-best at points where *method* wins."""
+        best = 0.0
+        for x in self.x_values:
+            if self.winner(x) is method:
+                best = max(best, self.speedup_over_next_best(x))
+        return best
+
+    def average_speedup_for(self, method: ConvAlgorithm) -> float:
+        """Mean of (next best / method) across ALL x — Fig. 6's metric."""
+        ratios = []
+        for x in self.x_values:
+            others = sorted(
+                self.values[(x, m)] for m in self.methods
+                if m is not method and (x, m) in self.values
+            )
+            mine = self.values.get((x, method))
+            if mine and others:
+                ratios.append(others[0] / mine)
+        return sum(ratios) / len(ratios) if ratios else 0.0
+
+
+def format_table(result: SweepResult, precision: int = 3) -> str:
+    """Render a SweepResult as an aligned text table with a winner column."""
+    headers = ([result.x_name] + [m.value for m in result.methods]
+               + ["winner"])
+    rows = []
+    for x in result.x_values:
+        cells = [str(x)]
+        for m in result.methods:
+            v = result.values.get((x, m))
+            cells.append("-" if v is None else f"{v:.{precision}f}")
+        cells.append(result.winner(x).value)
+        rows.append(cells)
+
+    widths = [max(len(h), *(len(r[i]) for r in rows))
+              for i, h in enumerate(headers)]
+    lines = [result.title,
+             "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+             "  ".join("-" * w for w in widths)]
+    lines += ["  ".join(c.ljust(w) for c, w in zip(row, widths))
+              for row in rows]
+    return "\n".join(lines)
+
+
+def summarize(result: SweepResult,
+              hero: ConvAlgorithm = ConvAlgorithm.POLYHANKEL) -> str:
+    """The paper's caption-style summary line for a sweep."""
+    wins = result.win_count(hero)
+    total = len(result.x_values)
+    max_speedup = result.max_speedup_for(hero) * 100
+    return (f"{hero.value} wins {wins} of {total} {result.x_name} points; "
+            f"max speedup over next best = {max_speedup:.1f}%")

@@ -1,0 +1,56 @@
+"""Bluestein's chirp-z algorithm: FFT of arbitrary length.
+
+Re-expresses a length-n DFT as a linear convolution of length 2n-1, which is
+then evaluated with the power-of-two radix-2 FFT.  This is how the builtin
+backend supports sizes with prime factors other than {2, 3, 5, 7}.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from repro.fft.radix2 import fft2pow, ifft2pow
+from repro.fft.sizes import next_pow2
+
+
+@functools.lru_cache(maxsize=64)
+def _chirp(n: int, sign: float) -> tuple[np.ndarray, np.ndarray, int]:
+    """Chirp sequence, its padded spectrum, and the working FFT size."""
+    k = np.arange(n)
+    chirp = np.exp(sign * 1j * np.pi * (k * k % (2 * n)) / n)
+    m = next_pow2(2 * n - 1)
+    b = np.zeros(m, dtype=complex)
+    b[:n] = np.conj(chirp)
+    b[m - n + 1:] = np.conj(chirp[1:][::-1])
+    return chirp, fft2pow(b), m
+
+def _bluestein(x: np.ndarray, sign: float) -> np.ndarray:
+    n = x.shape[-1]
+    chirp, b_hat, m = _chirp(n, sign)
+    a = np.zeros(x.shape[:-1] + (m,), dtype=complex)
+    a[..., :n] = x * chirp
+    conv = ifft2pow(fft2pow(a) * b_hat)
+    return conv[..., :n] * chirp
+
+
+def fft_bluestein(x: np.ndarray) -> np.ndarray:
+    """Forward DFT of arbitrary length along the last axis."""
+    x = np.asarray(x, dtype=complex)
+    if x.shape[-1] == 0:
+        raise ValueError("cannot transform an empty axis")
+    if x.shape[-1] == 1:
+        return x.copy()
+    return _bluestein(x, -1.0)
+
+
+def ifft_bluestein(x: np.ndarray) -> np.ndarray:
+    """Inverse DFT of arbitrary length along the last axis."""
+    x = np.asarray(x, dtype=complex)
+    n = x.shape[-1]
+    if n == 0:
+        raise ValueError("cannot transform an empty axis")
+    if n == 1:
+        return x.copy()
+    return _bluestein(x, +1.0) / n

@@ -1,0 +1,33 @@
+"""Reference O(n^2) discrete Fourier transform.
+
+This is the ground truth the fast transforms in this package are tested
+against.  It is deliberately written as a single matrix product so that its
+correctness is self-evident.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _dft_matrix(n: int, sign: float) -> np.ndarray:
+    k = np.arange(n)
+    return np.exp(sign * 2j * np.pi * np.outer(k, k) / n)
+
+
+def dft(x: np.ndarray) -> np.ndarray:
+    """Forward DFT along the last axis.  O(n^2); for testing only."""
+    x = np.asarray(x, dtype=complex)
+    n = x.shape[-1]
+    if n == 0:
+        raise ValueError("cannot transform an empty axis")
+    return x @ _dft_matrix(n, -1.0).T
+
+
+def idft(x: np.ndarray) -> np.ndarray:
+    """Inverse DFT along the last axis (normalized by 1/n)."""
+    x = np.asarray(x, dtype=complex)
+    n = x.shape[-1]
+    if n == 0:
+        raise ValueError("cannot transform an empty axis")
+    return (x @ _dft_matrix(n, +1.0).T) / n

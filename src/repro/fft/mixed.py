@@ -1,0 +1,74 @@
+"""Mixed-radix Cooley-Tukey FFT for sizes 2^a * 3^b * 5^c * 7^d.
+
+Combined with :mod:`repro.fft.bluestein` for the remaining sizes, this gives
+the builtin backend full generality.  The recursion is decimation-in-time:
+a size ``n = p * m`` transform splits into ``p`` interleaved size-``m``
+transforms recombined with twiddle factors.  All arithmetic is vectorized
+over leading (batch) axes.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from repro.fft.bluestein import fft_bluestein, ifft_bluestein
+from repro.fft.radix2 import _fft_pow2
+from repro.fft.sizes import DEFAULT_RADICES, is_power_of_two
+
+
+def _smallest_radix(n: int) -> int | None:
+    for p in DEFAULT_RADICES:
+        if n % p == 0:
+            return p
+    return None
+
+
+@functools.lru_cache(maxsize=256)
+def _combine_twiddles(n: int, p: int, sign: float) -> np.ndarray:
+    """Twiddle table of shape (p, p, m): factor for sub-FFT r at output block q."""
+    m = n // p
+    k = np.arange(m)
+    q = np.arange(p)[:, None, None]  # output block
+    r = np.arange(p)[None, :, None]  # sub-transform index
+    return np.exp(sign * 2j * np.pi * r * (q * m + k[None, None, :]) / n)
+
+
+def _fft_mixed(x: np.ndarray, sign: float) -> np.ndarray:
+    n = x.shape[-1]
+    if n == 1:
+        return x.copy()
+    if is_power_of_two(n):
+        return _fft_pow2(x, sign)
+    p = _smallest_radix(n)
+    if p is None:
+        # Prime (or 11-rough) size: fall back to the chirp-z algorithm.
+        result = fft_bluestein(x) if sign < 0 else fft_bluestein(
+            np.conj(x)).conj()
+        return result
+    sub = np.stack([_fft_mixed(x[..., r::p], sign) for r in range(p)],
+                   axis=-2)  # (..., p, m)
+    tw = _combine_twiddles(n, p, sign)  # (p, p, m)
+    # out[q*m + k] = sum_r tw[q, r, k] * sub[r, k]
+    blocks = np.einsum("qrk,...rk->...qk", tw, sub)
+    return blocks.reshape(*x.shape[:-1], n)
+
+
+def fft(x: np.ndarray) -> np.ndarray:
+    """Forward DFT along the last axis; any positive length."""
+    x = np.asarray(x, dtype=complex)
+    if x.shape[-1] == 0:
+        raise ValueError("cannot transform an empty axis")
+    return _fft_mixed(x, -1.0)
+
+
+def ifft(x: np.ndarray) -> np.ndarray:
+    """Inverse DFT along the last axis; any positive length."""
+    x = np.asarray(x, dtype=complex)
+    n = x.shape[-1]
+    if n == 0:
+        raise ValueError("cannot transform an empty axis")
+    if _smallest_radix(n) is None and not is_power_of_two(n) and n > 1:
+        return ifft_bluestein(x)
+    return _fft_mixed(x, +1.0) / n

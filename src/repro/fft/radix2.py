@@ -1,0 +1,74 @@
+"""Iterative radix-2 Cooley-Tukey FFT.
+
+Operates along the last axis of an arbitrary-rank array so that batched
+transforms (the common case in convolution) are vectorized.  Twiddle factors
+are cached per size.  Sizes must be powers of two; the general-size entry
+points live in :mod:`repro.fft.mixed`.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from repro.fft.sizes import is_power_of_two
+
+
+@functools.lru_cache(maxsize=64)
+def _bit_reversal_permutation(n: int) -> np.ndarray:
+    """Index permutation that bit-reverses positions 0..n-1."""
+    bits = n.bit_length() - 1
+    perm = np.zeros(n, dtype=np.intp)
+    for i in range(n):
+        rev = 0
+        v = i
+        for _ in range(bits):
+            rev = (rev << 1) | (v & 1)
+            v >>= 1
+        perm[i] = rev
+    return perm
+
+
+@functools.lru_cache(maxsize=128)
+def _twiddles(half: int, sign: float) -> np.ndarray:
+    """exp(sign * 2j*pi*k / (2*half)) for k in [0, half)."""
+    return np.exp(sign * 2j * np.pi * np.arange(half) / (2 * half))
+
+
+def _fft_pow2(x: np.ndarray, sign: float) -> np.ndarray:
+    n = x.shape[-1]
+    out = np.ascontiguousarray(x[..., _bit_reversal_permutation(n)],
+                               dtype=complex)
+    size = 2
+    while size <= n:
+        half = size // 2
+        tw = _twiddles(half, sign)
+        view = out.reshape(*out.shape[:-1], n // size, size)
+        even = view[..., :half]
+        odd = view[..., half:] * tw
+        view[..., :half], view[..., half:] = even + odd, even - odd
+        size *= 2
+    return out
+
+
+def fft2pow(x: np.ndarray) -> np.ndarray:
+    """Forward FFT along the last axis; length must be a power of two."""
+    x = np.asarray(x, dtype=complex)
+    n = x.shape[-1]
+    if not is_power_of_two(n):
+        raise ValueError(f"radix-2 FFT requires a power-of-two size, got {n}")
+    if n == 1:
+        return x.copy()
+    return _fft_pow2(x, -1.0)
+
+
+def ifft2pow(x: np.ndarray) -> np.ndarray:
+    """Inverse FFT along the last axis; length must be a power of two."""
+    x = np.asarray(x, dtype=complex)
+    n = x.shape[-1]
+    if not is_power_of_two(n):
+        raise ValueError(f"radix-2 IFFT requires a power-of-two size, got {n}")
+    if n == 1:
+        return x.copy()
+    return _fft_pow2(x, +1.0) / n

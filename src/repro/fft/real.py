@@ -1,0 +1,82 @@
+"""Real-input transforms (rfft / irfft) built on the complex FFT.
+
+Convolution inputs and kernels are real, so the production path uses the
+half-spectrum transforms.  For even sizes the forward transform packs the
+even/odd samples into a single complex FFT of half the length (the classic
+"two channels for the price of one" trick); odd sizes fall back to a full
+complex transform plus a slice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fft import mixed
+
+
+def rfft(x: np.ndarray, n: int | None = None) -> np.ndarray:
+    """Real-input FFT along the last axis; returns n//2 + 1 bins.
+
+    *n* zero-pads or truncates the axis, matching ``numpy.fft.rfft``.
+    """
+    x = np.asarray(x, dtype=float)
+    if n is None:
+        n = x.shape[-1]
+    if n < 1:
+        raise ValueError("transform length must be >= 1")
+    if x.shape[-1] < n:
+        pad = [(0, 0)] * (x.ndim - 1) + [(0, n - x.shape[-1])]
+        x = np.pad(x, pad)
+    elif x.shape[-1] > n:
+        x = x[..., :n]
+    if n == 1:
+        return x.astype(complex)
+    if n % 2 == 0:
+        return _rfft_even(x)
+    return mixed.fft(x)[..., : n // 2 + 1]
+
+
+def _rfft_even(x: np.ndarray) -> np.ndarray:
+    n = x.shape[-1]
+    half = n // 2
+    z = x[..., 0::2] + 1j * x[..., 1::2]
+    z_hat = mixed.fft(z)
+    # Unpack: split z_hat into the spectra of the even and odd subsequences.
+    z_rev = np.roll(z_hat[..., ::-1], 1, axis=-1)  # Z[(half - k) mod half]
+    even = 0.5 * (z_hat + np.conj(z_rev))
+    odd = -0.5j * (z_hat - np.conj(z_rev))
+    k = np.arange(half + 1)
+    tw = np.exp(-2j * np.pi * k / n)
+    even_ext = np.concatenate([even, even[..., :1]], axis=-1)
+    odd_ext = np.concatenate([odd, odd[..., :1]], axis=-1)
+    return even_ext + tw * odd_ext
+
+
+def irfft(x: np.ndarray, n: int | None = None) -> np.ndarray:
+    """Inverse of :func:`rfft`; returns a real array of length *n*.
+
+    As with ``numpy.fft.irfft``, *n* defaults to ``2 * (bins - 1)``.
+    """
+    x = np.asarray(x, dtype=complex)
+    bins = x.shape[-1]
+    if bins < 1:
+        raise ValueError("spectrum must have at least one bin")
+    if n is None:
+        n = 2 * (bins - 1) if bins > 1 else 1
+    if n < 1:
+        raise ValueError("output length must be >= 1")
+    if n == 1:
+        return x[..., 0].real[..., None] if x.ndim else x.real
+    expected_bins = n // 2 + 1
+    if bins < expected_bins:
+        pad = [(0, 0)] * (x.ndim - 1) + [(0, expected_bins - bins)]
+        x = np.pad(x, pad)
+    elif bins > expected_bins:
+        x = x[..., :expected_bins]
+    # Rebuild the full Hermitian spectrum and run a complex inverse FFT.
+    if n % 2 == 0:
+        tail = np.conj(x[..., -2:0:-1])
+    else:
+        tail = np.conj(x[..., -1:0:-1])
+    full = np.concatenate([x, tail], axis=-1)
+    return mixed.ifft(full).real

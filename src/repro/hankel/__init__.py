@@ -1,0 +1,26 @@
+"""Hankel-matrix substrate: structured storage, im2col views, property checks."""
+
+from repro.hankel.im2col_view import (
+    im2col_hankel_view,
+    im2col_patches,
+    pad2d,
+)
+from repro.hankel.matrix import DoublyBlockedHankel, HankelMatrix
+from repro.hankel.properties import (
+    is_doubly_blocked_hankel,
+    is_hankel,
+    mirror_symmetry_constant,
+    row_degree_vectors,
+)
+
+__all__ = [
+    "HankelMatrix",
+    "DoublyBlockedHankel",
+    "im2col_patches",
+    "im2col_hankel_view",
+    "pad2d",
+    "is_hankel",
+    "is_doubly_blocked_hankel",
+    "row_degree_vectors",
+    "mirror_symmetry_constant",
+]

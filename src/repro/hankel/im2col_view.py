@@ -1,0 +1,67 @@
+"""im2col, both as a materialized matrix and as a structured Hankel view.
+
+``im2col_patches`` is the production routine the GEMM baselines use.
+``im2col_hankel_view`` returns the same matrix as a
+:class:`~repro.hankel.matrix.DoublyBlockedHankel` without materializing it —
+the structure the paper's polynomial construction is derived from
+(Sec. 2.1, Fig. 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hankel.matrix import DoublyBlockedHankel
+from repro.utils.shapes import conv_output_size
+from repro.utils.validation import ensure_array, require
+
+
+def pad2d(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the trailing two (spatial) axes symmetrically."""
+    if padding == 0:
+        return x
+    pad = [(0, 0)] * (x.ndim - 2) + [(padding, padding), (padding, padding)]
+    return np.pad(x, pad)
+
+
+def im2col_patches(x: np.ndarray, kh: int, kw: int, padding: int = 0,
+                   stride: int = 1) -> np.ndarray:
+    """Unroll sliding patches of an NCHW tensor.
+
+    Returns an array of shape ``(n, oh * ow, c * kh * kw)``: one row per
+    kernel position, matching the row layout of Eq. 1 / the column layout of
+    Fig. 1 in the paper (we keep patches as rows so the GEMM is a plain
+    ``patches @ weights.T``).
+    """
+    x = ensure_array(x, "x", ndim=4)
+    n, c, ih, iw = x.shape
+    oh = conv_output_size(ih, kh, padding, stride)
+    ow = conv_output_size(iw, kw, padding, stride)
+    xp = pad2d(x, padding)
+    windows = np.lib.stride_tricks.sliding_window_view(
+        xp, (kh, kw), axis=(2, 3)
+    )  # (n, c, ph-kh+1, pw-kw+1, kh, kw)
+    windows = windows[:, :, ::stride, ::stride]
+    # (n, oh, ow, c, kh, kw) -> (n, oh*ow, c*kh*kw)
+    patches = windows.transpose(0, 2, 3, 1, 4, 5)
+    return patches.reshape(n, oh * ow, c * kh * kw)
+
+
+def im2col_hankel_view(image: np.ndarray, kh: int, kw: int,
+                       padding: int = 0) -> DoublyBlockedHankel:
+    """The im2col matrix of one 2D image as a structured Hankel object.
+
+    Only stride 1 has the doubly-Hankel structure.  The returned object's
+    ``to_dense()`` equals ``im2col_patches`` of the same image (single
+    channel), and its ``matvec`` with the flattened kernel computes the
+    convolution — without ever expanding the input.
+    """
+    image = ensure_array(image, "image", ndim=2)
+    ih, iw = image.shape
+    oh = conv_output_size(ih, kh, padding, 1)
+    ow = conv_output_size(iw, kw, padding, 1)
+    require(oh + kh - 1 == ih + 2 * padding and ow + kw - 1 == iw + 2 * padding,
+            "internal shape arithmetic failed")
+    base = pad2d(image[None, None], padding)[0, 0]
+    return DoublyBlockedHankel(base, block_rows=oh, block_cols=kh,
+                               inner_rows=ow, inner_cols=kw)

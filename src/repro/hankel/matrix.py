@@ -1,0 +1,170 @@
+"""Structured Hankel and doubly blocked Hankel matrices.
+
+A Hankel matrix is constant along ascending skew-diagonals: ``H[i, j]``
+depends only on ``i + j``.  An ``m x n`` Hankel matrix is therefore fully
+described by ``m + n - 1`` numbers.  The im2col matrix of a stride-1
+convolution is *doubly blocked* Hankel (Sec. 2.1 of the paper): the block
+grid is Hankel in the block indices, and every block is itself Hankel.
+
+These classes store only the defining vectors (O(n) storage) while exposing
+dense-matrix semantics — exactly the "concise representation" the paper's
+polynomial construction is derived from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import fft as _fft
+from repro.utils.validation import ensure_array, require
+
+
+class HankelMatrix:
+    """An ``rows x cols`` Hankel matrix defined by ``H[i, j] = data[i + j]``."""
+
+    def __init__(self, data, rows: int, cols: int):
+        self.data = ensure_array(data, "data", ndim=1)
+        require(rows > 0 and cols > 0, "rows and cols must be positive")
+        require(
+            len(self.data) == rows + cols - 1,
+            f"defining vector must have rows + cols - 1 = {rows + cols - 1} "
+            f"entries, got {len(self.data)}",
+        )
+        self.rows = rows
+        self.cols = cols
+
+    @classmethod
+    def from_dense(cls, dense) -> "HankelMatrix":
+        """Build from a dense Hankel matrix; raises if it is not Hankel."""
+        dense = ensure_array(dense, "dense", ndim=2)
+        rows, cols = dense.shape
+        data = np.concatenate([dense[0, :], dense[1:, -1]])
+        result = cls(data, rows, cols)
+        if not np.array_equal(result.to_dense(), dense):
+            raise ValueError("matrix is not Hankel")
+        return result
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.rows, self.cols)
+
+    @property
+    def storage_elems(self) -> int:
+        """Elements actually stored (vs rows*cols for the dense form)."""
+        return len(self.data)
+
+    def __getitem__(self, key: tuple[int, int]):
+        i, j = key
+        if not (0 <= i < self.rows and 0 <= j < self.cols):
+            raise IndexError(f"index {key} out of range for {self.shape}")
+        return self.data[i + j]
+
+    def to_dense(self) -> np.ndarray:
+        idx = np.arange(self.rows)[:, None] + np.arange(self.cols)[None, :]
+        return self.data[idx]
+
+    def matvec(self, v) -> np.ndarray:
+        """``H @ v`` in O((m+n) log(m+n)) via FFT.
+
+        ``(H v)[i] = sum_j data[i + j] v[j]`` is a correlation of the
+        defining vector with ``v``, i.e. the slice of the linear convolution
+        ``data * reverse(v)`` starting at offset ``cols - 1``.
+        """
+        v = ensure_array(v, "v", ndim=1)
+        require(len(v) == self.cols, f"vector must have {self.cols} entries")
+        n = len(self.data) + self.cols - 1
+        nfft = _fft.next_fast_len(n)
+        prod = _fft.irfft(
+            _fft.rfft(self.data, nfft) * _fft.rfft(v[::-1], nfft), nfft
+        )
+        return prod[self.cols - 1: self.cols - 1 + self.rows]
+
+    def __matmul__(self, v) -> np.ndarray:
+        return self.matvec(v)
+
+
+class DoublyBlockedHankel:
+    """Block-Hankel matrix of Hankel blocks, defined by a base matrix.
+
+    The entry at block ``(I, J)``, inner position ``(i, j)`` equals
+    ``base[I + J, i + j]``.  With ``base`` set to the (padded) convolution
+    input, block grid ``Oh x Kh`` and block shape ``Ow x Kw``, this is
+    exactly the transposed-layout im2col matrix of Eq. 1 in the paper.
+    """
+
+    def __init__(self, base, block_rows: int, block_cols: int,
+                 inner_rows: int, inner_cols: int):
+        self.base = ensure_array(base, "base", ndim=2)
+        for name, v in (("block_rows", block_rows), ("block_cols", block_cols),
+                        ("inner_rows", inner_rows), ("inner_cols", inner_cols)):
+            require(v > 0, f"{name} must be positive")
+        require(
+            self.base.shape == (block_rows + block_cols - 1,
+                                inner_rows + inner_cols - 1),
+            f"base must be {(block_rows + block_cols - 1, inner_rows + inner_cols - 1)},"
+            f" got {self.base.shape}",
+        )
+        self.block_rows = block_rows
+        self.block_cols = block_cols
+        self.inner_rows = inner_rows
+        self.inner_cols = inner_cols
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.block_rows * self.inner_rows,
+                self.block_cols * self.inner_cols)
+
+    @property
+    def storage_elems(self) -> int:
+        return self.base.size
+
+    def block(self, block_i: int, block_j: int) -> HankelMatrix:
+        """The Hankel block at block coordinates ``(block_i, block_j)``."""
+        if not (0 <= block_i < self.block_rows
+                and 0 <= block_j < self.block_cols):
+            raise IndexError(
+                f"block ({block_i}, {block_j}) out of range for grid "
+                f"{self.block_rows}x{self.block_cols}"
+            )
+        return HankelMatrix(self.base[block_i + block_j],
+                            self.inner_rows, self.inner_cols)
+
+    def __getitem__(self, key: tuple[int, int]):
+        i, j = key
+        rows, cols = self.shape
+        if not (0 <= i < rows and 0 <= j < cols):
+            raise IndexError(f"index {key} out of range for {self.shape}")
+        block_i, inner_i = divmod(i, self.inner_rows)
+        block_j, inner_j = divmod(j, self.inner_cols)
+        return self.base[block_i + block_j, inner_i + inner_j]
+
+    def to_dense(self) -> np.ndarray:
+        block_i = np.arange(self.block_rows)[:, None]
+        block_j = np.arange(self.block_cols)[None, :]
+        inner_i = np.arange(self.inner_rows)[:, None]
+        inner_j = np.arange(self.inner_cols)[None, :]
+        # 4D gather, then collapse blocks into the dense 2D layout.
+        dense = self.base[
+            (block_i + block_j)[:, :, None, None],
+            (inner_i + inner_j)[None, None, :, :],
+        ]
+        dense = dense.transpose(0, 2, 1, 3)
+        return dense.reshape(self.shape)
+
+    def matvec(self, v) -> np.ndarray:
+        """``M @ v`` block by block, each block via the Hankel FFT matvec."""
+        v = ensure_array(v, "v", ndim=1)
+        require(len(v) == self.shape[1],
+                f"vector must have {self.shape[1]} entries")
+        segments = v.reshape(self.block_cols, self.inner_cols)
+        out = np.zeros((self.block_rows, self.inner_rows),
+                       dtype=np.result_type(self.base, v))
+        for block_i in range(self.block_rows):
+            for block_j in range(self.block_cols):
+                out[block_i] += self.block(block_i, block_j).matvec(
+                    segments[block_j]
+                )
+        return out.reshape(-1)
+
+    def __matmul__(self, v) -> np.ndarray:
+        return self.matvec(v)

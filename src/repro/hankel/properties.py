@@ -1,0 +1,84 @@
+"""Structural property checks for (doubly blocked) Hankel matrices.
+
+These implement, as executable predicates, the observations Sec. 2.2 of the
+paper builds the polynomial construction on — in particular the mirror
+symmetry of row-degree vectors: for every row ``k`` of the im2col matrix,
+``RD_k + reverse(RD_1)`` is a constant vector (and the constant is the last
+entry of ``RD_k``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ensure_array
+
+
+def is_hankel(dense, atol: float = 0.0) -> bool:
+    """True when *dense* is constant along ascending skew-diagonals."""
+    dense = ensure_array(dense, "dense", ndim=2)
+    rows, cols = dense.shape
+    if rows == 1 or cols == 1:
+        return True
+    return bool(
+        np.allclose(dense[1:, :-1], dense[:-1, 1:], atol=atol, rtol=0.0)
+    )
+
+
+def is_doubly_blocked_hankel(dense, block_grid: tuple[int, int],
+                             block_shape: tuple[int, int],
+                             atol: float = 0.0) -> bool:
+    """True when *dense* is block-Hankel with Hankel blocks.
+
+    ``block_grid`` is (block rows, block cols); ``block_shape`` is the shape
+    of each block.
+    """
+    dense = ensure_array(dense, "dense", ndim=2)
+    big_rows, big_cols = block_grid
+    inner_rows, inner_cols = block_shape
+    if dense.shape != (big_rows * inner_rows, big_cols * inner_cols):
+        raise ValueError(
+            f"dense shape {dense.shape} does not match grid {block_grid} "
+            f"of blocks {block_shape}"
+        )
+    blocks = dense.reshape(big_rows, inner_rows, big_cols, inner_cols)
+    blocks = blocks.transpose(0, 2, 1, 3)
+    # Every block must be Hankel...
+    for bi in range(big_rows):
+        for bj in range(big_cols):
+            if not is_hankel(blocks[bi, bj], atol=atol):
+                return False
+    # ...and blocks along each block-skew-diagonal must be identical.
+    if big_rows > 1 and big_cols > 1:
+        if not np.allclose(blocks[1:, :-1], blocks[:-1, 1:],
+                           atol=atol, rtol=0.0):
+            return False
+    return True
+
+
+def row_degree_vectors(oh: int, ow: int, kh: int, kw: int,
+                       iw: int) -> np.ndarray:
+    """The per-row degree vectors RD_k of the conceptual im2col matrix.
+
+    Row ``k`` (output position ``(i, j)`` with ``k = i * ow + j``) touches
+    the input elements whose flattened indices — equivalently, whose degrees
+    in A(t), Eq. 10 — are ``iw * (i + u) + (j + v)`` over the kernel support.
+    Returns an array of shape ``(oh * ow, kh * kw)``.
+    """
+    out_i, out_j = np.divmod(np.arange(oh * ow), ow)
+    ker_u, ker_v = np.divmod(np.arange(kh * kw), kw)
+    return (iw * (out_i[:, None] + ker_u[None, :])
+            + out_j[:, None] + ker_v[None, :])
+
+
+def mirror_symmetry_constant(rd_row: np.ndarray,
+                             rd_first: np.ndarray) -> int | None:
+    """The constant of ``rd_row + reverse(rd_first)`` or None if not constant.
+
+    Sec. 2.2: for the doubly Hankel im2col matrix this is always constant and
+    equal to the last entry of ``rd_row``.
+    """
+    sums = np.asarray(rd_row) + np.asarray(rd_first)[::-1]
+    if np.all(sums == sums[0]):
+        return int(sums[0])
+    return None

@@ -1,0 +1,29 @@
+"""Minimal NN inference framework (the paper's PyTorch substitute).
+
+Provides the operator-dispatch surface the Sec. 4.2 experiment needs:
+convolution layers with a network-wide forcible algorithm, common
+supporting layers, sequential composition, synthetic 20-layer benchmark
+networks, and per-operator simulated-GPU profiling.
+"""
+
+from repro.nn import functional
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Layer,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.network import ConvProfile, Sequential, profile_conv_time
+from repro.nn.synthetic import lenet5, synthetic_network
+
+__all__ = [
+    "functional",
+    "Layer", "Conv2d", "ReLU", "MaxPool2d", "AvgPool2d", "BatchNorm2d",
+    "Flatten", "Linear",
+    "Sequential", "ConvProfile", "profile_conv_time",
+    "synthetic_network", "lenet5",
+]

@@ -1,0 +1,240 @@
+"""A small tape-based autograd engine over the library's operators.
+
+Enough machinery to *train* networks whose convolutions run through any of
+the registered algorithms (PolyHankel included): a :class:`Tensor` records
+the operations applied to it; ``backward()`` replays the tape in reverse.
+The convolution backward passes are themselves computed with the library's
+convolution algorithms (:mod:`repro.nn.grad`).
+
+This is intentionally minimal — single-threaded, NumPy-backed, no graphs
+across ``backward()`` calls — but it is numerically verified against finite
+differences and suffices for the training example and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines.registry import ConvAlgorithm
+from repro.nn import functional as F
+from repro.nn.grad import (
+    conv2d_backward_bias,
+    conv2d_backward_input,
+    conv2d_backward_weight,
+)
+from repro.utils.validation import ensure_array
+
+
+class Tensor:
+    """An array plus the closure that propagates gradients to its parents."""
+
+    def __init__(self, data, parents: tuple["Tensor", ...] = (),
+                 backward_fn: Callable[[np.ndarray], None] | None = None,
+                 requires_grad: bool = False):
+        self.data = ensure_array(data, "data", dtype=float)
+        self.parents = parents
+        self._backward_fn = backward_fn
+        self.requires_grad = requires_grad or any(
+            p.requires_grad for p in parents
+        )
+        self.grad: np.ndarray | None = None
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Reverse-mode sweep from this tensor (default seed: ones)."""
+        if grad is None:
+            grad = np.ones_like(self.data)
+        # Topological order over the tape.
+        order: list[Tensor] = []
+        seen: set[int] = set()
+
+        def visit(node: "Tensor") -> None:
+            if id(node) in seen:
+                return
+            seen.add(id(node))
+            for parent in node.parents:
+                visit(parent)
+            order.append(node)
+
+        visit(self)
+        self._accumulate(np.asarray(grad, dtype=float))
+        for node in reversed(order):
+            if node._backward_fn is not None and node.grad is not None \
+                    and node.requires_grad:
+                node._backward_fn(node.grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:
+        return (f"Tensor(shape={self.data.shape}, "
+                f"requires_grad={self.requires_grad})")
+
+
+def parameter(data) -> Tensor:
+    """A leaf tensor that collects gradients."""
+    return Tensor(np.asarray(data, dtype=float), requires_grad=True)
+
+
+# ---------------------------------------------------------------------------
+# Operators
+# ---------------------------------------------------------------------------
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
+           padding: int = 0, stride: int = 1,
+           algorithm: ConvAlgorithm | str = ConvAlgorithm.POLYHANKEL
+           ) -> Tensor:
+    """Differentiable convolution; forward and both backwards run through
+    the chosen algorithm."""
+    out_data = F.conv2d(x.data, weight.data,
+                        None if bias is None else bias.data,
+                        padding, stride, algorithm=algorithm)
+    parents = (x, weight) + (() if bias is None else (bias,))
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(conv2d_backward_input(
+                grad, weight.data, x.data.shape, padding, stride,
+                algorithm))
+        if weight.requires_grad:
+            weight._accumulate(conv2d_backward_weight(
+                grad, x.data, weight.data.shape[2:], padding, stride,
+                algorithm))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(conv2d_backward_bias(grad))
+
+    return Tensor(out_data, parents, backward_fn)
+
+
+def relu(x: Tensor) -> Tensor:
+    mask = x.data > 0
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * mask)
+
+    return Tensor(x.data * mask, (x,), backward_fn)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    out = x.data @ weight.data.T
+    if bias is not None:
+        out = out + bias.data
+    parents = (x, weight) + (() if bias is None else (bias,))
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad @ weight.data)
+        if weight.requires_grad:
+            weight._accumulate(grad.T @ x.data)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=0))
+
+    return Tensor(out, parents, backward_fn)
+
+
+def flatten(x: Tensor) -> Tensor:
+    original = x.data.shape
+    out = x.data.reshape(original[0], -1)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad.reshape(original))
+
+    return Tensor(out, (x,), backward_fn)
+
+
+def max_pool2d(x: Tensor, kernel_size: int,
+               stride: int | None = None) -> Tensor:
+    stride = stride or kernel_size
+    n, c, h, w = x.data.shape
+    oh = (h - kernel_size) // stride + 1
+    ow = (w - kernel_size) // stride + 1
+    windows = np.lib.stride_tricks.sliding_window_view(
+        x.data, (kernel_size, kernel_size), axis=(2, 3)
+    )[:, :, ::stride, ::stride]
+    flat = windows.reshape(n, c, oh, ow, -1)
+    arg = flat.argmax(axis=-1)
+    out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        dx = np.zeros_like(x.data)
+        du, dv = np.divmod(arg, kernel_size)
+        for i in range(oh):
+            for j in range(ow):
+                rows = i * stride + du[:, :, i, j]
+                cols = j * stride + dv[:, :, i, j]
+                nn, cc = np.meshgrid(np.arange(n), np.arange(c),
+                                     indexing="ij")
+                np.add.at(dx, (nn, cc, rows, cols), grad[:, :, i, j])
+        x._accumulate(dx)
+
+    return Tensor(out, (x,), backward_fn)
+
+
+def mean(x: Tensor) -> Tensor:
+    size = x.data.size
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(np.full(x.data.shape, float(grad) / size))
+
+    return Tensor(np.asarray(x.data.mean()), (x,), backward_fn)
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean softmax cross-entropy; *labels* is an int class vector."""
+    labels = np.asarray(labels)
+    probs = F.softmax(logits.data, axis=-1)
+    batch = logits.data.shape[0]
+    nll = -np.log(probs[np.arange(batch), labels] + 1e-12)
+    loss = nll.mean()
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if logits.requires_grad:
+            dlogits = probs.copy()
+            dlogits[np.arange(batch), labels] -= 1.0
+            logits._accumulate(float(grad) * dlogits / batch)
+
+    return Tensor(np.asarray(loss), (logits,), backward_fn)
+
+
+# ---------------------------------------------------------------------------
+# Optimizer
+# ---------------------------------------------------------------------------
+
+class SGD:
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: list[Tensor], lr: float = 0.01,
+                 momentum: float = 0.0):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.params = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            v *= self.momentum
+            v += p.grad
+            p.data -= self.lr * v
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()

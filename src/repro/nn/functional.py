@@ -1,0 +1,194 @@
+"""Functional NN operations (inference).
+
+``conv2d`` is the operator whose cuDNN dispatch the paper replaces inside
+PyTorch (Sec. 4.2); here it dispatches through our algorithm registry, with
+the same "force one algorithm network-wide" capability the paper's
+experiment uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.registry import ConvAlgorithm, convolve
+from repro.utils.validation import ensure_array
+
+
+def conv2d(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None,
+           padding: int = 0, stride: int = 1,
+           dilation: int | tuple[int, int] = 1, groups: int = 1,
+           algorithm: ConvAlgorithm | str = ConvAlgorithm.POLYHANKEL,
+           **kwargs) -> np.ndarray:
+    """2D convolution with an explicit algorithm choice.
+
+    Dilation is implemented by zero-upsampling the kernel (its polynomial
+    simply acquires more zero gaps, so PolyHankel pays nothing extra) and
+    grouped convolution by splitting the channel axis — both therefore work
+    with *every* registered algorithm.
+
+    ``algorithm="auto"`` picks per call using the distilled selection rules
+    (GEMM small inputs / PolyHankel sweet spot / FFT large kernels) — the
+    heuristic dispatch the paper proposes as future work.
+    """
+    if groups < 1:
+        raise ValueError("groups must be positive")
+    weight = np.asarray(weight)
+    x = np.asarray(x)
+    if algorithm == "auto":
+        from repro.selection.heuristic import select_algorithm_rules
+        from repro.utils.shapes import ConvShape
+
+        # The rules only read the spatial geometry.
+        algorithm = select_algorithm_rules(ConvShape(
+            ih=x.shape[2], iw=x.shape[3],
+            kh=weight.shape[2], kw=weight.shape[3],
+            n=x.shape[0], c=weight.shape[1], f=weight.shape[0],
+            padding=padding, stride=stride,
+        ))
+    if groups > 1:
+        if x.shape[1] % groups or weight.shape[0] % groups:
+            raise ValueError(
+                f"channels ({x.shape[1]}) and filters ({weight.shape[0]}) "
+                f"must be divisible by groups ({groups})"
+            )
+        if weight.shape[1] != x.shape[1] // groups:
+            raise ValueError(
+                f"grouped weight expects C/groups = "
+                f"{x.shape[1] // groups} input channels, got "
+                f"{weight.shape[1]}"
+            )
+
+    dh, dw = (dilation, dilation) if isinstance(dilation, int) else dilation
+    if dh < 1 or dw < 1:
+        raise ValueError("dilation must be positive")
+    if (dh, dw) != (1, 1):
+        from repro.nn.grad import dilate_spatial
+
+        weight = dilate_spatial(weight, (dh, dw))
+
+    if groups == 1:
+        out = convolve(x, weight, algorithm=algorithm, padding=padding,
+                       stride=stride, **kwargs)
+    else:
+        c_per, f_per = x.shape[1] // groups, weight.shape[0] // groups
+        out = np.concatenate([
+            convolve(x[:, g * c_per: (g + 1) * c_per],
+                     weight[g * f_per: (g + 1) * f_per],
+                     algorithm=algorithm, padding=padding, stride=stride,
+                     **kwargs)
+            for g in range(groups)
+        ], axis=1)
+    if bias is not None:
+        bias = ensure_array(bias, "bias", ndim=1)
+        out = out + bias[None, :, None, None]
+    return out
+
+
+def conv_transpose2d(x: np.ndarray, weight: np.ndarray,
+                     bias: np.ndarray | None = None, padding: int = 0,
+                     stride: int = 1, output_padding: int = 0,
+                     algorithm: ConvAlgorithm | str =
+                     ConvAlgorithm.POLYHANKEL) -> np.ndarray:
+    """Transposed (fractionally strided) convolution, a.k.a. deconvolution.
+
+    Follows the PyTorch convention: *weight* is ``(c_in, c_out, kh, kw)``
+    and the output extent is ``(i - 1) * stride - 2 * padding + k +
+    output_padding`` (``output_padding`` resolves the ambiguity a strided
+    forward convolution leaves about its input extent).  The operation is
+    the adjoint of :func:`conv2d`, so it is computed with the
+    convolution-based backward-input machinery — through any registered
+    algorithm.
+    """
+    from repro.nn.grad import conv2d_backward_input
+
+    x = ensure_array(x, "x", ndim=4, dtype=float)
+    weight = ensure_array(weight, "weight", ndim=4, dtype=float)
+    if x.shape[1] != weight.shape[0]:
+        raise ValueError(
+            f"channel mismatch: input C={x.shape[1]}, transposed weight "
+            f"expects C_in={weight.shape[0]}"
+        )
+    if not 0 <= output_padding < stride and output_padding != 0:
+        raise ValueError("output_padding must be in [0, stride)")
+    n, c_in, ih, iw = x.shape
+    _, c_out, kh, kw = weight.shape
+    oh = (ih - 1) * stride - 2 * padding + kh + output_padding
+    ow = (iw - 1) * stride - 2 * padding + kw + output_padding
+    if oh < 1 or ow < 1:
+        raise ValueError(
+            f"transposed output {oh}x{ow} is empty; reduce padding"
+        )
+    # conv_transpose(x, w) is the adjoint of the forward convolution whose
+    # weight maps c_out channels to c_in filters — which is exactly the
+    # (c_in, c_out, kh, kw) layout of *weight* read as (F, C, kh, kw).
+    out = conv2d_backward_input(x, weight, (n, c_out, oh, ow),
+                                padding, stride, algorithm)
+    if bias is not None:
+        bias = ensure_array(bias, "bias", ndim=1)
+        out = out + bias[None, :, None, None]
+    return out
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def max_pool2d(x: np.ndarray, kernel_size: int,
+               stride: int | None = None) -> np.ndarray:
+    """Max pooling over NCHW spatial dims (no padding; floor division)."""
+    return _pool2d(x, kernel_size, stride, np.max)
+
+
+def avg_pool2d(x: np.ndarray, kernel_size: int,
+               stride: int | None = None) -> np.ndarray:
+    """Average pooling over NCHW spatial dims."""
+    return _pool2d(x, kernel_size, stride, np.mean)
+
+
+def _pool2d(x: np.ndarray, kernel_size: int, stride: int | None,
+            reducer) -> np.ndarray:
+    x = ensure_array(x, "x", ndim=4)
+    if kernel_size < 1:
+        raise ValueError("kernel_size must be positive")
+    stride = kernel_size if stride is None else stride
+    if stride < 1:
+        raise ValueError("stride must be positive")
+    n, c, h, w = x.shape
+    oh = (h - kernel_size) // stride + 1
+    ow = (w - kernel_size) // stride + 1
+    if oh < 1 or ow < 1:
+        raise ValueError(
+            f"pool window {kernel_size} does not fit input {h}x{w}"
+        )
+    windows = np.lib.stride_tricks.sliding_window_view(
+        x, (kernel_size, kernel_size), axis=(2, 3)
+    )[:, :, ::stride, ::stride]
+    return reducer(windows, axis=(-2, -1))
+
+
+def batch_norm2d(x: np.ndarray, mean: np.ndarray, var: np.ndarray,
+                 gamma: np.ndarray, beta: np.ndarray,
+                 eps: float = 1e-5) -> np.ndarray:
+    """Inference-mode batch normalization with running statistics."""
+    shape = (1, -1, 1, 1)
+    scale = gamma / np.sqrt(var + eps)
+    return x * scale.reshape(shape) + (
+        beta - mean * scale
+    ).reshape(shape)
+
+
+def linear(x: np.ndarray, weight: np.ndarray,
+           bias: np.ndarray | None = None) -> np.ndarray:
+    """Affine map on the last axis: ``x @ weight.T + bias``."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)

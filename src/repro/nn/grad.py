@@ -1,0 +1,119 @@
+"""Convolution gradients, computed with the library's own algorithms.
+
+The paper evaluates the forward operator, but a drop-in convolution
+implementation must also serve training.  Both backward passes reduce to
+convolutions, so PolyHankel (or any registered algorithm) computes them:
+
+- **input gradient**: correlate the (stride-dilated, fully padded) output
+  gradient with the spatially flipped, channel-transposed weights;
+- **weight gradient**: correlate the padded input with the (stride-dilated)
+  output gradient, treating batch as the contraction axis.
+
+Gradient correctness is established against finite differences in
+``tests/nn/test_grad.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.registry import ConvAlgorithm, convolve
+from repro.hankel.im2col_view import pad2d
+from repro.utils.shapes import ConvShape
+from repro.utils.validation import ensure_array
+
+
+def dilate_spatial(x: np.ndarray,
+                   stride: int | tuple[int, int]) -> np.ndarray:
+    """Insert zeros between spatial samples (trailing two axes).
+
+    *stride* may be one factor for both axes or an ``(sh, sw)`` pair;
+    ``stride - 1`` zeros go between consecutive samples.
+    """
+    sh, sw = (stride, stride) if isinstance(stride, int) else stride
+    if sh == 1 and sw == 1:
+        return x
+    *lead, h, w = x.shape
+    out = np.zeros((*lead, (h - 1) * sh + 1, (w - 1) * sw + 1),
+                   dtype=x.dtype)
+    out[..., ::sh, ::sw] = x
+    return out
+
+
+def conv2d_backward_input(grad_out: np.ndarray, weight: np.ndarray,
+                          input_shape: tuple, padding: int = 0,
+                          stride: int = 1,
+                          algorithm: ConvAlgorithm | str =
+                          ConvAlgorithm.POLYHANKEL) -> np.ndarray:
+    """Gradient of the convolution output w.r.t. its input.
+
+    *grad_out* is ``(n, f, oh, ow)``; returns ``(n, c, ih, iw)`` matching
+    *input_shape*.
+    """
+    grad_out = ensure_array(grad_out, "grad_out", ndim=4, dtype=float)
+    weight = ensure_array(weight, "weight", ndim=4, dtype=float)
+    n, c, ih, iw = input_shape
+    f, wc, kh, kw = weight.shape
+    shape = ConvShape(ih=ih, iw=iw, kh=kh, kw=kw, n=n, c=wc, f=f,
+                      padding=padding, stride=stride)
+    if grad_out.shape != shape.output_shape():
+        raise ValueError(
+            f"grad_out shape {grad_out.shape} does not match "
+            f"{shape.output_shape()}"
+        )
+
+    # Stride-dilate the gradient, then full-pad by (k-1) for the
+    # transposed correlation.
+    g = dilate_spatial(grad_out, stride)
+    g = np.pad(g, [(0, 0), (0, 0), (kh - 1, kh - 1), (kw - 1, kw - 1)])
+    # Flip the kernel spatially and swap its filter/channel roles.
+    w_t = weight[:, :, ::-1, ::-1].transpose(1, 0, 2, 3)  # (c, f, kh, kw)
+    dx_core = convolve(g, w_t, algorithm=algorithm)
+    # The transposed convolution only covers the input region the forward
+    # stride actually visited; rows/columns beyond the last kernel
+    # placement receive zero gradient.
+    ph, pw = ih + 2 * padding, iw + 2 * padding
+    dx_padded = np.zeros((n, c, ph, pw), dtype=dx_core.dtype)
+    dx_padded[:, :, : dx_core.shape[2], : dx_core.shape[3]] = \
+        dx_core[:, :, :ph, :pw]
+    if padding:
+        return dx_padded[:, :, padding: padding + ih,
+                         padding: padding + iw]
+    return dx_padded
+
+
+def conv2d_backward_weight(grad_out: np.ndarray, x: np.ndarray,
+                           kernel_size: tuple[int, int], padding: int = 0,
+                           stride: int = 1,
+                           algorithm: ConvAlgorithm | str =
+                           ConvAlgorithm.POLYHANKEL) -> np.ndarray:
+    """Gradient of the convolution output w.r.t. the weights.
+
+    *x* is the forward input ``(n, c, ih, iw)``; returns
+    ``(f, c, kh, kw)``.
+    """
+    grad_out = ensure_array(grad_out, "grad_out", ndim=4, dtype=float)
+    x = ensure_array(x, "x", ndim=4, dtype=float)
+    kh, kw = kernel_size
+    n, c = x.shape[0], x.shape[1]
+    f = grad_out.shape[1]
+
+    xp = pad2d(x, padding)
+    g = dilate_spatial(grad_out, stride)
+    # The dilated gradient may be shorter than the padded input allows;
+    # crop the input so the "valid" correlation yields exactly (kh, kw).
+    need_h = g.shape[2] + kh - 1
+    need_w = g.shape[3] + kw - 1
+    xp = xp[:, :, :need_h, :need_w]
+
+    # Contract over batch: treat channels as batch and (f, n) as kernels.
+    x_t = xp.transpose(1, 0, 2, 3)        # (c, n, ph, pw)
+    g_t = g.transpose(1, 0, 2, 3)         # (f, n, gh, gw)
+    dw = convolve(x_t, g_t, algorithm=algorithm)  # (c, f, kh, kw)
+    return dw.transpose(1, 0, 2, 3)
+
+
+def conv2d_backward_bias(grad_out: np.ndarray) -> np.ndarray:
+    """Gradient w.r.t. the per-filter bias."""
+    grad_out = ensure_array(grad_out, "grad_out", ndim=4)
+    return grad_out.sum(axis=(0, 2, 3))

@@ -1,0 +1,111 @@
+"""Sequential networks with per-operator accounting.
+
+Reimplements the slice of PyTorch the paper's Sec. 4.2 experiment needs:
+run a network with one convolution algorithm forced everywhere, and
+accumulate the (simulated GPU) time spent in the convolution operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.registry import ConvAlgorithm
+from repro.nn.layers import Conv2d, Layer
+from repro.perfmodel.device import GpuDevice, get_device
+
+
+class Sequential(Layer):
+    """A chain of layers applied in order."""
+
+    def __init__(self, *layers: Layer, name: str = "network"):
+        if not layers:
+            raise ValueError("a network needs at least one layer")
+        self.layers = list(layers)
+        self.name = name
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        shape = input_shape
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+        return shape
+
+    def layer_shapes(self, input_shape: tuple) -> list[tuple]:
+        """Input shape seen by each layer, in order."""
+        shapes = []
+        shape = input_shape
+        for layer in self.layers:
+            shapes.append(shape)
+            shape = layer.output_shape(shape)
+        return shapes
+
+    def conv_layers(self) -> list[Conv2d]:
+        return [l for l in self.layers if isinstance(l, Conv2d)]
+
+    def set_conv_algorithm(self,
+                           algorithm: ConvAlgorithm | str) -> "Sequential":
+        """Force one convolution algorithm network-wide (Sec. 4.2)."""
+        algorithm = (ConvAlgorithm(algorithm)
+                     if isinstance(algorithm, str) else algorithm)
+        for layer in self.conv_layers():
+            layer.algorithm = algorithm
+        return self
+
+    def param_count(self) -> int:
+        return sum(layer.param_count() for layer in self.layers)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(l) for l in self.layers[:6])
+        if len(self.layers) > 6:
+            inner += f", ... {len(self.layers) - 6} more"
+        return f"Sequential[{self.name}]({inner})"
+
+
+@dataclass(frozen=True)
+class ConvProfile:
+    """Accumulated simulated convolution cost of one network run."""
+
+    network: str
+    device: str
+    algorithm: ConvAlgorithm
+    per_layer_s: tuple[float, ...]
+    iterations: int
+
+    @property
+    def total_s(self) -> float:
+        return sum(self.per_layer_s) * self.iterations
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_s * 1e3
+
+
+def profile_conv_time(network: Sequential, input_shape: tuple,
+                      device: GpuDevice | str,
+                      algorithm: ConvAlgorithm | str | None = None,
+                      iterations: int = 1) -> ConvProfile:
+    """Simulated GPU time accumulated in the conv operator (Fig. 6).
+
+    When *algorithm* is given, every conv layer is forced to it first —
+    exactly the paper's modified-PyTorch experiment.  ``iterations`` scales
+    the one-pass total to a training/inference-loop accumulation.
+    """
+    device = get_device(device)
+    if algorithm is not None:
+        network.set_conv_algorithm(algorithm)
+    times = []
+    shape = input_shape
+    for layer in network.layers:
+        if isinstance(layer, Conv2d):
+            times.append(layer.simulated_time_s(shape, device))
+        shape = layer.output_shape(shape)
+    algo = (network.conv_layers()[0].algorithm if network.conv_layers()
+            else ConvAlgorithm.POLYHANKEL)
+    return ConvProfile(network.name, device.name, algo, tuple(times),
+                       iterations)

@@ -1,0 +1,92 @@
+"""Synthetic benchmark networks (Sec. 4.2).
+
+The paper evaluates end-to-end with "a set of synthetic networks [that] all
+have 20 layers but have various layer designs including connection
+configurations and kernel sizes" — convolution called "with widely
+different parameter values" across layers.  ``synthetic_network`` generates
+exactly such networks, deterministically from a seed: 20 convolution layers
+whose kernel sizes cycle through the common CNN choices (3/5/7), channel
+widths that grow then shrink, and pooling stages that change the spatial
+extent so no two layers see the same convolution shape.
+
+``lenet5`` is a small classic network used by the examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.registry import ConvAlgorithm
+from repro.nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.network import Sequential
+
+SYNTHETIC_CONV_LAYERS = 20
+
+
+def synthetic_network(input_size: int, in_channels: int = 3, seed: int = 0,
+                      algorithm: ConvAlgorithm | str = ConvAlgorithm.POLYHANKEL,
+                      conv_layers: int = SYNTHETIC_CONV_LAYERS) -> Sequential:
+    """A 20-conv-layer synthetic network for inputs of ``input_size``².
+
+    Kernel sizes vary per layer (3, 5, 7 with same-padding), channel widths
+    follow a grow-then-shrink profile, and max-pools halve the spatial size
+    a few times (only while it stays large enough for the biggest kernel).
+    Different seeds permute the design, mirroring the paper's "various layer
+    designs".
+    """
+    if input_size < 8:
+        raise ValueError("synthetic networks need input_size >= 8")
+    rng = np.random.default_rng(seed)
+    kernel_choices = [3, 5, 7]
+    # Channel plan: ramp up to a mid-network maximum, then back down.
+    widths = [in_channels]
+    peak = int(rng.choice([32, 48, 64]))
+    for i in range(conv_layers):
+        ramp = min(i, conv_layers - 1 - i, 4)
+        widths.append(min(8 * (2 ** ramp), peak))
+
+    layers: list = []
+    spatial = input_size
+    pools_left = 3
+    for i in range(conv_layers):
+        k = int(rng.choice(kernel_choices))
+        while k > spatial:
+            k = max(3, k - 2)
+        layers.append(Conv2d(widths[i], widths[i + 1], k, padding=k // 2,
+                             algorithm=algorithm, rng=rng))
+        layers.append(ReLU())
+        # Downsample occasionally, while room remains for a 7x7 kernel.
+        if pools_left and spatial // 2 >= 8 and rng.random() < 0.25:
+            layers.append(MaxPool2d(2))
+            spatial //= 2
+            pools_left -= 1
+    return Sequential(*layers, name=f"synthetic-{input_size}-seed{seed}")
+
+
+def lenet5(num_classes: int = 10, in_channels: int = 1, seed: int = 0,
+           algorithm: ConvAlgorithm | str = ConvAlgorithm.POLYHANKEL
+           ) -> Sequential:
+    """LeNet-5 style classifier for 28x28 inputs (e.g. digit images)."""
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Conv2d(in_channels, 6, 5, padding=2, algorithm=algorithm, rng=rng),
+        ReLU(),
+        AvgPool2d(2),
+        Conv2d(6, 16, 5, algorithm=algorithm, rng=rng),
+        ReLU(),
+        AvgPool2d(2),
+        Flatten(),
+        Linear(16 * 5 * 5, 120, rng=rng),
+        ReLU(),
+        Linear(120, 84, rng=rng),
+        ReLU(),
+        Linear(84, num_classes, rng=rng),
+        name="lenet5",
+    )

@@ -1,0 +1,88 @@
+"""GPU device models for the paper's three evaluation platforms.
+
+The paper measures on GeForce RTX 3090 Ti, A10G and V100 (Sec. 4).  We carry
+their public datasheet numbers; the roofline simulator in
+:mod:`repro.perfmodel.timing` uses peak FP32 throughput, DRAM bandwidth and
+a per-kernel-launch overhead.  Absolute times are therefore *estimates*;
+the reproduction claims are about orderings and crossovers (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GpuDevice:
+    """Roofline-relevant parameters of one GPU.
+
+    ``saturation_bytes`` / ``saturation_flops`` model the latency/occupancy
+    wall: a kernel moving far less data (or doing far less arithmetic) than
+    these amounts cannot hide memory latency or fill all SMs, so its
+    effective throughput is scaled by ``work / (work + saturation)``.  They
+    are of order bandwidth x latency, i.e. a few megabytes.
+    """
+
+    name: str
+    peak_fp32_tflops: float
+    mem_bandwidth_gbps: float
+    launch_overhead_us: float
+    saturation_mbytes: float = 8.0
+    saturation_mflops: float = 400.0
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak FP32 throughput in FLOP/s."""
+        return self.peak_fp32_tflops * 1e12
+
+    @property
+    def bandwidth(self) -> float:
+        """DRAM bandwidth in bytes/s."""
+        return self.mem_bandwidth_gbps * 1e9
+
+    @property
+    def launch_overhead_s(self) -> float:
+        return self.launch_overhead_us * 1e-6
+
+    @property
+    def saturation_bytes(self) -> float:
+        return self.saturation_mbytes * 1e6
+
+    @property
+    def saturation_flops(self) -> float:
+        return self.saturation_mflops * 1e6
+
+
+# Datasheet values: 3090 Ti (GA102, 40 TFLOPS FP32, 1008 GB/s GDDR6X),
+# A10G (GA102 derivative, 31.2 TFLOPS, 600 GB/s), V100 (GV100, 15.7 TFLOPS,
+# 900 GB/s HBM2).  Launch overheads reflect typical measured values for the
+# respective platform generations.
+RTX_3090TI = GpuDevice("GeForce 3090Ti", peak_fp32_tflops=40.0,
+                       mem_bandwidth_gbps=1008.0, launch_overhead_us=4.0,
+                       saturation_mbytes=10.0, saturation_mflops=500.0)
+A10G = GpuDevice("A10G", peak_fp32_tflops=31.2,
+                 mem_bandwidth_gbps=600.0, launch_overhead_us=5.0,
+                 saturation_mbytes=6.0, saturation_mflops=400.0)
+V100 = GpuDevice("V100", peak_fp32_tflops=15.7,
+                 mem_bandwidth_gbps=900.0, launch_overhead_us=6.0,
+                 saturation_mbytes=9.0, saturation_mflops=250.0)
+
+DEVICES: dict[str, GpuDevice] = {
+    "3090ti": RTX_3090TI,
+    "a10g": A10G,
+    "v100": V100,
+}
+
+PAPER_DEVICES: tuple[GpuDevice, ...] = (RTX_3090TI, A10G, V100)
+
+
+def get_device(name: str | GpuDevice) -> GpuDevice:
+    """Resolve a device by (case-insensitive) short name."""
+    if isinstance(name, GpuDevice):
+        return name
+    key = name.lower().replace(" ", "").replace("geforce", "")
+    if key in DEVICES:
+        return DEVICES[key]
+    raise ValueError(
+        f"unknown device {name!r}; available: {sorted(DEVICES)}"
+    )

@@ -1,0 +1,107 @@
+"""Roofline timing simulation.
+
+Each stage's time is the larger of its compute time and its memory time at
+the calibrated efficiencies, plus a launch overhead:
+
+    t(stage) = overhead + max(flops / (peak * ce), bytes / (bw * me))
+
+Summing stages gives the simulated API call time the Fig. 3-6 benchmarks
+plot.  This is the standard "max of the two walls" roofline; it reproduces
+the paper's explanation of its own results (Sec. 4.3: "the memory
+performance and the operational performance align well with the execution
+time on all the algorithms").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.registry import ConvAlgorithm
+from repro.perfmodel.calibration import device_scale, stage_efficiency
+from repro.perfmodel.counters import CounterReport, Stage, count
+from repro.perfmodel.device import GpuDevice, get_device
+from repro.utils.shapes import ConvShape
+
+
+@dataclass(frozen=True)
+class StageTime:
+    """Simulated timing breakdown of one stage."""
+
+    stage: Stage
+    compute_s: float
+    memory_s: float
+    overhead_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.overhead_s + max(self.compute_s, self.memory_s)
+
+    @property
+    def bound(self) -> str:
+        """Which roofline wall this stage sits against."""
+        return "compute" if self.compute_s >= self.memory_s else "memory"
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Simulated execution of one algorithm on one device."""
+
+    device: GpuDevice
+    report: CounterReport
+    stage_times: tuple[StageTime, ...]
+
+    @property
+    def total_s(self) -> float:
+        return sum(st.total_s for st in self.stage_times)
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_s * 1e3
+
+    def breakdown(self) -> dict[str, float]:
+        """Per-stage seconds, by stage name."""
+        return {st.stage.name: st.total_s for st in self.stage_times}
+
+
+def simulate(algorithm: ConvAlgorithm | str, shape: ConvShape,
+             device: GpuDevice | str) -> TimingReport:
+    """Simulated time of *algorithm* on *shape* on *device*."""
+    device = get_device(device)
+    report = count(algorithm, shape)
+    scale = device_scale(device, report.algorithm)
+    times = []
+    for stage in report.stages:
+        eff = stage_efficiency(stage.kind, report.algorithm)
+        # Latency/occupancy wall: tiny kernels cannot saturate the device,
+        # so effective throughput degrades as work / (work + saturation).
+        mem_util = stage.bytes_moved / (
+            stage.bytes_moved + device.saturation_bytes
+        ) if stage.bytes_moved else 1.0
+        compute_util = stage.flops / (
+            stage.flops + device.saturation_flops
+        ) if stage.flops else 1.0
+        compute_s = stage.flops / (
+            device.peak_flops * eff.compute * scale * max(compute_util, 1e-9)
+        ) if stage.flops else 0.0
+        memory_s = stage.bytes_moved / (
+            device.bandwidth * eff.memory * scale * max(mem_util, 1e-9)
+        ) if stage.bytes_moved else 0.0
+        times.append(StageTime(stage, compute_s, memory_s,
+                               device.launch_overhead_s))
+    return TimingReport(device, report, tuple(times))
+
+
+def simulate_ms(algorithm: ConvAlgorithm | str, shape: ConvShape,
+                device: GpuDevice | str) -> float:
+    """Convenience: simulated milliseconds."""
+    return simulate(algorithm, shape, device).total_ms
+
+
+def compare(shape: ConvShape, device: GpuDevice | str,
+            algorithms: list[ConvAlgorithm] | None = None
+            ) -> dict[ConvAlgorithm, float]:
+    """Simulated milliseconds for several algorithms on one problem."""
+    from repro.perfmodel.counters import modeled_algorithms
+
+    algorithms = algorithms or modeled_algorithms()
+    return {a: simulate_ms(a, shape, device) for a in algorithms}

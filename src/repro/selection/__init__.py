@@ -1,0 +1,15 @@
+"""Cost-model-driven convolution algorithm selection."""
+
+from repro.selection.heuristic import (
+    CANDIDATES,
+    SelectionResult,
+    select_algorithm,
+    select_algorithm_rules,
+)
+
+__all__ = [
+    "CANDIDATES",
+    "SelectionResult",
+    "select_algorithm",
+    "select_algorithm_rules",
+]

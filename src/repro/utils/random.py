@@ -1,0 +1,44 @@
+"""Seeded random tensor generation for tests, examples and benchmarks.
+
+The paper notes (Sec. 4) that convolution performance is independent of the
+input *values*, so all experiments use randomly generated inputs with a fixed
+seed per data point.  These helpers standardize that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.shapes import ConvShape
+
+DEFAULT_SEED = 20250301  # CGO'25 conference start date
+
+
+def rng_for(seed: int | None = None) -> np.random.Generator:
+    """A deterministic generator; ``None`` means the library default seed."""
+    return np.random.default_rng(DEFAULT_SEED if seed is None else seed)
+
+
+def random_input(shape: ConvShape, seed: int | None = None,
+                 dtype=np.float64) -> np.ndarray:
+    """Random NCHW input tensor for *shape*."""
+    rng = rng_for(seed)
+    return rng.standard_normal(shape.input_shape()).astype(dtype)
+
+
+def random_weight(shape: ConvShape, seed: int | None = None,
+                  dtype=np.float64) -> np.ndarray:
+    """Random FCKhKw weight tensor for *shape*.
+
+    Uses a distinct stream from :func:`random_input` so that input and weight
+    are uncorrelated even with the same seed.
+    """
+    rng = rng_for(None if seed is None else seed + 1)
+    scale = 1.0 / np.sqrt(shape.c * shape.kernel_elems)
+    return (rng.standard_normal(shape.weight_shape()) * scale).astype(dtype)
+
+
+def random_problem(shape: ConvShape, seed: int | None = None,
+                   dtype=np.float64) -> tuple[np.ndarray, np.ndarray]:
+    """Matched (input, weight) pair for *shape*."""
+    return random_input(shape, seed, dtype), random_weight(shape, seed, dtype)

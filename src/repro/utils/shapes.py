@@ -1,0 +1,181 @@
+"""Convolution shape arithmetic.
+
+All algorithms in this library speak the same shape language, captured by
+:class:`ConvShape`.  The notation follows Table 1 of the paper:
+
+===========  =============================
+``n``        mini-batch size (N)
+``c``        input channels (C)
+``f``        number of kernels / filters (K in the paper)
+``ih, iw``   input height / width
+``kh, kw``   kernel height / width
+``oh, ow``   output height / width
+``padding``  symmetric zero padding (P)
+``stride``   convolution stride
+===========  =============================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+def conv_output_size(input_size: int, kernel_size: int, padding: int = 0,
+                     stride: int = 1) -> int:
+    """Output extent of a 1D valid convolution with padding and stride.
+
+    >>> conv_output_size(5, 3)
+    3
+    >>> conv_output_size(5, 3, padding=1)
+    5
+    >>> conv_output_size(224, 7, padding=3, stride=2)
+    112
+    """
+    if input_size <= 0 or kernel_size <= 0:
+        raise ValueError("input and kernel sizes must be positive")
+    if padding < 0:
+        raise ValueError("padding must be non-negative")
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    padded = input_size + 2 * padding
+    if padded < kernel_size:
+        raise ValueError(
+            f"kernel size {kernel_size} exceeds padded input {padded}"
+        )
+    return (padded - kernel_size) // stride + 1
+
+
+@dataclass(frozen=True)
+class ConvShape:
+    """Complete description of a 2D convolution problem.
+
+    The derived quantities (``oh``, ``ow``, FLOP counts, ...) are computed
+    lazily from the primary fields so a ``ConvShape`` stays a plain frozen
+    value type that can be used as a cache key.
+    """
+
+    ih: int
+    iw: int
+    kh: int
+    kw: int
+    n: int = 1
+    c: int = 1
+    f: int = 1
+    padding: int = 0
+    stride: int = 1
+
+    def __post_init__(self) -> None:
+        # Trigger validation of every derived extent at construction time.
+        _ = self.oh, self.ow
+
+    # -- derived spatial extents -------------------------------------------
+
+    @property
+    def padded_ih(self) -> int:
+        return self.ih + 2 * self.padding
+
+    @property
+    def padded_iw(self) -> int:
+        return self.iw + 2 * self.padding
+
+    @property
+    def oh(self) -> int:
+        return conv_output_size(self.ih, self.kh, self.padding, self.stride)
+
+    @property
+    def ow(self) -> int:
+        return conv_output_size(self.iw, self.kw, self.padding, self.stride)
+
+    # -- element counts -----------------------------------------------------
+
+    @property
+    def input_elems(self) -> int:
+        """Elements in one input feature map (no padding)."""
+        return self.ih * self.iw
+
+    @property
+    def kernel_elems(self) -> int:
+        return self.kh * self.kw
+
+    @property
+    def output_elems(self) -> int:
+        return self.oh * self.ow
+
+    @property
+    def total_input_elems(self) -> int:
+        return self.n * self.c * self.input_elems
+
+    @property
+    def total_kernel_elems(self) -> int:
+        return self.f * self.c * self.kernel_elems
+
+    @property
+    def total_output_elems(self) -> int:
+        return self.n * self.f * self.output_elems
+
+    # -- classic operation counts -------------------------------------------
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count of the direct algorithm."""
+        return (self.n * self.f * self.c
+                * self.output_elems * self.kernel_elems)
+
+    @property
+    def direct_flops(self) -> int:
+        """FLOPs of the direct algorithm (one mul + one add per MAC)."""
+        return 2 * self.macs
+
+    # -- PolyHankel-specific extents (Sec. 2.2 / 3.2 of the paper) ----------
+
+    @property
+    def poly_input_len(self) -> int:
+        """Length of the flattened (padded) input polynomial A(t)."""
+        return self.padded_ih * self.padded_iw
+
+    @property
+    def poly_kernel_len(self) -> int:
+        """Combined kernel polynomial length (Kh-1)*Iw + Kw (Sec. 3.2)."""
+        return (self.kh - 1) * self.padded_iw + self.kw
+
+    @property
+    def poly_product_len(self) -> int:
+        """Linear-convolution length of A(t) * U(t)."""
+        return self.poly_input_len + self.poly_kernel_len - 1
+
+    # -- convenience ---------------------------------------------------------
+
+    def with_(self, **kwargs) -> "ConvShape":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def input_shape(self) -> tuple[int, int, int, int]:
+        """NCHW shape of the input tensor."""
+        return (self.n, self.c, self.ih, self.iw)
+
+    def weight_shape(self) -> tuple[int, int, int, int]:
+        """FCKhKw shape of the weight tensor."""
+        return (self.f, self.c, self.kh, self.kw)
+
+    def output_shape(self) -> tuple[int, int, int, int]:
+        """NFOhOw shape of the output tensor."""
+        return (self.n, self.f, self.oh, self.ow)
+
+    @classmethod
+    def from_tensors(cls, x_shape, w_shape, padding: int = 0,
+                     stride: int = 1) -> "ConvShape":
+        """Build a ConvShape from NCHW input and FCKhKw weight shapes."""
+        if len(x_shape) != 4:
+            raise ValueError(f"input must be NCHW, got shape {tuple(x_shape)}")
+        if len(w_shape) != 4:
+            raise ValueError(
+                f"weight must be FCKhKw, got shape {tuple(w_shape)}"
+            )
+        n, c, ih, iw = x_shape
+        f, wc, kh, kw = w_shape
+        if wc != c:
+            raise ValueError(
+                f"channel mismatch: input has {c}, weight expects {wc}"
+            )
+        return cls(ih=ih, iw=iw, kh=kh, kw=kw, n=n, c=c, f=f,
+                   padding=padding, stride=stride)

@@ -1,0 +1,46 @@
+"""Input validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError`` with *message* when *condition* is false."""
+    if not condition:
+        raise ValueError(message)
+
+
+def ensure_array(x, name: str = "array", dtype=None,
+                 ndim: int | None = None) -> np.ndarray:
+    """Coerce *x* to an ndarray, optionally checking rank and casting dtype."""
+    arr = np.asarray(x)
+    if dtype is not None:
+        arr = arr.astype(dtype, copy=False)
+    if ndim is not None and arr.ndim != ndim:
+        raise ValueError(f"{name} must have {ndim} dimensions, got {arr.ndim}")
+    return arr
+
+
+def check_conv_inputs(x: np.ndarray, w: np.ndarray, padding: int,
+                      stride: int) -> None:
+    """Validate an NCHW/FCKhKw convolution call; raise ValueError on misuse."""
+    if x.ndim != 4:
+        raise ValueError(f"input must be 4D NCHW, got {x.ndim}D")
+    if w.ndim != 4:
+        raise ValueError(f"weight must be 4D FCKhKw, got {w.ndim}D")
+    if x.shape[1] != w.shape[1]:
+        raise ValueError(
+            f"channel mismatch: input C={x.shape[1]}, weight C={w.shape[1]}"
+        )
+    if padding < 0:
+        raise ValueError("padding must be non-negative")
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    ih, iw = x.shape[2], x.shape[3]
+    kh, kw = w.shape[2], w.shape[3]
+    if ih + 2 * padding < kh or iw + 2 * padding < kw:
+        raise ValueError(
+            f"kernel {kh}x{kw} does not fit padded input "
+            f"{ih + 2 * padding}x{iw + 2 * padding}"
+        )

@@ -1,0 +1,39 @@
+"""Shared test configuration."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# One global hypothesis profile: small example counts keep the suite fast on
+# a single core while still exercising the shape space.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic per-test generator."""
+    return np.random.default_rng(12345)
+
+
+def naive_conv2d_reference(x, w, padding=0, stride=1):
+    """Independent NCHW convolution reference (not the library's own)."""
+    xp = np.pad(x, [(0, 0), (0, 0), (padding, padding), (padding, padding)])
+    n, c, ih, iw = xp.shape
+    f, _, kh, kw = w.shape
+    oh = (ih - kh) // stride + 1
+    ow = (iw - kw) // stride + 1
+    out = np.zeros((n, f, oh, ow))
+    for b in range(n):
+        for k in range(f):
+            for i in range(oh):
+                for j in range(ow):
+                    patch = xp[b, :, i * stride: i * stride + kh,
+                               j * stride: j * stride + kw]
+                    out[b, k, i, j] = np.sum(patch * w[k])
+    return out

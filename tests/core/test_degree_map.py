@@ -1,0 +1,136 @@
+"""Tests for the degree maps (Sec. 3.1, Fig. 2 and the Eq. 6-7 example)."""
+
+import numpy as np
+import pytest
+
+from repro.core.degree_map import (
+    first_row_of_map,
+    input_degrees,
+    kernel_degrees,
+    last_col_of_map,
+    lshaped_traversal_map,
+    max_kernel_degree,
+    output_degrees,
+)
+
+
+class TestMaxKernelDegree:
+    def test_paper_example(self):
+        # 5x5 input, 3x3 kernel: M = 2*5 + 2 = 12 (u00's degree in Eq. 6).
+        assert max_kernel_degree(3, 3, 5) == 12
+
+    def test_row_kernel(self):
+        assert max_kernel_degree(1, 4, 8) == 3
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            max_kernel_degree(0, 3, 5)
+        with pytest.raises(ValueError):
+            max_kernel_degree(3, 5, 4)  # iw < kw
+
+
+class TestInputDegrees:
+    def test_is_row_major_flatten(self):
+        deg = input_degrees(3, 4)
+        np.testing.assert_array_equal(deg.reshape(-1), np.arange(12))
+
+    def test_paper_eq4(self):
+        """Eq. 4: a[i,j] gets degree 5*i + j for the 5x5 example."""
+        deg = input_degrees(5, 5)
+        assert deg[0, 0] == 0
+        assert deg[1, 0] == 5
+        assert deg[4, 4] == 24
+
+
+class TestKernelDegrees:
+    def test_paper_eq6(self):
+        """Eq. 6: U^t = (u00 t^12, u01 t^11, u02 t^10, u10 t^7, ...,
+        u22 t^0)."""
+        deg = kernel_degrees(3, 3, 5)
+        np.testing.assert_array_equal(
+            deg, [[12, 11, 10], [7, 6, 5], [2, 1, 0]]
+        )
+
+    def test_is_reverse_of_first_row_degrees(self):
+        """The construction is reverse(first-row degree vector)."""
+        from repro.hankel.properties import row_degree_vectors
+
+        kh, kw, iw = 3, 2, 6
+        ow = iw - kw + 1
+        rd_first = row_degree_vectors(1, ow, kh, kw, iw)[0]
+        deg = kernel_degrees(kh, kw, iw).reshape(-1)
+        np.testing.assert_array_equal(deg, rd_first[::-1])
+
+    def test_degrees_non_negative_and_unique(self):
+        deg = kernel_degrees(4, 3, 7)
+        assert deg.min() == 0
+        assert len(np.unique(deg)) == deg.size
+
+
+class TestOutputDegrees:
+    def test_paper_eq7(self):
+        """Eq. 7: output degrees (12 13 14 17 18 19 22 23 24)."""
+        deg = output_degrees(3, 3, 5, 3, 3)
+        np.testing.assert_array_equal(
+            deg.reshape(-1), [12, 13, 14, 17, 18, 19, 22, 23, 24]
+        )
+
+    def test_stride_subsamples(self):
+        full = output_degrees(5, 5, 9, 3, 3, stride=1)
+        strided = output_degrees(3, 3, 9, 3, 3, stride=2)
+        np.testing.assert_array_equal(strided, full[::2, ::2][:3, :3])
+
+    def test_degrees_unique(self):
+        deg = output_degrees(4, 3, 6, 2, 2)
+        assert len(np.unique(deg)) == deg.size
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            output_degrees(0, 3, 5, 3, 3)
+
+
+class TestLshapedTraversalMap:
+    def test_equals_row_major_closed_form(self):
+        """The Fig. 2 L-shaped traversal enumerates the distinct elements in
+        exactly row-major flattened-input order."""
+        for oh, ow, kh, kw in [(3, 3, 3, 3), (2, 4, 3, 2), (4, 2, 2, 3),
+                               (1, 3, 2, 2), (3, 1, 2, 2), (1, 1, 1, 1)]:
+            base = lshaped_traversal_map(oh, ow, kh, kw)
+            expected = np.arange(base.size).reshape(base.shape)
+            np.testing.assert_array_equal(base, expected)
+
+    def test_paper_figure2_values(self):
+        base = lshaped_traversal_map(3, 3, 3, 3)
+        assert base.shape == (5, 5)
+        # Starred entries (kernel map): first rows of first-row blocks.
+        np.testing.assert_array_equal(base[0, :3], [0, 1, 2])
+        np.testing.assert_array_equal(base[2, :3], [10, 11, 12])
+        # Bold entries (result map) include 12 .. 24 pattern.
+        assert base[2, 2] == 12
+        assert base[4, 4] == 24
+
+    def test_covers_all_entries(self):
+        base = lshaped_traversal_map(4, 3, 2, 5)
+        assert (base >= 0).all()
+
+    def test_first_row_extraction_matches_kernel_degrees(self):
+        oh, ow, kh, kw = 3, 3, 3, 3
+        base = lshaped_traversal_map(oh, ow, kh, kw)
+        first = first_row_of_map(base, kh, kw, ow)
+        iw = ow + kw - 1
+        np.testing.assert_array_equal(
+            first[::-1], kernel_degrees(kh, kw, iw).reshape(-1)
+        )
+
+    def test_last_col_extraction_matches_output_degrees(self):
+        oh, ow, kh, kw = 3, 3, 3, 3
+        base = lshaped_traversal_map(oh, ow, kh, kw)
+        last = last_col_of_map(base, kh, kw, oh, ow)
+        iw = ow + kw - 1
+        np.testing.assert_array_equal(
+            last, output_degrees(oh, ow, iw, kh, kw).reshape(-1)
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            lshaped_traversal_map(0, 3, 3, 3)

@@ -1,0 +1,93 @@
+"""Tests for overlap-save convolution."""
+
+import numpy as np
+import pytest
+
+from repro.core.overlap_save import (
+    conv2d_polyhankel_os,
+    overlap_save_convolve,
+)
+from tests.conftest import naive_conv2d_reference
+
+
+class TestOverlapSaveConvolve:
+    @pytest.mark.parametrize("length,klen", [(1, 1), (10, 3), (100, 7),
+                                             (64, 64), (200, 17), (5, 9)])
+    def test_matches_numpy_convolve(self, rng, length, klen):
+        signal = rng.standard_normal(length)
+        kernel = rng.standard_normal(klen)
+        got = overlap_save_convolve(signal, kernel)
+        np.testing.assert_allclose(got, np.convolve(signal, kernel),
+                                   atol=1e-8)
+
+    @pytest.mark.parametrize("block_len", [8, 17, 64, 1000])
+    def test_block_length_choices(self, rng, block_len):
+        signal = rng.standard_normal(120)
+        kernel = rng.standard_normal(5)
+        got = overlap_save_convolve(signal, kernel, block_len=block_len)
+        np.testing.assert_allclose(got, np.convolve(signal, kernel),
+                                   atol=1e-8)
+
+    def test_batched_signals(self, rng):
+        signals = rng.standard_normal((3, 2, 50))
+        kernel = rng.standard_normal(6)
+        got = overlap_save_convolve(signals, kernel)
+        assert got.shape == (3, 2, 55)
+        for i in range(3):
+            for j in range(2):
+                np.testing.assert_allclose(
+                    got[i, j], np.convolve(signals[i, j], kernel), atol=1e-8)
+
+    def test_builtin_backend(self, rng):
+        signal = rng.standard_normal(40)
+        kernel = rng.standard_normal(4)
+        got = overlap_save_convolve(signal, kernel, backend="builtin")
+        np.testing.assert_allclose(got, np.convolve(signal, kernel),
+                                   atol=1e-8)
+
+    def test_empty_signal_rejected(self):
+        with pytest.raises(ValueError):
+            overlap_save_convolve(np.zeros(0), np.ones(3))
+
+
+class TestConv2dOverlapSave:
+    @pytest.mark.parametrize("case", [
+        (1, 1, 1, 5, 5, 3, 3, 0, 1),
+        (3, 2, 4, 8, 9, 3, 3, 1, 1),
+        (2, 3, 2, 10, 6, 2, 4, 0, 2),
+        (4, 1, 1, 6, 6, 3, 3, 2, 1),
+    ])
+    def test_matches_naive(self, rng, case):
+        n, c, f, ih, iw, kh, kw, p, s = case
+        x = rng.standard_normal((n, c, ih, iw))
+        w = rng.standard_normal((f, c, kh, kw))
+        got = conv2d_polyhankel_os(x, w, padding=p, stride=s)
+        np.testing.assert_allclose(got, naive_conv2d_reference(x, w, p, s),
+                                   atol=1e-8)
+
+    def test_agrees_with_monolithic_path(self, rng):
+        from repro.core.multichannel import conv2d_polyhankel
+
+        x = rng.standard_normal((3, 2, 9, 9))
+        w = rng.standard_normal((2, 2, 3, 3))
+        np.testing.assert_allclose(
+            conv2d_polyhankel_os(x, w, padding=1),
+            conv2d_polyhankel(x, w, padding=1), atol=1e-8)
+
+    def test_small_blocks_still_correct(self, rng):
+        """Tiny OS blocks stress the block-boundary logic."""
+        x = rng.standard_normal((2, 1, 8, 8))
+        w = rng.standard_normal((1, 1, 3, 3))
+        got = conv2d_polyhankel_os(x, w, block_len=16)
+        np.testing.assert_allclose(got, naive_conv2d_reference(x, w),
+                                   atol=1e-8)
+
+    def test_batch_images_do_not_leak(self, rng):
+        """Guard zeros must isolate images: each image's output is the same
+        as when convolved alone."""
+        x = rng.standard_normal((3, 1, 6, 6))
+        w = rng.standard_normal((1, 1, 3, 3))
+        batched = conv2d_polyhankel_os(x, w)
+        for i in range(3):
+            alone = conv2d_polyhankel_os(x[i:i + 1], w)
+            np.testing.assert_allclose(batched[i:i + 1], alone, atol=1e-8)

@@ -1,0 +1,38 @@
+"""Tests for FFT size policies."""
+
+import pytest
+
+from repro.core.planning import POLICIES, plan_fft_size
+
+
+class TestPlanFftSize:
+    def test_pow2(self):
+        assert plan_fft_size(100, "pow2") == 128
+        assert plan_fft_size(128, "pow2") == 128
+
+    def test_smooth7(self):
+        assert plan_fft_size(97, "smooth7") == 98
+        assert plan_fft_size(101, "smooth7") == 105
+
+    def test_even(self):
+        assert plan_fft_size(99, "even") == 100
+        assert plan_fft_size(100, "even") == 100
+
+    def test_exact(self):
+        assert plan_fft_size(99, "exact") == 99
+
+    def test_default_policy_is_pow2(self):
+        assert plan_fft_size(100) == 128
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_result_at_least_min_len(self, policy):
+        for n in [1, 2, 17, 100, 12345]:
+            assert plan_fft_size(n, policy) >= n
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown FFT policy"):
+            plan_fft_size(64, "prime")
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            plan_fft_size(0)

@@ -1,0 +1,104 @@
+"""Tests for single-channel PolyHankel convolution."""
+
+import numpy as np
+import pytest
+
+from repro.core.polyhankel import conv2d_single
+from tests.conftest import naive_conv2d_reference
+
+
+def _reference(img, ker, padding=0, stride=1):
+    return naive_conv2d_reference(img[None, None], ker[None, None],
+                                  padding, stride)[0, 0]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("ih,iw,kh,kw", [
+        (5, 5, 3, 3), (7, 9, 2, 4), (10, 6, 5, 5), (4, 4, 1, 1),
+        (8, 8, 8, 8), (12, 5, 3, 2), (1, 9, 1, 3), (9, 1, 3, 1),
+    ])
+    def test_matches_naive(self, rng, ih, iw, kh, kw):
+        img = rng.standard_normal((ih, iw))
+        ker = rng.standard_normal((kh, kw))
+        np.testing.assert_allclose(conv2d_single(img, ker),
+                                   _reference(img, ker), atol=1e-8)
+
+    @pytest.mark.parametrize("padding", [1, 2, 3])
+    def test_padding(self, rng, padding):
+        img = rng.standard_normal((6, 6))
+        ker = rng.standard_normal((3, 3))
+        np.testing.assert_allclose(
+            conv2d_single(img, ker, padding=padding),
+            _reference(img, ker, padding=padding), atol=1e-8)
+
+    @pytest.mark.parametrize("stride", [2, 3])
+    def test_stride(self, rng, stride):
+        img = rng.standard_normal((11, 9))
+        ker = rng.standard_normal((3, 3))
+        np.testing.assert_allclose(
+            conv2d_single(img, ker, stride=stride),
+            _reference(img, ker, stride=stride), atol=1e-8)
+
+    def test_padding_and_stride_together(self, rng):
+        img = rng.standard_normal((8, 8))
+        ker = rng.standard_normal((3, 3))
+        np.testing.assert_allclose(
+            conv2d_single(img, ker, padding=2, stride=2),
+            _reference(img, ker, padding=2, stride=2), atol=1e-8)
+
+    def test_docstring_example(self):
+        img = np.arange(9.0).reshape(3, 3)
+        ker = np.ones((2, 2))
+        np.testing.assert_allclose(conv2d_single(img, ker),
+                                   [[8, 12], [20, 24]], atol=1e-9)
+
+
+class TestOptions:
+    @pytest.mark.parametrize("policy", ["pow2", "smooth7", "even", "exact"])
+    def test_all_fft_policies_correct(self, rng, policy):
+        img = rng.standard_normal((7, 7))
+        ker = rng.standard_normal((3, 3))
+        np.testing.assert_allclose(
+            conv2d_single(img, ker, fft_policy=policy),
+            _reference(img, ker), atol=1e-8)
+
+    def test_builtin_backend(self, rng):
+        img = rng.standard_normal((6, 7))
+        ker = rng.standard_normal((2, 3))
+        np.testing.assert_allclose(
+            conv2d_single(img, ker, backend="builtin"),
+            _reference(img, ker), atol=1e-8)
+
+    def test_unknown_policy(self, rng):
+        with pytest.raises(ValueError, match="unknown FFT policy"):
+            conv2d_single(rng.standard_normal((5, 5)),
+                          rng.standard_normal((3, 3)),
+                          fft_policy="cursed")
+
+
+class TestValidation:
+    def test_kernel_too_large(self, rng):
+        with pytest.raises(ValueError):
+            conv2d_single(rng.standard_normal((3, 3)),
+                          rng.standard_normal((5, 5)))
+
+    def test_rank_checked(self, rng):
+        with pytest.raises(ValueError):
+            conv2d_single(rng.standard_normal(9),
+                          rng.standard_normal((2, 2)))
+
+
+class TestNumericalQuality:
+    def test_large_dynamic_range(self, rng):
+        img = rng.standard_normal((16, 16)) * 1e6
+        ker = rng.standard_normal((3, 3)) * 1e-6
+        ref = _reference(img, ker)
+        got = conv2d_single(img, ker)
+        np.testing.assert_allclose(got, ref, rtol=1e-9, atol=1e-6)
+
+    def test_integer_exactness(self):
+        """Small-integer problems should come out exactly integral."""
+        img = np.arange(25.0).reshape(5, 5)
+        ker = np.ones((3, 3))
+        out = conv2d_single(img, ker)
+        np.testing.assert_allclose(out, np.round(out), atol=1e-9)

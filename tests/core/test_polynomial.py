@@ -1,0 +1,131 @@
+"""Tests for the coefficient-form Polynomial type."""
+
+import numpy as np
+import pytest
+
+from repro.core.polynomial import Polynomial
+
+
+class TestConstruction:
+    def test_from_list(self):
+        p = Polynomial([1.0, 2.0, 3.0])
+        assert p.degree == 2
+
+    def test_from_terms(self):
+        p = Polynomial.from_terms({0: 1.0, 3: 2.0})
+        np.testing.assert_array_equal(p.coeffs, [1, 0, 0, 2])
+
+    def test_from_terms_empty(self):
+        assert Polynomial.from_terms({}).degree == 0
+
+    def test_from_terms_negative_degree(self):
+        with pytest.raises(ValueError, match="negative degrees"):
+            Polynomial.from_terms({-1: 2.0})
+
+    def test_scalar_promoted(self):
+        assert Polynomial(3.0).coeffs.shape == (1,)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            Polynomial(np.zeros((2, 2)))
+
+    def test_zero(self):
+        z = Polynomial.zero()
+        assert z.degree == 0
+        assert z.coeff(0) == 0.0
+
+
+class TestAccessors:
+    def test_degree_ignores_trailing_zeros(self):
+        assert Polynomial([1, 2, 0, 0]).degree == 1
+
+    def test_coeff_beyond_length_is_zero(self):
+        assert Polynomial([1, 2]).coeff(10) == 0.0
+
+    def test_coeff_negative_raises(self):
+        with pytest.raises(ValueError):
+            Polynomial([1]).coeff(-1)
+
+    def test_trimmed(self):
+        p = Polynomial([1, 2, 0, 0]).trimmed()
+        assert len(p.coeffs) == 2
+
+
+class TestArithmetic:
+    def test_add(self):
+        p = Polynomial([1, 2]) + Polynomial([3, 4, 5])
+        np.testing.assert_array_equal(p.coeffs, [4, 6, 5])
+
+    def test_sub(self):
+        p = Polynomial([3, 4, 5]) - Polynomial([1, 2])
+        np.testing.assert_array_equal(p.coeffs, [2, 2, 5])
+
+    def test_eq(self):
+        assert Polynomial([1, 2, 0]) == Polynomial([1, 2])
+        assert Polynomial([1, 2]) != Polynomial([1, 3])
+
+    def test_eq_non_polynomial(self):
+        assert Polynomial([1]).__eq__(42) is NotImplemented
+
+    def test_scalar_mul(self):
+        p = 2 * Polynomial([1, 2])
+        np.testing.assert_array_equal(p.coeffs, [2, 4])
+
+
+class TestMultiplication:
+    def test_naive_known_product(self):
+        # (1 + t)(1 - t) = 1 - t^2
+        p = Polynomial([1, 1]).naive_mul(Polynomial([1, -1]))
+        np.testing.assert_allclose(p.coeffs, [1, 0, -1])
+
+    @pytest.mark.parametrize("n,m", [(1, 1), (3, 5), (20, 7), (64, 64)])
+    def test_fft_matches_naive(self, rng, n, m):
+        a = Polynomial(rng.standard_normal(n))
+        b = Polynomial(rng.standard_normal(m))
+        np.testing.assert_allclose(a.fft_mul(b).coeffs,
+                                   a.naive_mul(b).coeffs, atol=1e-8)
+
+    def test_fft_mul_builtin_backend(self, rng):
+        a = Polynomial(rng.standard_normal(13))
+        b = Polynomial(rng.standard_normal(9))
+        np.testing.assert_allclose(a.fft_mul(b, backend="builtin").coeffs,
+                                   a.naive_mul(b).coeffs, atol=1e-8)
+
+    def test_fft_mul_complex_coefficients(self, rng):
+        a = Polynomial(rng.standard_normal(6) + 1j * rng.standard_normal(6))
+        b = Polynomial(rng.standard_normal(4))
+        np.testing.assert_allclose(a.fft_mul(b).coeffs,
+                                   np.convolve(a.coeffs, b.coeffs),
+                                   atol=1e-8)
+
+    def test_mul_operator_dispatches(self, rng):
+        a = Polynomial(rng.standard_normal(100))
+        b = Polynomial(rng.standard_normal(100))
+        np.testing.assert_allclose((a * b).coeffs, a.naive_mul(b).coeffs,
+                                   atol=1e-7)
+
+    def test_product_degree(self):
+        a = Polynomial([1, 2, 3])
+        b = Polynomial([4, 5])
+        assert (a * b).degree == 3
+
+
+class TestEvaluation:
+    def test_horner_scalar(self):
+        p = Polynomial([1, 2, 3])  # 1 + 2t + 3t^2
+        assert p(2) == 1 + 4 + 12
+
+    def test_horner_array(self):
+        p = Polynomial([0, 1])
+        np.testing.assert_allclose(p(np.array([1.0, 2.0, 3.0])), [1, 2, 3])
+
+    def test_multiplication_is_pointwise_product_of_evaluations(self, rng):
+        a = Polynomial(rng.standard_normal(5))
+        b = Polynomial(rng.standard_normal(4))
+        t = 0.7
+        assert np.isclose((a * b)(t), a(t) * b(t))
+
+
+def test_repr_readable():
+    assert "t^1" in repr(Polynomial([0, 2.0]))
+    assert repr(Polynomial.zero()) == "Polynomial(0)"

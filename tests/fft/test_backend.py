@@ -1,0 +1,73 @@
+"""Tests for the FFT backend dispatch."""
+
+import numpy as np
+import pytest
+
+from repro import fft as F
+from repro.fft.backend import available_backends, get_backend
+
+
+def test_available_backends():
+    assert set(available_backends()) >= {"builtin", "numpy"}
+
+
+def test_default_backend_is_numpy():
+    assert F.get_backend().name == "numpy"
+
+
+def test_get_backend_by_name():
+    assert get_backend("builtin").name == "builtin"
+
+
+def test_get_backend_passthrough():
+    b = get_backend("numpy")
+    assert get_backend(b) is b
+
+
+def test_unknown_backend():
+    with pytest.raises(ValueError, match="unknown FFT backend"):
+        get_backend("cufft")
+
+
+def test_use_backend_restores_on_exit():
+    before = F.get_backend().name
+    with F.use_backend("builtin"):
+        assert F.get_backend().name == "builtin"
+    assert F.get_backend().name == before
+
+
+def test_use_backend_restores_on_exception():
+    before = F.get_backend().name
+    with pytest.raises(RuntimeError):
+        with F.use_backend("builtin"):
+            raise RuntimeError("boom")
+    assert F.get_backend().name == before
+
+
+def test_set_backend_and_restore():
+    original = F.get_backend()
+    try:
+        assert F.set_backend("builtin").name == "builtin"
+        assert F.get_backend().name == "builtin"
+    finally:
+        F.set_backend(original)
+
+
+@pytest.mark.parametrize("backend", ["builtin", "numpy"])
+@pytest.mark.parametrize("n,pad", [(8, None), (10, 16), (11, None), (5, 3)])
+def test_backends_agree(rng, backend, n, pad):
+    x = rng.standard_normal(n)
+    z = x + 1j * rng.standard_normal(n)
+    with F.use_backend(backend):
+        np.testing.assert_allclose(F.fft(z, pad), np.fft.fft(z, pad),
+                                   atol=1e-8)
+        np.testing.assert_allclose(F.ifft(z, pad), np.fft.ifft(z, pad),
+                                   atol=1e-8)
+        np.testing.assert_allclose(F.rfft(x, pad), np.fft.rfft(x, pad),
+                                   atol=1e-8)
+
+
+def test_top_level_functions_use_active_backend(rng):
+    x = rng.standard_normal(12)
+    with F.use_backend("builtin"):
+        np.testing.assert_allclose(F.irfft(F.rfft(x), 12), x, atol=1e-9)

@@ -1,0 +1,36 @@
+"""Tests for the Bluestein chirp-z FFT."""
+
+import numpy as np
+import pytest
+
+from repro.fft.bluestein import fft_bluestein, ifft_bluestein
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 7, 11, 13, 17, 31, 97, 101])
+def test_matches_numpy_on_primes_and_more(rng, n):
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    np.testing.assert_allclose(fft_bluestein(x), np.fft.fft(x), atol=1e-8)
+
+
+@pytest.mark.parametrize("n", [5, 11, 23])
+def test_roundtrip(rng, n):
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    np.testing.assert_allclose(ifft_bluestein(fft_bluestein(x)), x,
+                               atol=1e-9)
+
+
+def test_works_on_composite_sizes_too(rng):
+    x = rng.standard_normal(12) + 0j
+    np.testing.assert_allclose(fft_bluestein(x), np.fft.fft(x), atol=1e-9)
+
+
+def test_batched(rng):
+    x = rng.standard_normal((4, 11)) + 0j
+    np.testing.assert_allclose(fft_bluestein(x), np.fft.fft(x), atol=1e-8)
+
+
+def test_empty_raises():
+    with pytest.raises(ValueError):
+        fft_bluestein(np.zeros(0))
+    with pytest.raises(ValueError):
+        ifft_bluestein(np.zeros(0))

@@ -1,0 +1,41 @@
+"""Tests for the reference DFT."""
+
+import numpy as np
+import pytest
+
+from repro.fft.dft import dft, idft
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 13, 16])
+def test_dft_matches_numpy(rng, n):
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    np.testing.assert_allclose(dft(x), np.fft.fft(x), atol=1e-10)
+
+
+@pytest.mark.parametrize("n", [1, 4, 7, 12])
+def test_idft_inverts(rng, n):
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    np.testing.assert_allclose(idft(dft(x)), x, atol=1e-10)
+
+
+def test_dft_batched(rng):
+    x = rng.standard_normal((3, 2, 9))
+    np.testing.assert_allclose(dft(x), np.fft.fft(x), atol=1e-10)
+
+
+def test_dft_real_input_hermitian(rng):
+    x = rng.standard_normal(10)
+    spec = dft(x)
+    np.testing.assert_allclose(spec[1:], np.conj(spec[1:][::-1]), atol=1e-10)
+
+
+def test_dft_empty_axis_raises():
+    with pytest.raises(ValueError):
+        dft(np.zeros(0))
+    with pytest.raises(ValueError):
+        idft(np.zeros(0))
+
+
+def test_dft_dc_component(rng):
+    x = rng.standard_normal(8)
+    assert np.isclose(dft(x)[0].real, x.sum())

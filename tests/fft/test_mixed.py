@@ -1,0 +1,48 @@
+"""Tests for the mixed-radix FFT (general sizes)."""
+
+import numpy as np
+import pytest
+
+from repro.fft.mixed import fft, ifft
+
+SIZES = [1, 2, 3, 4, 5, 6, 7, 9, 10, 14, 15, 21, 30, 35, 49, 60, 84, 105,
+         120, 210, 343]
+ROUGH_SIZES = [11, 13, 22, 26, 33, 121]  # contain primes > 7
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_smooth_sizes_match_numpy(rng, n):
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    np.testing.assert_allclose(fft(x), np.fft.fft(x), atol=1e-8)
+
+
+@pytest.mark.parametrize("n", ROUGH_SIZES)
+def test_rough_sizes_fall_back_to_bluestein(rng, n):
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    np.testing.assert_allclose(fft(x), np.fft.fft(x), atol=1e-8)
+
+
+@pytest.mark.parametrize("n", [6, 15, 22, 49, 120])
+def test_roundtrip(rng, n):
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    np.testing.assert_allclose(ifft(fft(x)), x, atol=1e-9)
+
+
+def test_batched(rng):
+    x = rng.standard_normal((2, 5, 30)) + 0j
+    np.testing.assert_allclose(fft(x), np.fft.fft(x), atol=1e-8)
+    np.testing.assert_allclose(ifft(x), np.fft.ifft(x), atol=1e-8)
+
+
+def test_empty_raises():
+    with pytest.raises(ValueError):
+        fft(np.zeros(0))
+    with pytest.raises(ValueError):
+        ifft(np.zeros(0))
+
+
+def test_linearity(rng):
+    a = rng.standard_normal(24) + 0j
+    b = rng.standard_normal(24) + 0j
+    np.testing.assert_allclose(fft(2 * a + 3 * b), 2 * fft(a) + 3 * fft(b),
+                               atol=1e-8)

@@ -1,0 +1,52 @@
+"""Tests for the iterative radix-2 FFT."""
+
+import numpy as np
+import pytest
+
+from repro.fft.radix2 import (
+    _bit_reversal_permutation,
+    fft2pow,
+    ifft2pow,
+)
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 64, 256, 1024])
+def test_matches_numpy(rng, n):
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    np.testing.assert_allclose(fft2pow(x), np.fft.fft(x), atol=1e-9)
+
+
+@pytest.mark.parametrize("n", [2, 8, 32])
+def test_roundtrip(rng, n):
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    np.testing.assert_allclose(ifft2pow(fft2pow(x)), x, atol=1e-10)
+
+
+def test_batched_leading_axes(rng):
+    x = rng.standard_normal((2, 3, 16)) + 0j
+    np.testing.assert_allclose(fft2pow(x), np.fft.fft(x), atol=1e-9)
+
+
+@pytest.mark.parametrize("n", [3, 6, 12, 100])
+def test_rejects_non_power_of_two(n):
+    with pytest.raises(ValueError, match="power-of-two"):
+        fft2pow(np.zeros(n, dtype=complex))
+    with pytest.raises(ValueError, match="power-of-two"):
+        ifft2pow(np.zeros(n, dtype=complex))
+
+
+def test_does_not_mutate_input(rng):
+    x = rng.standard_normal(8) + 0j
+    copy = x.copy()
+    fft2pow(x)
+    np.testing.assert_array_equal(x, copy)
+
+
+class TestBitReversal:
+    def test_size_8(self):
+        perm = _bit_reversal_permutation(8)
+        np.testing.assert_array_equal(perm, [0, 4, 2, 6, 1, 5, 3, 7])
+
+    def test_is_involution(self):
+        perm = _bit_reversal_permutation(32)
+        np.testing.assert_array_equal(perm[perm], np.arange(32))

@@ -1,0 +1,66 @@
+"""Tests for the real-input transforms."""
+
+import numpy as np
+import pytest
+
+from repro.fft.real import irfft, rfft
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8, 9, 16, 20, 30, 31, 64])
+def test_rfft_matches_numpy(rng, n):
+    x = rng.standard_normal(n)
+    np.testing.assert_allclose(rfft(x), np.fft.rfft(x), atol=1e-8)
+
+
+@pytest.mark.parametrize("n", [1, 2, 5, 8, 17, 32])
+def test_roundtrip(rng, n):
+    x = rng.standard_normal(n)
+    np.testing.assert_allclose(irfft(rfft(x), n), x, atol=1e-9)
+
+
+def test_rfft_zero_pads(rng):
+    x = rng.standard_normal(10)
+    np.testing.assert_allclose(rfft(x, 16), np.fft.rfft(x, 16), atol=1e-8)
+
+
+def test_rfft_truncates(rng):
+    x = rng.standard_normal(10)
+    np.testing.assert_allclose(rfft(x, 6), np.fft.rfft(x, 6), atol=1e-8)
+
+
+def test_irfft_default_length(rng):
+    x = rng.standard_normal(16)
+    spec = rfft(x)
+    np.testing.assert_allclose(irfft(spec), x, atol=1e-9)
+
+
+def test_irfft_pads_short_spectrum(rng):
+    spec = np.fft.rfft(rng.standard_normal(8))
+    np.testing.assert_allclose(irfft(spec, 16), np.fft.irfft(spec, 16),
+                               atol=1e-9)
+
+
+def test_irfft_truncates_long_spectrum(rng):
+    spec = np.fft.rfft(rng.standard_normal(16))
+    np.testing.assert_allclose(irfft(spec, 8), np.fft.irfft(spec, 8),
+                               atol=1e-9)
+
+
+def test_batched(rng):
+    x = rng.standard_normal((3, 4, 12))
+    np.testing.assert_allclose(rfft(x, 16), np.fft.rfft(x, 16), atol=1e-8)
+    np.testing.assert_allclose(irfft(rfft(x, 16), 16),
+                               np.fft.irfft(np.fft.rfft(x, 16), 16),
+                               atol=1e-9)
+
+
+def test_bin_count():
+    assert rfft(np.zeros(10)).shape[-1] == 6
+    assert rfft(np.zeros(11)).shape[-1] == 6
+
+
+def test_errors():
+    with pytest.raises(ValueError):
+        rfft(np.zeros(4), 0)
+    with pytest.raises(ValueError):
+        irfft(np.zeros(0, dtype=complex))

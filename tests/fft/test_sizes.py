@@ -1,0 +1,90 @@
+"""Tests for FFT size planning."""
+
+import pytest
+
+from repro.fft.sizes import (
+    factorize,
+    is_power_of_two,
+    is_smooth,
+    next_fast_len,
+    next_pow2,
+)
+
+
+class TestIsSmooth:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6, 7, 8, 840, 2 ** 20,
+                                   3 ** 5 * 7 ** 2])
+    def test_smooth(self, n):
+        assert is_smooth(n)
+
+    @pytest.mark.parametrize("n", [11, 13, 22, 121, 1009])
+    def test_rough(self, n):
+        assert not is_smooth(n)
+
+    def test_custom_radices(self):
+        assert is_smooth(9, radices=(3,))
+        assert not is_smooth(8, radices=(3,))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            is_smooth(0)
+
+
+class TestNextPow2:
+    @pytest.mark.parametrize("n,expect", [(1, 1), (2, 2), (3, 4), (100, 128),
+                                          (1024, 1024), (1025, 2048)])
+    def test_values(self, n, expect):
+        assert next_pow2(n) == expect
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            next_pow2(0)
+
+
+class TestNextFastLen:
+    @pytest.mark.parametrize("n,expect", [(1, 1), (7, 7), (11, 12), (97, 98),
+                                          (1000, 1000), (1009, 1024),
+                                          (4097, 4116)])
+    def test_known_values(self, n, expect):
+        assert next_fast_len(n) == expect
+
+    @pytest.mark.parametrize("n", [17, 211, 997, 5000, 49999])
+    def test_result_is_smooth_and_minimal(self, n):
+        result = next_fast_len(n)
+        assert result >= n
+        assert is_smooth(result)
+        # No smooth number lies strictly between n and result.
+        for candidate in range(n, result):
+            assert not is_smooth(candidate)
+
+    def test_matches_scipy(self):
+        scipy_fft = pytest.importorskip("scipy.fft")
+        for n in [17, 97, 211, 1009, 4097, 30000]:
+            assert next_fast_len(n) == scipy_fft.next_fast_len(n)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            next_fast_len(0)
+
+
+class TestFactorize:
+    def test_simple(self):
+        assert factorize(12) == [2, 2, 3]
+
+    def test_one(self):
+        assert factorize(1) == []
+
+    def test_full_radix_set(self):
+        assert factorize(2 * 3 * 5 * 7) == [2, 3, 5, 7]
+
+    def test_rough_raises(self):
+        with pytest.raises(ValueError, match="residual factor 11"):
+            factorize(22)
+
+
+class TestIsPowerOfTwo:
+    def test_values(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(64)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(6)

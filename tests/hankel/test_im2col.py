@@ -1,0 +1,102 @@
+"""Tests for im2col (materialized and structured views)."""
+
+import numpy as np
+import pytest
+
+from repro.hankel.im2col_view import im2col_hankel_view, im2col_patches, pad2d
+
+
+class TestPad2d:
+    def test_zero_padding_is_identity(self, rng):
+        x = rng.standard_normal((2, 3, 4, 5))
+        assert pad2d(x, 0) is x
+
+    def test_pads_spatial_axes_only(self, rng):
+        x = rng.standard_normal((2, 3, 4, 5))
+        out = pad2d(x, 2)
+        assert out.shape == (2, 3, 8, 9)
+        np.testing.assert_array_equal(out[:, :, 2:-2, 2:-2], x)
+        assert out[:, :, :2].sum() == 0
+
+
+class TestIm2colPatches:
+    def test_shape(self, rng):
+        x = rng.standard_normal((2, 3, 6, 7))
+        patches = im2col_patches(x, 3, 2)
+        assert patches.shape == (2, 4 * 6, 3 * 3 * 2)
+
+    def test_values_match_manual_patch(self, rng):
+        x = rng.standard_normal((1, 2, 5, 5))
+        patches = im2col_patches(x, 3, 3)
+        # Patch at output position (1, 2), row-major index 1*3+2 = 5.
+        manual = x[0, :, 1:4, 2:5].reshape(-1)
+        np.testing.assert_array_equal(patches[0, 5], manual)
+
+    def test_padding(self, rng):
+        x = rng.standard_normal((1, 1, 3, 3))
+        patches = im2col_patches(x, 2, 2, padding=1)
+        assert patches.shape == (1, 16, 4)
+        # Top-left patch sees three zeros and x[0,0,0,0].
+        np.testing.assert_array_equal(patches[0, 0],
+                                      [0, 0, 0, x[0, 0, 0, 0]])
+
+    def test_stride(self, rng):
+        x = rng.standard_normal((1, 1, 7, 7))
+        patches = im2col_patches(x, 3, 3, stride=2)
+        assert patches.shape == (1, 9, 9)
+        np.testing.assert_array_equal(patches[0, 4],
+                                      x[0, 0, 2:5, 2:5].reshape(-1))
+
+    def test_conv_via_matmul(self, rng):
+        """The whole point: conv == patches @ flattened kernel."""
+        from tests.conftest import naive_conv2d_reference
+
+        x = rng.standard_normal((2, 3, 6, 6))
+        w = rng.standard_normal((4, 3, 3, 3))
+        patches = im2col_patches(x, 3, 3, padding=1)
+        out = (patches @ w.reshape(4, -1).T).transpose(0, 2, 1)
+        out = out.reshape(2, 4, 6, 6)
+        np.testing.assert_allclose(out,
+                                   naive_conv2d_reference(x, w, padding=1),
+                                   atol=1e-9)
+
+
+class TestIm2colHankelView:
+    @pytest.mark.parametrize("ih,iw,kh,kw,p", [(5, 5, 3, 3, 0),
+                                               (3, 3, 2, 2, 1),
+                                               (6, 4, 3, 2, 0),
+                                               (4, 6, 2, 3, 2)])
+    def test_dense_matches_patches(self, rng, ih, iw, kh, kw, p):
+        img = rng.standard_normal((ih, iw))
+        view = im2col_hankel_view(img, kh, kw, padding=p)
+        patches = im2col_patches(img[None, None], kh, kw, padding=p)[0]
+        np.testing.assert_array_equal(view.to_dense(), patches)
+
+    def test_matvec_computes_convolution(self, rng):
+        from tests.conftest import naive_conv2d_reference
+
+        img = rng.standard_normal((6, 7))
+        ker = rng.standard_normal((3, 3))
+        view = im2col_hankel_view(img, 3, 3, padding=1)
+        out = (view @ ker.reshape(-1)).reshape(6, 7)
+        ref = naive_conv2d_reference(img[None, None], ker[None, None],
+                                     padding=1)[0, 0]
+        np.testing.assert_allclose(out, ref, atol=1e-9)
+
+    def test_structure_matches_paper_figure1(self):
+        """Figure 1: 3x3 input, padding 1, 2x2 kernel -> 16x4 matrix."""
+        img = np.arange(1.0, 10.0).reshape(3, 3)
+        view = im2col_hankel_view(img, 2, 2, padding=1)
+        assert view.shape == (16, 4)
+        dense = view.to_dense()
+        # First row of the figure's (transposed) matrix: all-zero corner
+        # patch sees only element 1 in its bottom-right position.
+        np.testing.assert_array_equal(dense[0], [0, 0, 0, 1])
+        # Last patch: element 9 in the top-left position.
+        np.testing.assert_array_equal(dense[15], [9, 0, 0, 0])
+
+    def test_no_redundant_storage(self, rng):
+        img = rng.standard_normal((10, 10))
+        view = im2col_hankel_view(img, 3, 3)
+        assert view.storage_elems == 100
+        assert view.to_dense().size == 64 * 9

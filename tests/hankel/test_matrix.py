@@ -1,0 +1,119 @@
+"""Tests for structured Hankel matrices."""
+
+import numpy as np
+import pytest
+
+from repro.hankel.matrix import DoublyBlockedHankel, HankelMatrix
+
+
+class TestHankelMatrix:
+    def test_to_dense_small(self):
+        h = HankelMatrix([1, 2, 3, 4], rows=2, cols=3)
+        np.testing.assert_array_equal(h.to_dense(), [[1, 2, 3], [2, 3, 4]])
+
+    def test_getitem(self):
+        h = HankelMatrix(np.arange(5), rows=3, cols=3)
+        assert h[0, 0] == 0
+        assert h[2, 2] == 4
+        assert h[1, 2] == h[2, 1] == 3
+
+    def test_getitem_out_of_range(self):
+        h = HankelMatrix(np.arange(5), rows=3, cols=3)
+        with pytest.raises(IndexError):
+            h[3, 0]
+        with pytest.raises(IndexError):
+            h[0, -1]
+
+    def test_defining_vector_length_checked(self):
+        with pytest.raises(ValueError, match="rows \\+ cols - 1"):
+            HankelMatrix([1, 2, 3], rows=3, cols=3)
+
+    def test_storage_savings(self):
+        h = HankelMatrix(np.arange(19), rows=10, cols=10)
+        assert h.storage_elems == 19
+        assert h.to_dense().size == 100
+
+    def test_from_dense_roundtrip(self, rng):
+        data = rng.standard_normal(8)
+        h = HankelMatrix(data, rows=4, cols=5)
+        h2 = HankelMatrix.from_dense(h.to_dense())
+        np.testing.assert_array_equal(h2.data, data)
+
+    def test_from_dense_rejects_non_hankel(self, rng):
+        with pytest.raises(ValueError, match="not Hankel"):
+            HankelMatrix.from_dense(rng.standard_normal((3, 3)))
+
+    @pytest.mark.parametrize("rows,cols", [(1, 1), (3, 5), (5, 3), (8, 8)])
+    def test_matvec_matches_dense(self, rng, rows, cols):
+        h = HankelMatrix(rng.standard_normal(rows + cols - 1), rows, cols)
+        v = rng.standard_normal(cols)
+        np.testing.assert_allclose(h.matvec(v), h.to_dense() @ v, atol=1e-9)
+
+    def test_matmul_operator(self, rng):
+        h = HankelMatrix(rng.standard_normal(5), 3, 3)
+        v = rng.standard_normal(3)
+        np.testing.assert_allclose(h @ v, h.matvec(v))
+
+    def test_matvec_wrong_length(self):
+        h = HankelMatrix(np.arange(5), 3, 3)
+        with pytest.raises(ValueError, match="3 entries"):
+            h.matvec(np.zeros(4))
+
+
+class TestDoublyBlockedHankel:
+    def _make(self, rng, br=3, bc=2, ir=4, ic=3):
+        base = rng.standard_normal((br + bc - 1, ir + ic - 1))
+        return DoublyBlockedHankel(base, br, bc, ir, ic)
+
+    def test_shape(self, rng):
+        m = self._make(rng)
+        assert m.shape == (12, 6)
+
+    def test_base_shape_checked(self, rng):
+        with pytest.raises(ValueError, match="base must be"):
+            DoublyBlockedHankel(rng.standard_normal((2, 2)), 2, 2, 2, 2)
+
+    def test_block_is_hankel(self, rng):
+        m = self._make(rng)
+        block = m.block(1, 1)
+        dense = block.to_dense()
+        np.testing.assert_array_equal(dense[1:, :-1], dense[:-1, 1:])
+
+    def test_block_out_of_range(self, rng):
+        m = self._make(rng)
+        with pytest.raises(IndexError):
+            m.block(3, 0)
+
+    def test_antidiagonal_blocks_identical(self, rng):
+        m = self._make(rng)
+        np.testing.assert_array_equal(m.block(0, 1).to_dense(),
+                                      m.block(1, 0).to_dense())
+
+    def test_getitem_matches_dense(self, rng):
+        m = self._make(rng)
+        dense = m.to_dense()
+        for i in range(dense.shape[0]):
+            for j in range(dense.shape[1]):
+                assert m[i, j] == dense[i, j]
+
+    def test_getitem_out_of_range(self, rng):
+        m = self._make(rng)
+        with pytest.raises(IndexError):
+            m[12, 0]
+
+    def test_storage(self, rng):
+        m = self._make(rng)
+        assert m.storage_elems == 4 * 6
+        assert m.to_dense().size == 72
+
+    @pytest.mark.parametrize("dims", [(1, 1, 1, 1), (2, 2, 2, 2),
+                                      (3, 2, 4, 3), (2, 3, 3, 4)])
+    def test_matvec_matches_dense(self, rng, dims):
+        m = self._make(rng, *dims)
+        v = rng.standard_normal(m.shape[1])
+        np.testing.assert_allclose(m @ v, m.to_dense() @ v, atol=1e-9)
+
+    def test_matvec_wrong_length(self, rng):
+        m = self._make(rng)
+        with pytest.raises(ValueError):
+            m.matvec(np.zeros(5))

@@ -1,0 +1,96 @@
+"""Tests for Hankel structural predicates and the Sec. 2.2 identities."""
+
+import numpy as np
+import pytest
+
+from repro.hankel.im2col_view import im2col_hankel_view
+from repro.hankel.properties import (
+    is_doubly_blocked_hankel,
+    is_hankel,
+    mirror_symmetry_constant,
+    row_degree_vectors,
+)
+
+
+class TestIsHankel:
+    def test_accepts_hankel(self):
+        assert is_hankel([[1, 2, 3], [2, 3, 4]])
+
+    def test_rejects_non_hankel(self):
+        assert not is_hankel([[1, 2], [3, 4]])
+
+    def test_single_row_or_column(self):
+        assert is_hankel([[1, 2, 3]])
+        assert is_hankel([[1], [2], [3]])
+
+    def test_tolerance(self):
+        m = [[1.0, 2.0], [2.0 + 1e-12, 3.0]]
+        assert is_hankel(m, atol=1e-9)
+        assert not is_hankel(m, atol=0.0)
+
+
+class TestIsDoublyBlockedHankel:
+    def test_im2col_matrix_is_dbh(self, rng):
+        img = rng.standard_normal((5, 5))
+        view = im2col_hankel_view(img, 3, 3)
+        assert is_doubly_blocked_hankel(view.to_dense(), (3, 3), (3, 3))
+
+    def test_random_matrix_is_not(self, rng):
+        dense = rng.standard_normal((9, 9))
+        assert not is_doubly_blocked_hankel(dense, (3, 3), (3, 3))
+
+    def test_hankel_blocks_but_not_block_hankel(self, rng):
+        # Two distinct Hankel blocks on the antidiagonal.
+        a = np.array([[1, 2], [2, 3]])
+        b = np.array([[7, 8], [8, 9]])
+        dense = np.block([[a, b], [a, a]])  # block grid not Hankel
+        assert not is_doubly_blocked_hankel(dense, (2, 2), (2, 2))
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError, match="does not match"):
+            is_doubly_blocked_hankel(np.zeros((4, 4)), (3, 3), (2, 2))
+
+
+class TestRowDegreeVectors:
+    def test_paper_example_first_row(self):
+        """Sec. 2.2: RD_1st = (0 1 2 5 6 7 10 11 12) for 5x5 input, 3x3."""
+        rd = row_degree_vectors(oh=3, ow=3, kh=3, kw=3, iw=5)
+        np.testing.assert_array_equal(rd[0], [0, 1, 2, 5, 6, 7, 10, 11, 12])
+
+    def test_paper_example_second_row(self):
+        rd = row_degree_vectors(oh=3, ow=3, kh=3, kw=3, iw=5)
+        np.testing.assert_array_equal(rd[1], [1, 2, 3, 6, 7, 8, 11, 12, 13])
+
+    def test_shape(self):
+        rd = row_degree_vectors(oh=2, ow=4, kh=3, kw=2, iw=5)
+        assert rd.shape == (8, 6)
+
+
+class TestMirrorSymmetry:
+    def test_paper_example_constant_12(self):
+        """RD_1st + reverse(RD_1st) = (12 ... 12) — Sec. 2.2."""
+        rd = row_degree_vectors(3, 3, 3, 3, 5)
+        assert mirror_symmetry_constant(rd[0], rd[0]) == 12
+
+    def test_paper_example_constant_13(self):
+        """RD_2nd + reverse(RD_1st) = (13 ... 13)."""
+        rd = row_degree_vectors(3, 3, 3, 3, 5)
+        assert mirror_symmetry_constant(rd[1], rd[0]) == 13
+
+    def test_constant_equals_last_entry(self):
+        """The sum constant is the last value in the row vector."""
+        rd = row_degree_vectors(4, 5, 2, 3, 7)
+        for row in rd:
+            assert mirror_symmetry_constant(row, rd[0]) == row[-1]
+
+    def test_non_constant_returns_none(self):
+        assert mirror_symmetry_constant(np.array([0, 1, 3]),
+                                        np.array([0, 1, 2])) is None
+
+    @pytest.mark.parametrize("oh,ow,kh,kw", [(2, 2, 2, 2), (3, 4, 2, 3),
+                                             (5, 3, 4, 2)])
+    def test_holds_for_all_rows_generally(self, oh, ow, kh, kw):
+        iw = ow + kw - 1
+        rd = row_degree_vectors(oh, ow, kh, kw, iw)
+        for row in rd:
+            assert mirror_symmetry_constant(row, rd[0]) is not None

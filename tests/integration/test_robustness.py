@@ -1,0 +1,128 @@
+"""Robustness: awkward inputs every algorithm must handle identically."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import (
+    ConvAlgorithm,
+    convolve,
+    list_algorithms,
+    supports,
+)
+from repro.utils.shapes import ConvShape
+
+FAST = [ConvAlgorithm.POLYHANKEL, ConvAlgorithm.GEMM, ConvAlgorithm.FFT,
+        ConvAlgorithm.WINOGRAD, ConvAlgorithm.FINEGRAIN_FFT]
+
+
+def _check_all(x, w, padding=0, stride=1, atol=1e-7):
+    shape = ConvShape.from_tensors(x.shape, w.shape, padding, stride)
+    ref = convolve(x, w, algorithm=ConvAlgorithm.NAIVE, padding=padding,
+                   stride=stride)
+    for algo in FAST:
+        if supports(algo, shape):
+            out = convolve(x, w, algorithm=algo, padding=padding,
+                           stride=stride)
+            np.testing.assert_allclose(out, ref, atol=atol,
+                                       err_msg=str(algo))
+    return ref
+
+
+class TestAwkwardShapes:
+    def test_single_row_image(self, rng):
+        _check_all(rng.standard_normal((1, 1, 1, 17)),
+                   rng.standard_normal((1, 1, 1, 4)))
+
+    def test_single_column_image(self, rng):
+        _check_all(rng.standard_normal((1, 1, 17, 1)),
+                   rng.standard_normal((1, 1, 4, 1)))
+
+    def test_kernel_covers_whole_image(self, rng):
+        _check_all(rng.standard_normal((2, 2, 6, 7)),
+                   rng.standard_normal((3, 2, 6, 7)))
+
+    def test_prime_sized_image(self, rng):
+        _check_all(rng.standard_normal((1, 1, 13, 11)),
+                   rng.standard_normal((1, 1, 3, 3)), padding=1)
+
+    def test_very_asymmetric_image(self, rng):
+        _check_all(rng.standard_normal((1, 1, 3, 40)),
+                   rng.standard_normal((1, 1, 2, 5)))
+
+    def test_one_by_one_kernel_with_stride(self, rng):
+        _check_all(rng.standard_normal((2, 3, 9, 9)),
+                   rng.standard_normal((4, 3, 1, 1)), stride=3)
+
+    def test_padding_larger_than_image(self, rng):
+        _check_all(rng.standard_normal((1, 1, 2, 2)),
+                   rng.standard_normal((1, 1, 3, 3)), padding=3)
+
+
+class TestAwkwardMemoryLayouts:
+    def test_fortran_ordered_input(self, rng):
+        x = np.asfortranarray(rng.standard_normal((2, 2, 8, 8)))
+        w = rng.standard_normal((2, 2, 3, 3))
+        _check_all(x, w, padding=1)
+
+    def test_non_contiguous_view(self, rng):
+        big = rng.standard_normal((2, 2, 16, 16))
+        x = big[:, :, ::2, ::2]
+        w = rng.standard_normal((2, 2, 3, 3))
+        assert not x.flags["C_CONTIGUOUS"]
+        _check_all(x, w, padding=1)
+
+    def test_negative_strided_view(self, rng):
+        x = rng.standard_normal((1, 1, 8, 8))[:, :, ::-1, ::-1]
+        w = rng.standard_normal((1, 1, 3, 3))
+        _check_all(x, w)
+
+
+class TestValues:
+    def test_all_zero_input(self):
+        out = _check_all(np.zeros((1, 2, 6, 6)),
+                         np.ones((2, 2, 3, 3)))
+        assert np.all(out == 0)
+
+    def test_constant_input_box_kernel(self):
+        """Constant image * normalized box kernel == the constant."""
+        out = convolve(np.full((1, 1, 8, 8), 3.0),
+                       np.full((1, 1, 3, 3), 1 / 9),
+                       algorithm=ConvAlgorithm.POLYHANKEL)
+        np.testing.assert_allclose(out, 3.0, atol=1e-10)
+
+    def test_huge_values(self, rng):
+        x = rng.standard_normal((1, 1, 8, 8)) * 1e12
+        w = rng.standard_normal((1, 1, 3, 3)) * 1e-12
+        ref = convolve(x, w, algorithm=ConvAlgorithm.NAIVE)
+        out = convolve(x, w, algorithm=ConvAlgorithm.POLYHANKEL)
+        np.testing.assert_allclose(out, ref, rtol=1e-8, atol=1e-8)
+
+    def test_integer_dtype_input(self):
+        x = np.arange(36).reshape(1, 1, 6, 6)
+        w = np.ones((1, 1, 2, 2), dtype=np.int64)
+        ref = convolve(x.astype(float), w.astype(float),
+                       algorithm=ConvAlgorithm.NAIVE)
+        out = convolve(x, w, algorithm=ConvAlgorithm.POLYHANKEL)
+        np.testing.assert_allclose(out, ref, atol=1e-9)
+
+
+class TestErrorMessagesConsistent:
+    @pytest.mark.parametrize("algo", FAST)
+    def test_kernel_too_large(self, rng, algo):
+        x = rng.standard_normal((1, 1, 3, 3))
+        w = rng.standard_normal((1, 1, 5, 5))
+        with pytest.raises(ValueError):
+            convolve(x, w, algorithm=algo)
+
+    @pytest.mark.parametrize("algo", FAST)
+    def test_channel_mismatch(self, rng, algo):
+        x = rng.standard_normal((1, 2, 8, 8))
+        w = rng.standard_normal((1, 3, 3, 3))
+        with pytest.raises(ValueError):
+            convolve(x, w, algorithm=algo)
+
+    @pytest.mark.parametrize("algo", FAST)
+    def test_bad_rank(self, rng, algo):
+        with pytest.raises(ValueError):
+            convolve(rng.standard_normal((8, 8)),
+                     rng.standard_normal((1, 1, 3, 3)), algorithm=algo)

@@ -1,0 +1,177 @@
+"""Tests for the tape-based autograd engine."""
+
+import numpy as np
+import pytest
+
+from repro.nn import autograd as ag
+
+
+def numerical_gradient(loss_fn, array, eps=1e-6):
+    grad = np.zeros_like(array)
+    it = np.nditer(array, flags=["multi_index"])
+    for _ in it:
+        idx = it.multi_index
+        original = array[idx]
+        array[idx] = original + eps
+        plus = loss_fn()
+        array[idx] = original - eps
+        minus = loss_fn()
+        array[idx] = original
+        grad[idx] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestTensorBasics:
+    def test_leaf_requires_grad(self):
+        p = ag.parameter(np.zeros(3))
+        assert p.requires_grad
+
+    def test_requires_grad_propagates(self):
+        p = ag.parameter(np.ones((2, 2)))
+        x = ag.Tensor(np.ones((2, 2)))
+        assert ag.relu(p).requires_grad
+        assert not ag.relu(x).requires_grad
+
+    def test_zero_grad(self):
+        p = ag.parameter(np.ones(2))
+        out = ag.mean(ag.relu(p))
+        out.backward()
+        assert p.grad is not None
+        p.zero_grad()
+        assert p.grad is None
+
+    def test_gradient_accumulates_across_backward_calls(self):
+        p = ag.parameter(np.ones(2))
+        ag.mean(p).backward()
+        first = p.grad.copy()
+        ag.mean(p).backward()
+        np.testing.assert_allclose(p.grad, 2 * first)
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        """Two branches reading the same parameter each contribute their
+        gradient exactly once."""
+        p = ag.parameter(np.array([2.0]))
+        a = ag.relu(p)
+        b = ag.relu(p)
+        total = ag.Tensor(
+            a.data + b.data, (a, b),
+            lambda g: (a._accumulate(g), b._accumulate(g)),
+        )
+        ag.mean(total).backward()
+        np.testing.assert_allclose(p.grad, [2.0])
+
+
+class TestOps:
+    def test_relu_gradient(self, rng):
+        x = ag.parameter(rng.standard_normal((3, 4)))
+        ag.mean(ag.relu(x)).backward()
+        expected = numerical_gradient(
+            lambda: np.maximum(x.data, 0).mean(), x.data)
+        np.testing.assert_allclose(x.grad, expected, atol=1e-6)
+
+    def test_linear_gradients(self, rng):
+        x = ag.parameter(rng.standard_normal((4, 3)))
+        w = ag.parameter(rng.standard_normal((2, 3)))
+        b = ag.parameter(rng.standard_normal(2))
+        ag.mean(ag.linear(x, w, b)).backward()
+        for t in (x, w, b):
+            expected = numerical_gradient(
+                lambda: (x.data @ w.data.T + b.data).mean(), t.data)
+            np.testing.assert_allclose(t.grad, expected, atol=1e-6)
+
+    def test_conv2d_gradients(self, rng):
+        x = ag.parameter(rng.standard_normal((2, 2, 6, 6)))
+        w = ag.parameter(rng.standard_normal((3, 2, 3, 3)))
+        b = ag.parameter(rng.standard_normal(3))
+        ag.mean(ag.conv2d(x, w, b, padding=1)).backward()
+        from repro.nn import functional as F
+        for t in (x, w, b):
+            expected = numerical_gradient(
+                lambda: F.conv2d(x.data, w.data, b.data, 1,
+                                 algorithm="naive").mean(),
+                t.data)
+            np.testing.assert_allclose(t.grad, expected, atol=1e-5)
+
+    def test_max_pool_gradient(self, rng):
+        x = ag.parameter(rng.standard_normal((2, 2, 6, 6)))
+        ag.mean(ag.max_pool2d(x, 2)).backward()
+        from repro.nn import functional as F
+        expected = numerical_gradient(
+            lambda: F.max_pool2d(x.data, 2).mean(), x.data)
+        np.testing.assert_allclose(x.grad, expected, atol=1e-6)
+
+    def test_flatten_gradient(self, rng):
+        x = ag.parameter(rng.standard_normal((2, 3, 2, 2)))
+        ag.mean(ag.flatten(x)).backward()
+        np.testing.assert_allclose(x.grad, np.full(x.data.shape, 1 / 24))
+
+    def test_cross_entropy_gradient(self, rng):
+        logits = ag.parameter(rng.standard_normal((4, 5)))
+        labels = np.array([0, 2, 4, 1])
+        ag.cross_entropy(logits, labels).backward()
+
+        def loss():
+            from repro.nn.functional import softmax
+            p = softmax(logits.data)
+            return -np.log(p[np.arange(4), labels]).mean()
+
+        expected = numerical_gradient(loss, logits.data)
+        np.testing.assert_allclose(logits.grad, expected, atol=1e-5)
+
+
+class TestTraining:
+    def test_sgd_reduces_quadratic(self):
+        p = ag.parameter(np.array([5.0, -3.0]))
+        opt = ag.SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            loss = ag.mean(ag.relu(ag.Tensor(p.data ** 2, (p,),
+                                             lambda g: p._accumulate(
+                                                 2 * p.data * g))))
+            loss.backward()
+            opt.step()
+        assert np.abs(p.data).max() < 0.5
+
+    def test_sgd_momentum_state(self):
+        p = ag.parameter(np.array([1.0]))
+        opt = ag.SGD([p], lr=0.1, momentum=0.9)
+        p.grad = np.array([1.0])
+        opt.step()
+        first = p.data.copy()
+        p.grad = np.array([0.0])
+        opt.step()  # momentum keeps moving
+        assert p.data[0] < first[0]
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            ag.SGD([], lr=0.0)
+
+    def test_tiny_cnn_learns_separable_task(self, rng):
+        """A one-conv-layer network learns to separate bright-left from
+        bright-right images, training entirely through PolyHankel."""
+        n = 40
+        x_data = rng.standard_normal((n, 1, 8, 8)) * 0.1
+        labels = rng.integers(0, 2, size=n)
+        x_data[labels == 0, :, :, :4] += 1.0
+        x_data[labels == 1, :, :, 4:] += 1.0
+
+        w = ag.parameter(rng.standard_normal((2, 1, 3, 3)) * 0.3)
+        b = ag.parameter(np.zeros(2))
+        lw = ag.parameter(rng.standard_normal((2, 2 * 36)) * 0.1)
+        opt = ag.SGD([w, b, lw], lr=0.05, momentum=0.9)
+
+        losses = []
+        for _ in range(30):
+            opt.zero_grad()
+            h = ag.relu(ag.conv2d(ag.Tensor(x_data), w, b))
+            logits = ag.linear(ag.flatten(h), lw)
+            loss = ag.cross_entropy(logits, labels)
+            loss.backward()
+            opt.step()
+            losses.append(float(loss.data))
+
+        assert losses[-1] < losses[0] * 0.5
+        preds = np.argmax(
+            ag.linear(ag.flatten(ag.relu(ag.conv2d(
+                ag.Tensor(x_data), w, b))), lw).data, axis=1)
+        assert (preds == labels).mean() > 0.9

@@ -1,0 +1,110 @@
+"""Tests for transposed convolution."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+
+
+def reference_conv_transpose(x, w, padding=0, stride=1):
+    """Direct scatter implementation of transposed convolution."""
+    n, c_in, ih, iw = x.shape
+    _, c_out, kh, kw = w.shape
+    full_h = (ih - 1) * stride + kh
+    full_w = (iw - 1) * stride + kw
+    out = np.zeros((n, c_out, full_h, full_w))
+    for i in range(ih):
+        for j in range(iw):
+            # x[:, :, i, j] scatters a kh x kw stamp per input channel.
+            contribution = np.einsum("nc,cfuv->nfuv", x[:, :, i, j], w)
+            out[:, :, i * stride: i * stride + kh,
+                j * stride: j * stride + kw] += contribution
+    if padding:
+        out = out[:, :, padding: full_h - padding,
+                  padding: full_w - padding]
+    return out
+
+
+CASES = [
+    (1, 1, 1, 4, 4, 3, 3, 0, 1),
+    (2, 3, 2, 5, 6, 3, 3, 1, 1),
+    (1, 2, 4, 4, 4, 2, 2, 0, 2),
+    (2, 2, 3, 3, 5, 4, 3, 1, 2),
+    (1, 1, 1, 6, 6, 3, 3, 0, 3),
+]
+
+
+@pytest.mark.parametrize("case", CASES)
+@pytest.mark.parametrize("algorithm", ["polyhankel", "gemm"])
+def test_matches_scatter_reference(rng, case, algorithm):
+    n, c_in, c_out, ih, iw, kh, kw, p, s = case
+    x = rng.standard_normal((n, c_in, ih, iw))
+    w = rng.standard_normal((c_in, c_out, kh, kw))
+    got = F.conv_transpose2d(x, w, padding=p, stride=s,
+                             algorithm=algorithm)
+    ref = reference_conv_transpose(x, w, padding=p, stride=s)
+    np.testing.assert_allclose(got, ref, atol=1e-8)
+
+
+def test_output_shape_formula(rng):
+    x = rng.standard_normal((1, 2, 7, 5))
+    w = rng.standard_normal((2, 3, 4, 3))
+    out = F.conv_transpose2d(x, w, padding=1, stride=2)
+    assert out.shape == (1, 3, (7 - 1) * 2 - 2 + 4, (5 - 1) * 2 - 2 + 3)
+
+
+def test_inverts_shape_of_strided_conv(rng):
+    """conv_transpose with the same hyperparameters maps a conv output's
+    shape back to (at least) the conv input's covered extent."""
+    x = rng.standard_normal((1, 3, 16, 16))
+    w = rng.standard_normal((4, 3, 3, 3))
+    y = F.conv2d(x, w, padding=1, stride=2)
+    back = F.conv_transpose2d(y, w, padding=1, stride=2)
+    assert back.shape == (1, 3, 15, 15)  # (8-1)*2 - 2 + 3
+
+
+def test_adjoint_identity(rng):
+    """<conv2d(x, w), y> == <x, conv_transpose2d(y, w)>: the transposed
+    convolution is exactly the adjoint of the forward one when the same
+    (F, C, kh, kw) weight is reinterpreted as (c_in, c_out, kh, kw)."""
+    x = rng.standard_normal((2, 3, 8, 8))
+    w = rng.standard_normal((4, 3, 3, 3))
+    y = rng.standard_normal((2, 4, 4, 4))
+    conv = F.conv2d(x, w, padding=1, stride=2)
+    assert conv.shape == y.shape
+    # output_padding=1 recovers the full 8x8 extent the stride-2 forward
+    # convolution under-determines.
+    back = F.conv_transpose2d(y, w, padding=1, stride=2, output_padding=1)
+    assert back.shape == x.shape
+    np.testing.assert_allclose(np.sum(conv * y), np.sum(x * back),
+                               rtol=1e-9)
+
+
+def test_bias(rng):
+    x = rng.standard_normal((1, 2, 4, 4))
+    w = rng.standard_normal((2, 3, 3, 3))
+    b = rng.standard_normal(3)
+    got = F.conv_transpose2d(x, w, bias=b)
+    ref = reference_conv_transpose(x, w) + b[None, :, None, None]
+    np.testing.assert_allclose(got, ref, atol=1e-8)
+
+
+def test_channel_mismatch(rng):
+    with pytest.raises(ValueError, match="channel mismatch"):
+        F.conv_transpose2d(rng.standard_normal((1, 3, 4, 4)),
+                           rng.standard_normal((2, 2, 3, 3)))
+
+
+def test_empty_output_rejected(rng):
+    with pytest.raises(ValueError, match="empty"):
+        F.conv_transpose2d(rng.standard_normal((1, 1, 2, 2)),
+                           rng.standard_normal((1, 1, 2, 2)), padding=3)
+
+
+def test_upsampling_use_case(rng):
+    """The classic decoder pattern: stride-2 transposed conv doubles
+    spatial resolution."""
+    feat = rng.standard_normal((1, 8, 7, 7))
+    w = rng.standard_normal((8, 4, 2, 2))
+    up = F.conv_transpose2d(feat, w, stride=2)
+    assert up.shape == (1, 4, 14, 14)

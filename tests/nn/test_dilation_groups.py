@@ -1,0 +1,111 @@
+"""Tests for dilated and grouped convolution (library extensions)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+
+
+def reference_conv(x, w, padding=0, stride=1, dilation=(1, 1), groups=1):
+    """Slow, independent reference with dilation and groups."""
+    dh, dw = dilation
+    n, c, ih, iw = x.shape
+    f, c_per, kh, kw = w.shape
+    xp = np.pad(x, [(0, 0), (0, 0), (padding, padding), (padding, padding)])
+    eff_kh = dh * (kh - 1) + 1
+    eff_kw = dw * (kw - 1) + 1
+    oh = (xp.shape[2] - eff_kh) // stride + 1
+    ow = (xp.shape[3] - eff_kw) // stride + 1
+    out = np.zeros((n, f, oh, ow))
+    f_per = f // groups
+    for i in range(oh):
+        for j in range(ow):
+            patch = xp[:, :,
+                       i * stride: i * stride + eff_kh: dh,
+                       j * stride: j * stride + eff_kw: dw]
+            for g in range(groups):
+                xg = patch[:, g * c_per: (g + 1) * c_per]
+                wg = w[g * f_per: (g + 1) * f_per]
+                out[:, g * f_per: (g + 1) * f_per, i, j] = np.einsum(
+                    "nchw,fchw->nf", xg, wg)
+    return out
+
+
+class TestDilation:
+    @pytest.mark.parametrize("dilation", [2, 3, (2, 3)])
+    @pytest.mark.parametrize("algorithm", ["polyhankel", "gemm", "fft"])
+    def test_matches_reference(self, rng, dilation, algorithm):
+        x = rng.standard_normal((2, 2, 12, 12))
+        w = rng.standard_normal((3, 2, 3, 3))
+        d = (dilation, dilation) if isinstance(dilation, int) else dilation
+        got = F.conv2d(x, w, padding=2, dilation=dilation,
+                       algorithm=algorithm)
+        ref = reference_conv(x, w, padding=2, dilation=d)
+        np.testing.assert_allclose(got, ref, atol=1e-8)
+
+    def test_dilation_one_is_plain_conv(self, rng):
+        x = rng.standard_normal((1, 1, 8, 8))
+        w = rng.standard_normal((1, 1, 3, 3))
+        np.testing.assert_allclose(
+            F.conv2d(x, w, dilation=1),
+            F.conv2d(x, w), atol=1e-12)
+
+    def test_dilation_with_stride(self, rng):
+        x = rng.standard_normal((1, 2, 14, 14))
+        w = rng.standard_normal((2, 2, 3, 3))
+        got = F.conv2d(x, w, padding=2, stride=2, dilation=2)
+        ref = reference_conv(x, w, padding=2, stride=2, dilation=(2, 2))
+        np.testing.assert_allclose(got, ref, atol=1e-8)
+
+    def test_invalid_dilation(self, rng):
+        with pytest.raises(ValueError, match="dilation"):
+            F.conv2d(rng.standard_normal((1, 1, 8, 8)),
+                     rng.standard_normal((1, 1, 3, 3)), dilation=0)
+
+
+class TestGroups:
+    @pytest.mark.parametrize("groups", [2, 4])
+    @pytest.mark.parametrize("algorithm", ["polyhankel", "gemm"])
+    def test_matches_reference(self, rng, groups, algorithm):
+        x = rng.standard_normal((2, 4, 8, 8))
+        w = rng.standard_normal((8, 4 // groups, 3, 3))
+        got = F.conv2d(x, w, padding=1, groups=groups, algorithm=algorithm)
+        ref = reference_conv(x, w, padding=1, groups=groups)
+        np.testing.assert_allclose(got, ref, atol=1e-8)
+
+    def test_depthwise(self, rng):
+        """groups == channels: each filter sees exactly one channel."""
+        x = rng.standard_normal((1, 3, 6, 6))
+        w = rng.standard_normal((3, 1, 3, 3))
+        got = F.conv2d(x, w, padding=1, groups=3)
+        for c in range(3):
+            single = F.conv2d(x[:, c: c + 1], w[c: c + 1], padding=1)
+            np.testing.assert_allclose(got[:, c: c + 1], single, atol=1e-8)
+
+    def test_groups_with_bias(self, rng):
+        x = rng.standard_normal((1, 4, 6, 6))
+        w = rng.standard_normal((4, 2, 3, 3))
+        b = rng.standard_normal(4)
+        got = F.conv2d(x, w, bias=b, padding=1, groups=2)
+        ref = reference_conv(x, w, padding=1, groups=2) \
+            + b[None, :, None, None]
+        np.testing.assert_allclose(got, ref, atol=1e-8)
+
+    def test_invalid_groups(self, rng):
+        x = rng.standard_normal((1, 3, 6, 6))
+        with pytest.raises(ValueError, match="divisible by groups"):
+            F.conv2d(x, rng.standard_normal((4, 1, 3, 3)), groups=2)
+        with pytest.raises(ValueError, match="groups must be positive"):
+            F.conv2d(x, rng.standard_normal((3, 3, 3, 3)), groups=0)
+        with pytest.raises(ValueError, match="C/groups"):
+            F.conv2d(x[:, :2], rng.standard_normal((2, 2, 3, 3)), groups=2)
+
+
+class TestCombined:
+    def test_dilated_grouped_strided(self, rng):
+        x = rng.standard_normal((2, 4, 13, 13))
+        w = rng.standard_normal((4, 2, 3, 3))
+        got = F.conv2d(x, w, padding=2, stride=2, dilation=2, groups=2)
+        ref = reference_conv(x, w, padding=2, stride=2, dilation=(2, 2),
+                             groups=2)
+        np.testing.assert_allclose(got, ref, atol=1e-8)

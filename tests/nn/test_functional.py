@@ -1,0 +1,95 @@
+"""Tests for repro.nn.functional."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from tests.conftest import naive_conv2d_reference
+
+
+class TestConv2d:
+    def test_default_algorithm_polyhankel(self, rng):
+        x = rng.standard_normal((1, 2, 6, 6))
+        w = rng.standard_normal((2, 2, 3, 3))
+        np.testing.assert_allclose(F.conv2d(x, w, padding=1),
+                                   naive_conv2d_reference(x, w, 1),
+                                   atol=1e-8)
+
+    def test_bias(self, rng):
+        x = rng.standard_normal((1, 1, 5, 5))
+        w = rng.standard_normal((3, 1, 3, 3))
+        b = rng.standard_normal(3)
+        got = F.conv2d(x, w, bias=b, algorithm="gemm")
+        np.testing.assert_allclose(
+            got, naive_conv2d_reference(x, w) + b[None, :, None, None],
+            atol=1e-9)
+
+
+class TestRelu:
+    def test_clamps_negatives(self):
+        np.testing.assert_array_equal(F.relu(np.array([-1.0, 0.0, 2.0])),
+                                      [0, 0, 2])
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(x, 2)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_avg_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(x, 2)
+        np.testing.assert_array_equal(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_stride_differs_from_kernel(self, rng):
+        x = rng.standard_normal((1, 1, 6, 6))
+        out = F.max_pool2d(x, 3, stride=1)
+        assert out.shape == (1, 1, 4, 4)
+
+    def test_floor_division_drops_remainder(self, rng):
+        x = rng.standard_normal((1, 1, 5, 5))
+        assert F.max_pool2d(x, 2).shape == (1, 1, 2, 2)
+
+    def test_window_too_large(self, rng):
+        with pytest.raises(ValueError, match="does not fit"):
+            F.max_pool2d(rng.standard_normal((1, 1, 3, 3)), 4)
+
+    def test_invalid_params(self, rng):
+        x = rng.standard_normal((1, 1, 4, 4))
+        with pytest.raises(ValueError):
+            F.max_pool2d(x, 0)
+        with pytest.raises(ValueError):
+            F.max_pool2d(x, 2, stride=0)
+
+
+class TestBatchNorm:
+    def test_normalizes_to_unit_stats(self, rng):
+        x = rng.standard_normal((4, 3, 8, 8)) * 5 + 2
+        mean = x.mean(axis=(0, 2, 3))
+        var = x.var(axis=(0, 2, 3))
+        out = F.batch_norm2d(x, mean, var, np.ones(3), np.zeros(3))
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0, atol=1e-7)
+        np.testing.assert_allclose(out.var(axis=(0, 2, 3)), 1, atol=1e-3)
+
+    def test_gamma_beta(self, rng):
+        x = rng.standard_normal((2, 2, 4, 4))
+        out = F.batch_norm2d(x, np.zeros(2), np.ones(2) - 1e-5,
+                             np.full(2, 3.0), np.full(2, 1.0))
+        np.testing.assert_allclose(out, 3 * x + 1, atol=1e-4)
+
+
+class TestLinearSoftmax:
+    def test_linear(self, rng):
+        x = rng.standard_normal((4, 5))
+        w = rng.standard_normal((3, 5))
+        b = rng.standard_normal(3)
+        np.testing.assert_allclose(F.linear(x, w, b), x @ w.T + b)
+
+    def test_softmax_sums_to_one(self, rng):
+        p = F.softmax(rng.standard_normal((3, 7)))
+        np.testing.assert_allclose(p.sum(axis=-1), 1.0)
+
+    def test_softmax_stable_with_large_logits(self):
+        p = F.softmax(np.array([1000.0, 1000.0]))
+        np.testing.assert_allclose(p, [0.5, 0.5])

@@ -1,0 +1,107 @@
+"""Tests for layer objects."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import ConvAlgorithm
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.perfmodel.device import V100
+from tests.conftest import naive_conv2d_reference
+
+
+class TestConv2dLayer:
+    def test_forward_matches_reference(self, rng):
+        layer = Conv2d(2, 3, 3, padding=1, rng=rng)
+        x = rng.standard_normal((2, 2, 6, 6))
+        expected = naive_conv2d_reference(x, layer.weight, 1)
+        expected += layer.bias[None, :, None, None]
+        np.testing.assert_allclose(layer(x), expected, atol=1e-8)
+
+    def test_output_shape(self):
+        layer = Conv2d(3, 8, 5, padding=2, stride=2)
+        assert layer.output_shape((4, 3, 16, 16)) == (4, 8, 8, 8)
+
+    def test_algorithm_accepts_string(self):
+        layer = Conv2d(1, 1, 3, algorithm="fft")
+        assert layer.algorithm is ConvAlgorithm.FFT
+
+    def test_no_bias(self, rng):
+        layer = Conv2d(1, 2, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert layer.param_count() == layer.weight.size
+
+    def test_param_count(self):
+        layer = Conv2d(3, 8, 3)
+        assert layer.param_count() == 8 * 3 * 9 + 8
+
+    def test_simulated_time_positive(self):
+        layer = Conv2d(3, 8, 3, padding=1)
+        assert layer.simulated_time_s((2, 3, 16, 16), V100) > 0
+
+    def test_counters_accessible(self):
+        layer = Conv2d(3, 8, 3, padding=1, algorithm="gemm")
+        report = layer.counters((2, 3, 16, 16))
+        assert report.flops > 0
+
+    def test_deterministic_init(self):
+        a = Conv2d(2, 2, 3, rng=np.random.default_rng(7))
+        b = Conv2d(2, 2, 3, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a.weight, b.weight)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Conv2d(0, 1, 3)
+        with pytest.raises(ValueError):
+            Conv2d(1, 1, 0)
+
+    def test_repr(self):
+        assert "algo=polyhankel" in repr(Conv2d(1, 2, 3))
+
+
+class TestSimpleLayers:
+    def test_relu(self, rng):
+        x = rng.standard_normal((1, 2, 3, 3))
+        out = ReLU()(x)
+        assert (out >= 0).all()
+        assert ReLU().output_shape(x.shape) == x.shape
+
+    def test_max_pool_shape(self):
+        assert MaxPool2d(2).output_shape((1, 3, 8, 8)) == (1, 3, 4, 4)
+
+    def test_avg_pool_forward(self):
+        x = np.ones((1, 1, 4, 4))
+        np.testing.assert_array_equal(AvgPool2d(2)(x), np.ones((1, 1, 2, 2)))
+
+    def test_batch_norm_shape_preserved(self, rng):
+        bn = BatchNorm2d(3, rng=rng)
+        x = rng.standard_normal((2, 3, 4, 4))
+        assert bn(x).shape == x.shape
+        assert bn.param_count() == 6
+
+    def test_flatten(self, rng):
+        x = rng.standard_normal((2, 3, 4, 5))
+        out = Flatten()(x)
+        assert out.shape == (2, 60)
+        assert Flatten().output_shape(x.shape) == (2, 60)
+
+    def test_linear_forward_and_shape(self, rng):
+        layer = Linear(6, 4, rng=rng)
+        x = rng.standard_normal((3, 6))
+        assert layer(x).shape == (3, 4)
+        assert layer.output_shape((3, 6)) == (3, 4)
+        assert layer.param_count() == 6 * 4 + 4
+
+    def test_reprs(self):
+        for layer, token in [(ReLU(), "ReLU"), (MaxPool2d(2), "MaxPool"),
+                             (Flatten(), "Flatten"),
+                             (Linear(2, 3), "Linear(2, 3)"),
+                             (BatchNorm2d(4), "BatchNorm2d(4)")]:
+            assert token in repr(layer)

@@ -1,0 +1,102 @@
+"""Tests for Sequential networks and conv-time profiling."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import ConvAlgorithm
+from repro.nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU
+from repro.nn.network import Sequential, profile_conv_time
+
+
+def _small_net(rng, algorithm=ConvAlgorithm.POLYHANKEL):
+    return Sequential(
+        Conv2d(1, 4, 3, padding=1, algorithm=algorithm, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(4, 8, 3, padding=1, algorithm=algorithm, rng=rng),
+        ReLU(),
+        Flatten(),
+        Linear(8 * 4 * 4, 10, rng=rng),
+        name="small",
+    )
+
+
+class TestSequential:
+    def test_forward_shape(self, rng):
+        net = _small_net(rng)
+        out = net(rng.standard_normal((2, 1, 8, 8)))
+        assert out.shape == (2, 10)
+
+    def test_output_shape_matches_forward(self, rng):
+        net = _small_net(rng)
+        assert net.output_shape((2, 1, 8, 8)) == (2, 10)
+
+    def test_layer_shapes(self, rng):
+        net = _small_net(rng)
+        shapes = net.layer_shapes((2, 1, 8, 8))
+        assert shapes[0] == (2, 1, 8, 8)
+        assert shapes[3] == (2, 4, 4, 4)  # after pool
+
+    def test_conv_layers(self, rng):
+        assert len(_small_net(rng).conv_layers()) == 2
+
+    def test_set_conv_algorithm(self, rng):
+        net = _small_net(rng)
+        net.set_conv_algorithm("fft")
+        assert all(l.algorithm is ConvAlgorithm.FFT
+                   for l in net.conv_layers())
+
+    def test_param_count(self, rng):
+        net = _small_net(rng)
+        expected = (4 * 9 + 4) + (8 * 4 * 9 + 8) + (128 * 10 + 10)
+        assert net.param_count() == expected
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential()
+
+    def test_repr(self, rng):
+        assert "small" in repr(_small_net(rng))
+
+    def test_output_independent_of_conv_algorithm(self, rng):
+        x = rng.standard_normal((1, 1, 8, 8))
+        net = _small_net(np.random.default_rng(0))
+        baseline = net.set_conv_algorithm("naive")(x)
+        for algo in ("gemm", "fft", "winograd", "polyhankel",
+                     "finegrain_fft"):
+            out = net.set_conv_algorithm(algo)(x)
+            np.testing.assert_allclose(out, baseline, atol=1e-6,
+                                       err_msg=algo)
+
+
+class TestProfileConvTime:
+    def test_per_layer_count(self, rng):
+        net = _small_net(rng)
+        profile = profile_conv_time(net, (2, 1, 8, 8), "v100")
+        assert len(profile.per_layer_s) == 2
+        assert profile.total_s > 0
+
+    def test_iterations_scale_total(self, rng):
+        net = _small_net(rng)
+        one = profile_conv_time(net, (2, 1, 8, 8), "v100", iterations=1)
+        ten = profile_conv_time(net, (2, 1, 8, 8), "v100", iterations=10)
+        assert np.isclose(ten.total_s, 10 * one.total_s)
+
+    def test_forcing_algorithm(self, rng):
+        net = _small_net(rng)
+        profile = profile_conv_time(net, (2, 1, 8, 8), "a10g",
+                                    algorithm="gemm")
+        assert profile.algorithm is ConvAlgorithm.GEMM
+        assert all(l.algorithm is ConvAlgorithm.GEMM
+                   for l in net.conv_layers())
+
+    def test_different_algorithms_differ(self, rng):
+        net = _small_net(rng)
+        shape = (8, 1, 8, 8)
+        t_gemm = profile_conv_time(net, shape, "v100", "gemm").total_s
+        t_fft = profile_conv_time(net, shape, "v100", "fft").total_s
+        assert t_gemm != t_fft
+
+    def test_device_recorded(self, rng):
+        profile = profile_conv_time(_small_net(rng), (1, 1, 8, 8), "3090ti")
+        assert profile.device == "GeForce 3090Ti"

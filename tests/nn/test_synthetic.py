@@ -1,0 +1,93 @@
+"""Tests for the synthetic benchmark networks and LeNet-5."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import ConvAlgorithm
+from repro.nn.layers import Conv2d
+from repro.nn.synthetic import (
+    SYNTHETIC_CONV_LAYERS,
+    lenet5,
+    synthetic_network,
+)
+
+
+class TestSyntheticNetwork:
+    def test_has_twenty_conv_layers(self):
+        net = synthetic_network(32, seed=0)
+        assert len(net.conv_layers()) == SYNTHETIC_CONV_LAYERS == 20
+
+    def test_deterministic_per_seed(self):
+        a = synthetic_network(32, seed=3)
+        b = synthetic_network(32, seed=3)
+        assert [l.kernel_size for l in a.conv_layers()] == \
+               [l.kernel_size for l in b.conv_layers()]
+
+    def test_seeds_vary_design(self):
+        designs = {
+            tuple(l.kernel_size for l in
+                  synthetic_network(32, seed=s).conv_layers())
+            for s in range(5)
+        }
+        assert len(designs) > 1
+
+    def test_kernel_sizes_are_common_cnn_choices(self):
+        net = synthetic_network(64, seed=1)
+        assert set(l.kernel_size for l in net.conv_layers()) <= {3, 5, 7}
+
+    def test_forward_runs(self, rng):
+        net = synthetic_network(16, seed=0)
+        out = net(rng.standard_normal((1, 3, 16, 16)))
+        assert out.ndim == 4
+        assert np.isfinite(out).all()
+
+    def test_shape_inference_consistent_with_forward(self, rng):
+        net = synthetic_network(16, seed=2)
+        x = rng.standard_normal((2, 3, 16, 16))
+        assert net(x).shape == net.output_shape(x.shape)
+
+    def test_algorithm_forced_everywhere(self):
+        net = synthetic_network(16, algorithm="fft")
+        assert all(l.algorithm is ConvAlgorithm.FFT
+                   for l in net.conv_layers())
+
+    def test_varied_conv_shapes(self):
+        """Sec 4.2: convolution is called with widely different parameters."""
+        net = synthetic_network(64, seed=0)
+        shapes = set()
+        shape = (1, 3, 64, 64)
+        for layer in net.layers:
+            if isinstance(layer, Conv2d):
+                shapes.add((shape[2], layer.kernel_size, layer.in_channels))
+            shape = layer.output_shape(shape)
+        assert len(shapes) >= 5
+
+    def test_too_small_input_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_network(4)
+
+    def test_custom_depth(self):
+        net = synthetic_network(16, conv_layers=5)
+        assert len(net.conv_layers()) == 5
+
+
+class TestLenet5:
+    def test_forward_shape(self, rng):
+        net = lenet5()
+        out = net(rng.standard_normal((3, 1, 28, 28)))
+        assert out.shape == (3, 10)
+
+    def test_custom_classes(self, rng):
+        net = lenet5(num_classes=7)
+        assert net(rng.standard_normal((1, 1, 28, 28))).shape == (1, 7)
+
+    def test_deterministic(self, rng):
+        x = rng.standard_normal((1, 1, 28, 28))
+        np.testing.assert_array_equal(lenet5(seed=1)(x), lenet5(seed=1)(x))
+
+    def test_algorithms_agree_end_to_end(self, rng):
+        x = rng.standard_normal((2, 1, 28, 28))
+        ref = lenet5(seed=0, algorithm="naive")(x)
+        for algo in ("polyhankel", "gemm", "fft"):
+            np.testing.assert_allclose(lenet5(seed=0, algorithm=algo)(x),
+                                       ref, atol=1e-7, err_msg=algo)

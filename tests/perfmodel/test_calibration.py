@@ -1,0 +1,54 @@
+"""Tests for the efficiency calibration tables."""
+
+import pytest
+
+from repro.baselines.registry import ConvAlgorithm as A
+from repro.perfmodel.calibration import (
+    ALGORITHM_SCALE,
+    STAGE_EFFICIENCY,
+    device_scale,
+    stage_efficiency,
+)
+from repro.perfmodel.device import RTX_3090TI, V100
+
+
+class TestStageEfficiency:
+    def test_all_fractions_in_unit_interval(self):
+        for eff in STAGE_EFFICIENCY.values():
+            assert 0 < eff.compute <= 1
+            assert 0 < eff.memory <= 1
+
+    def test_gemm_best_tuned(self):
+        gemm = STAGE_EFFICIENCY["gemm"]
+        assert all(gemm.compute >= e.compute
+                   for k, e in STAGE_EFFICIENCY.items() if k != "gemm")
+
+    def test_polyhankel_fft_stages_use_contiguous_class(self):
+        assert stage_efficiency("fft", A.POLYHANKEL) \
+            == STAGE_EFFICIENCY["fft1d"]
+
+    def test_fft2d_stages_use_strided_class(self):
+        assert stage_efficiency("fft", A.FFT) == STAGE_EFFICIENCY["fft"]
+
+    def test_contiguous_beats_strided_fft(self):
+        assert STAGE_EFFICIENCY["fft1d"].compute \
+            > STAGE_EFFICIENCY["fft"].compute
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown stage kind"):
+            stage_efficiency("quantum", A.FFT)
+
+
+class TestDeviceScale:
+    def test_default_is_algorithm_scale(self):
+        assert device_scale(RTX_3090TI, A.GEMM) == ALGORITHM_SCALE[A.GEMM]
+
+    def test_v100_gemm_bonus(self):
+        assert device_scale(V100, A.GEMM) > device_scale(RTX_3090TI, A.GEMM)
+
+    def test_finegrain_penalized(self):
+        assert ALGORITHM_SCALE[A.FINEGRAIN_FFT] < 1.0
+
+    def test_all_scales_positive(self):
+        for scale in ALGORITHM_SCALE.values():
+            assert scale > 0

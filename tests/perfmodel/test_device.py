@@ -1,0 +1,52 @@
+"""Tests for GPU device models."""
+
+import pytest
+
+from repro.perfmodel.device import (
+    A10G,
+    DEVICES,
+    PAPER_DEVICES,
+    RTX_3090TI,
+    V100,
+    GpuDevice,
+    get_device,
+)
+
+
+def test_paper_devices_present():
+    assert {d.name for d in PAPER_DEVICES} == {
+        "GeForce 3090Ti", "A10G", "V100"
+    }
+
+
+def test_datasheet_values():
+    assert RTX_3090TI.peak_fp32_tflops == 40.0
+    assert A10G.mem_bandwidth_gbps == 600.0
+    assert V100.peak_fp32_tflops == 15.7
+
+
+def test_unit_conversions():
+    assert V100.peak_flops == 15.7e12
+    assert V100.bandwidth == 900e9
+    assert V100.launch_overhead_s == 6e-6
+    assert V100.saturation_bytes == 9e6
+    assert V100.saturation_flops == 250e6
+
+
+class TestGetDevice:
+    @pytest.mark.parametrize("name", ["3090ti", "a10g", "v100", "V100",
+                                      "A10G", "GeForce 3090Ti"])
+    def test_resolves_names(self, name):
+        assert isinstance(get_device(name), GpuDevice)
+
+    def test_passthrough(self):
+        assert get_device(V100) is V100
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown device"):
+            get_device("h100")
+
+
+def test_registry_consistent():
+    for key, dev in DEVICES.items():
+        assert get_device(key) is dev

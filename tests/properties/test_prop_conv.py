@@ -1,0 +1,103 @@
+"""Property-based tests: convolution equivalence across algorithms."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.baselines.naive import conv2d_naive
+from repro.baselines.registry import ConvAlgorithm, convolve, supports
+from repro.core.multichannel import conv2d_polyhankel
+from repro.core.polyhankel import conv2d_single
+from repro.utils.shapes import ConvShape
+
+
+@st.composite
+def conv_problems(draw, max_size=12, max_kernel=5, channels=True):
+    """A random, always-valid convolution problem."""
+    ih = draw(st.integers(1, max_size))
+    iw = draw(st.integers(1, max_size))
+    padding = draw(st.integers(0, 2))
+    kh = draw(st.integers(1, min(max_kernel, ih + 2 * padding)))
+    kw = draw(st.integers(1, min(max_kernel, iw + 2 * padding)))
+    stride = draw(st.integers(1, 3))
+    n = draw(st.integers(1, 3)) if channels else 1
+    c = draw(st.integers(1, 3)) if channels else 1
+    f = draw(st.integers(1, 3)) if channels else 1
+    shape = ConvShape(ih=ih, iw=iw, kh=kh, kw=kw, n=n, c=c, f=f,
+                      padding=padding, stride=stride)
+    seed = draw(st.integers(0, 2 ** 31 - 1))
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(shape.input_shape())
+    w = rng.standard_normal(shape.weight_shape())
+    return shape, x, w
+
+
+@given(conv_problems(channels=False))
+def test_polyhankel_single_matches_naive(problem):
+    shape, x, w = problem
+    got = conv2d_single(x[0, 0], w[0, 0], padding=shape.padding,
+                        stride=shape.stride)
+    ref = conv2d_naive(x, w, shape.padding, shape.stride)[0, 0]
+    np.testing.assert_allclose(got, ref, atol=1e-7)
+
+
+@given(conv_problems())
+def test_polyhankel_batched_matches_naive(problem):
+    shape, x, w = problem
+    got = conv2d_polyhankel(x, w, padding=shape.padding,
+                            stride=shape.stride)
+    ref = conv2d_naive(x, w, shape.padding, shape.stride)
+    np.testing.assert_allclose(got, ref, atol=1e-7)
+
+
+@given(conv_problems())
+def test_merge_strategy_matches_sum(problem):
+    shape, x, w = problem
+    a = conv2d_polyhankel(x, w, padding=shape.padding, stride=shape.stride,
+                          strategy="sum")
+    b = conv2d_polyhankel(x, w, padding=shape.padding, stride=shape.stride,
+                          strategy="merge")
+    np.testing.assert_allclose(a, b, atol=1e-7)
+
+
+@given(conv_problems(max_size=10, max_kernel=4),
+       st.sampled_from([ConvAlgorithm.GEMM, ConvAlgorithm.FFT,
+                        ConvAlgorithm.FFT_TILING, ConvAlgorithm.WINOGRAD,
+                        ConvAlgorithm.FINEGRAIN_FFT,
+                        ConvAlgorithm.IMPLICIT_PRECOMP_GEMM]))
+def test_every_algorithm_matches_naive(problem, algorithm):
+    shape, x, w = problem
+    if not supports(algorithm, shape):
+        return
+    got = convolve(x, w, algorithm=algorithm, padding=shape.padding,
+                   stride=shape.stride)
+    ref = conv2d_naive(x, w, shape.padding, shape.stride)
+    np.testing.assert_allclose(got, ref, atol=1e-6)
+
+
+@given(conv_problems(max_size=8, max_kernel=3))
+def test_linearity_in_input(problem):
+    """conv(a*x1 + b*x2, w) == a*conv(x1, w) + b*conv(x2, w)."""
+    shape, x, w = problem
+    rng = np.random.default_rng(0)
+    x2 = rng.standard_normal(x.shape)
+    lhs = conv2d_polyhankel(2.0 * x + 3.0 * x2, w, padding=shape.padding,
+                            stride=shape.stride)
+    rhs = (2.0 * conv2d_polyhankel(x, w, padding=shape.padding,
+                                   stride=shape.stride)
+           + 3.0 * conv2d_polyhankel(x2, w, padding=shape.padding,
+                                     stride=shape.stride))
+    np.testing.assert_allclose(lhs, rhs, atol=1e-6)
+
+
+@given(conv_problems(max_size=8, max_kernel=3))
+def test_linearity_in_kernel(problem):
+    shape, x, w = problem
+    rng = np.random.default_rng(1)
+    w2 = rng.standard_normal(w.shape)
+    lhs = conv2d_polyhankel(x, w - w2, padding=shape.padding,
+                            stride=shape.stride)
+    rhs = (conv2d_polyhankel(x, w, padding=shape.padding,
+                             stride=shape.stride)
+           - conv2d_polyhankel(x, w2, padding=shape.padding,
+                               stride=shape.stride))
+    np.testing.assert_allclose(lhs, rhs, atol=1e-6)

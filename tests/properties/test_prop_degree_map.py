@@ -1,0 +1,87 @@
+"""Property-based tests for the degree-map identities of Sec. 2.2/3.1."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.core.degree_map import (
+    kernel_degrees,
+    lshaped_traversal_map,
+    max_kernel_degree,
+    output_degrees,
+)
+from repro.hankel.properties import (
+    mirror_symmetry_constant,
+    row_degree_vectors,
+)
+
+
+@st.composite
+def conv_dims(draw):
+    oh = draw(st.integers(1, 8))
+    ow = draw(st.integers(1, 8))
+    kh = draw(st.integers(1, 5))
+    kw = draw(st.integers(1, 5))
+    return oh, ow, kh, kw
+
+
+@given(conv_dims())
+def test_mirror_symmetry_holds_universally(dims):
+    """RD_k + reverse(RD_1) is constant for every row — the structural
+    property the whole construction rests on (Sec. 2.2)."""
+    oh, ow, kh, kw = dims
+    iw = ow + kw - 1
+    rd = row_degree_vectors(oh, ow, kh, kw, iw)
+    for row in rd:
+        const = mirror_symmetry_constant(row, rd[0])
+        assert const == row[-1]
+
+
+@given(conv_dims())
+def test_output_degrees_strictly_increasing_row_major(dims):
+    """Different rows must land on different product degrees (Sec. 2.2:
+    'the power of t in each element is unique')."""
+    oh, ow, kh, kw = dims
+    iw = ow + kw - 1
+    deg = output_degrees(oh, ow, iw, kh, kw).reshape(-1)
+    assert (np.diff(deg) > 0).all()
+
+
+@given(conv_dims())
+def test_kernel_degrees_fit_range(dims):
+    oh, ow, kh, kw = dims
+    iw = ow + kw - 1
+    deg = kernel_degrees(kh, kw, iw)
+    m = max_kernel_degree(kh, kw, iw)
+    assert deg.min() == 0
+    assert deg.max() == m
+
+
+@given(conv_dims())
+def test_inner_product_degree_is_row_constant(dims):
+    """For every im2col row, pairing entry degrees with the kernel degrees
+    yields one constant sum — each row collapses to a single term."""
+    oh, ow, kh, kw = dims
+    iw = ow + kw - 1
+    rd = row_degree_vectors(oh, ow, kh, kw, iw)
+    ker = kernel_degrees(kh, kw, iw).reshape(-1)
+    sums = rd + ker[None, :]
+    assert (sums == sums[:, :1]).all()
+
+
+@given(conv_dims())
+def test_row_sums_equal_output_degrees(dims):
+    """The per-row constant equals the Eq. 12 gather degree for that row."""
+    oh, ow, kh, kw = dims
+    iw = ow + kw - 1
+    rd = row_degree_vectors(oh, ow, kh, kw, iw)
+    ker = kernel_degrees(kh, kw, iw).reshape(-1)
+    out = output_degrees(oh, ow, iw, kh, kw).reshape(-1)
+    np.testing.assert_array_equal(rd[:, 0] + ker[0], out)
+
+
+@given(conv_dims())
+def test_traversal_map_is_bijection(dims):
+    oh, ow, kh, kw = dims
+    base = lshaped_traversal_map(oh, ow, kh, kw)
+    values = np.sort(base.reshape(-1))
+    np.testing.assert_array_equal(values, np.arange(base.size))

@@ -1,0 +1,80 @@
+"""Property-based tests for the FFT substrate."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro import fft as F
+
+
+def _signal(seed: int, n: int, complex_valued: bool = True) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n)
+    if complex_valued:
+        return x + 1j * rng.standard_normal(n)
+    return x
+
+
+sizes = st.integers(1, 96)
+seeds = st.integers(0, 2 ** 31 - 1)
+
+
+@given(seeds, sizes)
+def test_builtin_matches_numpy(seed, n):
+    x = _signal(seed, n)
+    with F.use_backend("builtin"):
+        np.testing.assert_allclose(F.fft(x), np.fft.fft(x), atol=1e-7)
+
+
+@given(seeds, sizes)
+def test_roundtrip(seed, n):
+    x = _signal(seed, n)
+    with F.use_backend("builtin"):
+        np.testing.assert_allclose(F.ifft(F.fft(x)), x, atol=1e-8)
+
+
+@given(seeds, sizes)
+def test_rfft_roundtrip(seed, n):
+    x = _signal(seed, n, complex_valued=False)
+    with F.use_backend("builtin"):
+        np.testing.assert_allclose(F.irfft(F.rfft(x), n), x, atol=1e-8)
+
+
+@given(seeds, sizes)
+def test_parseval(seed, n):
+    """Energy is conserved: sum |x|^2 == sum |X|^2 / n."""
+    x = _signal(seed, n)
+    with F.use_backend("builtin"):
+        spec = F.fft(x)
+    np.testing.assert_allclose(np.sum(np.abs(x) ** 2),
+                               np.sum(np.abs(spec) ** 2) / n, rtol=1e-8)
+
+
+@given(seeds, st.integers(1, 48), st.integers(1, 48))
+def test_convolution_theorem(seed, n, m):
+    """Pointwise spectral product == linear convolution (with padding)."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal(n)
+    b = rng.standard_normal(m)
+    nfft = F.next_fast_len(n + m - 1)
+    with F.use_backend("builtin"):
+        conv = F.irfft(F.rfft(a, nfft) * F.rfft(b, nfft), nfft)[:n + m - 1]
+    np.testing.assert_allclose(conv, np.convolve(a, b), atol=1e-8)
+
+
+@given(seeds, sizes)
+def test_time_shift_is_phase_ramp(seed, n):
+    """Circular shift by one sample multiplies bin k by e^{-2 pi i k / n}."""
+    x = _signal(seed, n)
+    with F.use_backend("builtin"):
+        spec = F.fft(x)
+        shifted = F.fft(np.roll(x, 1))
+    k = np.arange(n)
+    np.testing.assert_allclose(shifted, spec * np.exp(-2j * np.pi * k / n),
+                               atol=1e-7)
+
+
+@given(st.integers(1, 10 ** 6))
+def test_next_fast_len_bounds(n):
+    result = F.next_fast_len(n)
+    assert n <= result <= F.next_pow2(n)
+    assert F.is_smooth(result)

@@ -1,0 +1,74 @@
+"""Property-based tests for the Hankel substrate."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.hankel.im2col_view import im2col_hankel_view, im2col_patches
+from repro.hankel.matrix import DoublyBlockedHankel, HankelMatrix
+from repro.hankel.properties import is_doubly_blocked_hankel, is_hankel
+
+seeds = st.integers(0, 2 ** 31 - 1)
+dims = st.integers(1, 8)
+
+
+@given(seeds, dims, dims)
+def test_hankel_matvec_equals_dense(seed, rows, cols):
+    rng = np.random.default_rng(seed)
+    h = HankelMatrix(rng.standard_normal(rows + cols - 1), rows, cols)
+    v = rng.standard_normal(cols)
+    np.testing.assert_allclose(h @ v, h.to_dense() @ v, atol=1e-8)
+
+
+@given(seeds, dims, dims)
+def test_hankel_dense_roundtrip(seed, rows, cols):
+    rng = np.random.default_rng(seed)
+    h = HankelMatrix(rng.standard_normal(rows + cols - 1), rows, cols)
+    h2 = HankelMatrix.from_dense(h.to_dense())
+    np.testing.assert_array_equal(h.data, h2.data)
+
+
+@given(seeds, st.integers(1, 4), st.integers(1, 4), st.integers(1, 4),
+       st.integers(1, 4))
+def test_dbh_dense_is_doubly_blocked_hankel(seed, br, bc, ir, ic):
+    rng = np.random.default_rng(seed)
+    base = rng.standard_normal((br + bc - 1, ir + ic - 1))
+    m = DoublyBlockedHankel(base, br, bc, ir, ic)
+    assert is_doubly_blocked_hankel(m.to_dense(), (br, bc), (ir, ic))
+
+
+@given(seeds, st.integers(1, 4), st.integers(1, 4), st.integers(1, 4),
+       st.integers(1, 4))
+def test_dbh_matvec_equals_dense(seed, br, bc, ir, ic):
+    rng = np.random.default_rng(seed)
+    base = rng.standard_normal((br + bc - 1, ir + ic - 1))
+    m = DoublyBlockedHankel(base, br, bc, ir, ic)
+    v = rng.standard_normal(m.shape[1])
+    np.testing.assert_allclose(m @ v, m.to_dense() @ v, atol=1e-8)
+
+
+@st.composite
+def images_and_kernels(draw):
+    ih = draw(st.integers(2, 10))
+    iw = draw(st.integers(2, 10))
+    p = draw(st.integers(0, 2))
+    kh = draw(st.integers(1, min(4, ih + 2 * p)))
+    kw = draw(st.integers(1, min(4, iw + 2 * p)))
+    seed = draw(seeds)
+    return np.random.default_rng(seed).standard_normal((ih, iw)), kh, kw, p
+
+
+@given(images_and_kernels())
+def test_im2col_view_equals_materialized(args):
+    img, kh, kw, p = args
+    view = im2col_hankel_view(img, kh, kw, padding=p)
+    patches = im2col_patches(img[None, None], kh, kw, padding=p)[0]
+    np.testing.assert_array_equal(view.to_dense(), patches)
+    assert is_hankel(view.block(0, 0).to_dense())
+
+
+@given(images_and_kernels())
+def test_im2col_view_storage_never_exceeds_padded_input(args):
+    img, kh, kw, p = args
+    view = im2col_hankel_view(img, kh, kw, padding=p)
+    padded_elems = (img.shape[0] + 2 * p) * (img.shape[1] + 2 * p)
+    assert view.storage_elems == padded_elems

@@ -1,0 +1,126 @@
+"""Tests for the algorithm-selection heuristics."""
+
+import pytest
+
+from repro.baselines.registry import ConvAlgorithm as A
+from repro.selection.heuristic import (
+    CANDIDATES,
+    select_algorithm,
+    select_algorithm_rules,
+)
+from repro.utils.shapes import ConvShape
+
+GEMM_FAMILY = {A.GEMM, A.IMPLICIT_GEMM, A.IMPLICIT_PRECOMP_GEMM}
+FFT_FAMILY = {A.FFT, A.FFT_TILING}
+
+
+class TestModelDriven:
+    def test_ranking_sorted(self):
+        shape = ConvShape(ih=64, iw=64, kh=3, kw=3, n=16, c=3, f=8,
+                          padding=1)
+        result = select_algorithm(shape, "3090ti")
+        times = [t for _, t in result.ranking]
+        assert times == sorted(times)
+        assert result.predicted_ms == times[0]
+
+    def test_small_inputs_pick_gemm_family(self):
+        shape = ConvShape(ih=12, iw=12, kh=3, kw=3, n=32, c=3, f=8,
+                          padding=1)
+        assert select_algorithm(shape, "3090ti").algorithm in GEMM_FAMILY
+
+    def test_large_inputs_small_kernels_pick_polyhankel(self):
+        shape = ConvShape(ih=224, iw=224, kh=5, kw=5, n=128, c=3, f=16,
+                          padding=2)
+        assert select_algorithm(shape, "3090ti").algorithm is A.POLYHANKEL
+
+    def test_very_large_kernels_pick_fft_family(self):
+        shape = ConvShape(ih=112, iw=112, kh=20, kw=20, n=128, c=3, f=16)
+        assert select_algorithm(shape, "3090ti").algorithm in FFT_FAMILY
+
+    def test_incapable_algorithms_excluded(self):
+        shape = ConvShape(ih=33, iw=33, kh=3, kw=3, n=16, c=3, f=8,
+                          stride=2)
+        result = select_algorithm(shape, "v100")
+        ranked = {algo for algo, _ in result.ranking}
+        assert A.WINOGRAD not in ranked
+
+    def test_custom_candidates(self):
+        shape = ConvShape(ih=16, iw=16, kh=3, kw=3)
+        result = select_algorithm(shape, "v100", candidates=(A.FFT,))
+        assert result.algorithm is A.FFT
+
+    def test_no_capable_algorithm(self):
+        shape = ConvShape(ih=33, iw=33, kh=3, kw=3, stride=2)
+        with pytest.raises(ValueError, match="no capable algorithm"):
+            select_algorithm(shape, "v100", candidates=(A.WINOGRAD,))
+
+    def test_candidates_exclude_duplicate_polyhankel_model(self):
+        assert A.POLYHANKEL in CANDIDATES
+        assert A.POLYHANKEL_OS not in CANDIDATES
+
+
+class TestRuleBased:
+    def test_small_input(self):
+        shape = ConvShape(ih=16, iw=16, kh=3, kw=3)
+        assert select_algorithm_rules(shape) in GEMM_FAMILY
+
+    def test_large_kernel(self):
+        shape = ConvShape(ih=112, iw=112, kh=17, kw=17)
+        assert select_algorithm_rules(shape) in FFT_FAMILY
+
+    def test_sweet_spot_is_polyhankel(self):
+        shape = ConvShape(ih=112, iw=112, kh=5, kw=5, padding=2)
+        assert select_algorithm_rules(shape) is A.POLYHANKEL
+
+    def test_rules_agree_with_model_in_core_regions(self):
+        """The distilled rules match the model-driven oracle on the paper's
+        three characteristic regions."""
+        regions = [
+            ConvShape(ih=12, iw=12, kh=3, kw=3, n=64, c=3, f=16, padding=1),
+            ConvShape(ih=224, iw=224, kh=5, kw=5, n=128, c=3, f=16,
+                      padding=2),
+            ConvShape(ih=112, iw=112, kh=20, kw=20, n=128, c=3, f=16),
+        ]
+        for shape in regions:
+            rule = select_algorithm_rules(shape)
+            model = select_algorithm(shape, "3090ti").algorithm
+            same_family = (
+                (rule in GEMM_FAMILY and model in GEMM_FAMILY)
+                or (rule in FFT_FAMILY and model in FFT_FAMILY)
+                or rule is model
+            )
+            assert same_family, (shape, rule, model)
+
+
+class TestWorkspaceLimit:
+    """cuDNN-style memoryLimitInBytes filtering."""
+
+    SHAPE = ConvShape(ih=64, iw=64, kh=5, kw=5, n=32, c=3, f=16, padding=2)
+
+    def test_unlimited_keeps_all(self):
+        full = select_algorithm(self.SHAPE, "3090ti")
+        limited = select_algorithm(self.SHAPE, "3090ti",
+                                   workspace_limit_bytes=None)
+        assert {a for a, _ in full.ranking} == {a for a, _ in
+                                                limited.ranking}
+
+    def test_zero_limit_excludes_workspace_users(self):
+        result = select_algorithm(self.SHAPE, "3090ti",
+                                  workspace_limit_bytes=0)
+        ranked = {a for a, _ in result.ranking}
+        assert A.GEMM not in ranked            # im2col workspace
+        assert A.FFT not in ranked             # complex planes
+        assert A.IMPLICIT_GEMM in ranked       # workspace-free
+
+    def test_limit_changes_winner_when_binding(self):
+        unlimited = select_algorithm(self.SHAPE, "3090ti")
+        constrained = select_algorithm(self.SHAPE, "3090ti",
+                                       workspace_limit_bytes=0)
+        assert constrained.algorithm in {a for a, _ in constrained.ranking}
+        assert constrained.predicted_ms >= unlimited.predicted_ms
+
+    def test_impossible_limit_raises(self):
+        with pytest.raises(ValueError, match="workspace limit"):
+            select_algorithm(self.SHAPE, "3090ti",
+                             candidates=(A.GEMM,),
+                             workspace_limit_bytes=1)

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["transmogrify"])
+
+    def test_shape_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert (args.size, args.kernel, args.batch) == (64, 3, 8)
+
+
+class TestCommands:
+    def test_selftest(self, capsys):
+        assert main(["selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "selftest passed" in out
+        assert "polyhankel" in out
+
+    def test_algorithms(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "polyhankel" in out
+        assert "im2col" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--size", "32", "--batch", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "GeForce 3090Ti" in out
+        assert "ms" in out
+
+    def test_simulate_multiple_devices(self, capsys):
+        assert main(["simulate", "--size", "32", "--devices", "v100",
+                     "a10g"]) == 0
+        out = capsys.readouterr().out
+        assert "V100" in out and "A10G" in out
+
+    def test_select(self, capsys):
+        assert main(["select", "--size", "128", "--kernel", "5",
+                     "--batch", "64", "--padding", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "model-driven choice" in out
+        assert "rule-based choice" in out
+
+    def test_tune_small(self, capsys):
+        assert main(["tune", "--size", "12", "--batch", "1",
+                     "--channels", "1", "--filters", "1",
+                     "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "best:" in out
+
+    def test_figures_single_panel(self, capsys):
+        assert main(["figures", "5", "--devices", "3090ti"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out
+        assert "polyhankel" in out

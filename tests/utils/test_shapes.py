@@ -1,0 +1,110 @@
+"""Tests for repro.utils.shapes."""
+
+import pytest
+
+from repro.utils.shapes import ConvShape, conv_output_size
+
+
+class TestConvOutputSize:
+    def test_valid_no_padding(self):
+        assert conv_output_size(5, 3) == 3
+
+    def test_same_padding(self):
+        assert conv_output_size(5, 3, padding=1) == 5
+
+    def test_stride(self):
+        assert conv_output_size(224, 7, padding=3, stride=2) == 112
+
+    def test_kernel_equals_input(self):
+        assert conv_output_size(4, 4) == 1
+
+    def test_stride_floor(self):
+        # (7 - 3) // 2 + 1 = 3
+        assert conv_output_size(7, 3, stride=2) == 3
+
+    def test_kernel_too_large(self):
+        with pytest.raises(ValueError, match="exceeds padded input"):
+            conv_output_size(4, 5)
+
+    def test_padding_rescues_large_kernel(self):
+        assert conv_output_size(4, 5, padding=1) == 2
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_nonpositive_input(self, bad):
+        with pytest.raises(ValueError):
+            conv_output_size(bad, 3)
+
+    def test_negative_padding(self):
+        with pytest.raises(ValueError):
+            conv_output_size(5, 3, padding=-1)
+
+    def test_zero_stride(self):
+        with pytest.raises(ValueError):
+            conv_output_size(5, 3, stride=0)
+
+
+class TestConvShape:
+    def test_output_extents(self):
+        s = ConvShape(ih=5, iw=5, kh=3, kw=3)
+        assert (s.oh, s.ow) == (3, 3)
+
+    def test_padded_extents(self):
+        s = ConvShape(ih=5, iw=7, kh=3, kw=3, padding=2)
+        assert (s.padded_ih, s.padded_iw) == (9, 11)
+
+    def test_element_counts(self):
+        s = ConvShape(ih=6, iw=4, kh=2, kw=2, n=3, c=2, f=5)
+        assert s.input_elems == 24
+        assert s.kernel_elems == 4
+        assert s.output_elems == 5 * 3
+        assert s.total_input_elems == 3 * 2 * 24
+        assert s.total_kernel_elems == 5 * 2 * 4
+        assert s.total_output_elems == 3 * 5 * 15
+
+    def test_macs_and_flops(self):
+        s = ConvShape(ih=5, iw=5, kh=3, kw=3, n=2, c=3, f=4)
+        assert s.macs == 2 * 4 * 3 * 9 * 9
+        assert s.direct_flops == 2 * s.macs
+
+    def test_poly_lengths_match_paper(self):
+        # Sec. 3.2: combined kernel size = (Kh-1)*Iw + Kw.
+        s = ConvShape(ih=5, iw=5, kh=3, kw=3)
+        assert s.poly_input_len == 25
+        assert s.poly_kernel_len == 2 * 5 + 3
+        assert s.poly_product_len == 25 + 13 - 1
+
+    def test_poly_lengths_use_padded_width(self):
+        s = ConvShape(ih=5, iw=5, kh=3, kw=3, padding=1)
+        assert s.poly_input_len == 49
+        assert s.poly_kernel_len == 2 * 7 + 3
+
+    def test_invalid_shape_raises_at_construction(self):
+        with pytest.raises(ValueError):
+            ConvShape(ih=3, iw=3, kh=5, kw=5)
+
+    def test_with_replaces_fields(self):
+        s = ConvShape(ih=8, iw=8, kh=3, kw=3)
+        s2 = s.with_(n=16, padding=1)
+        assert (s2.n, s2.padding) == (16, 1)
+        assert (s.n, s.padding) == (1, 0)
+
+    def test_tensor_shapes_roundtrip(self):
+        s = ConvShape(ih=9, iw=7, kh=3, kw=2, n=4, c=2, f=6,
+                      padding=1, stride=2)
+        s2 = ConvShape.from_tensors(s.input_shape(), s.weight_shape(),
+                                    s.padding, s.stride)
+        assert s2 == s
+
+    def test_from_tensors_channel_mismatch(self):
+        with pytest.raises(ValueError, match="channel mismatch"):
+            ConvShape.from_tensors((1, 3, 8, 8), (4, 2, 3, 3))
+
+    def test_from_tensors_bad_rank(self):
+        with pytest.raises(ValueError, match="NCHW"):
+            ConvShape.from_tensors((3, 8, 8), (4, 3, 3, 3))
+        with pytest.raises(ValueError, match="FCKhKw"):
+            ConvShape.from_tensors((1, 3, 8, 8), (4, 3, 3))
+
+    def test_hashable_for_caching(self):
+        s = ConvShape(ih=8, iw=8, kh=3, kw=3)
+        assert {s: 1}[ConvShape(ih=8, iw=8, kh=3, kw=3)] == 1

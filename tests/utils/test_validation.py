@@ -1,0 +1,73 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import check_conv_inputs, ensure_array, require
+
+
+class TestRequire:
+    def test_passes_silently(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="custom message"):
+            require(False, "custom message")
+
+
+class TestEnsureArray:
+    def test_coerces_lists(self):
+        arr = ensure_array([1, 2, 3])
+        assert isinstance(arr, np.ndarray)
+
+    def test_dtype_cast(self):
+        arr = ensure_array([1, 2], dtype=float)
+        assert arr.dtype == np.float64
+
+    def test_ndim_check(self):
+        with pytest.raises(ValueError, match="must have 2 dimensions"):
+            ensure_array([1, 2, 3], name="vec", ndim=2)
+
+    def test_no_copy_when_possible(self):
+        arr = np.zeros(3)
+        assert ensure_array(arr) is arr
+
+
+class TestCheckConvInputs:
+    def _xw(self):
+        return np.zeros((1, 3, 8, 8)), np.zeros((4, 3, 3, 3))
+
+    def test_valid(self):
+        x, w = self._xw()
+        check_conv_inputs(x, w, padding=1, stride=1)
+
+    def test_input_rank(self):
+        _, w = self._xw()
+        with pytest.raises(ValueError, match="4D NCHW"):
+            check_conv_inputs(np.zeros((3, 8, 8)), w, 0, 1)
+
+    def test_weight_rank(self):
+        x, _ = self._xw()
+        with pytest.raises(ValueError, match="4D FCKhKw"):
+            check_conv_inputs(x, np.zeros((4, 3, 3)), 0, 1)
+
+    def test_channel_mismatch(self):
+        x, _ = self._xw()
+        with pytest.raises(ValueError, match="channel mismatch"):
+            check_conv_inputs(x, np.zeros((4, 2, 3, 3)), 0, 1)
+
+    def test_negative_padding(self):
+        x, w = self._xw()
+        with pytest.raises(ValueError, match="padding"):
+            check_conv_inputs(x, w, -1, 1)
+
+    def test_zero_stride(self):
+        x, w = self._xw()
+        with pytest.raises(ValueError, match="stride"):
+            check_conv_inputs(x, w, 0, 0)
+
+    def test_kernel_does_not_fit(self):
+        x = np.zeros((1, 1, 4, 4))
+        w = np.zeros((1, 1, 6, 6))
+        with pytest.raises(ValueError, match="does not fit"):
+            check_conv_inputs(x, w, 0, 1)
