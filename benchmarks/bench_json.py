@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""Standalone entry point for the JSON wall-clock benchmark suite.
+
+Equivalent to ``python -m repro bench``; exists so CI and scripts can run
+
+    python benchmarks/bench_json.py --smoke
+
+without knowing the package CLI.  The ``--smoke`` subset is also wired
+into the test suite as a ``slow``-marked test
+(``tests/test_bench_json.py``), excluded from the tier-1 run.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

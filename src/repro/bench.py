@@ -1,0 +1,375 @@
+"""JSON wall-clock benchmark harness (``python -m repro bench``).
+
+Runs a fixed suite of CPU shapes through the PolyHankel execution engine
+and records, per case:
+
+- ``first_call_ms``  — cold call: plan construction + weight transform;
+- ``seed_ms``        — steady state of the pre-engine implementation,
+  replicated faithfully: pow2 FFT sizes, the weight re-transformed on
+  every call (with the seed's per-filter construction loops), ``np.pad``
+  padding and advanced-index output gather;
+- ``uncached_ms``    — steady state at the auto FFT policy with the
+  spectrum cache disabled (isolates the caching win from the policy win);
+- ``cached_ms``      — steady state with the spectrum cache enabled;
+- ``layer_cached_ms``— steady state through ``nn.Conv2d`` (the full
+  engine path: plan cache + layer spectrum cache);
+- ``workers_ms``     — cached steady state with batch thread-chunking;
+- ``speedup``        — ``seed_ms / cached_ms`` (repeated same-shape calls
+  versus the seed implementation);
+- ``cache_speedup``  — ``uncached_ms / cached_ms``.
+
+Results are written as ``BENCH_<date>.json`` so successive PRs can diff
+wall-clock numbers against a committed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One (geometry, strategy, backend) point of the suite."""
+
+    name: str
+    size: int
+    kernel: int
+    batch: int
+    channels: int
+    filters: int
+    padding: int
+    strategy: str = "sum"
+    backend: str = "numpy"
+    heavy: bool = False  # skipped in --smoke runs
+
+
+SUITE: tuple[BenchCase, ...] = (
+    BenchCase("conv64_sum_numpy", 64, 5, 4, 3, 8, 2),
+    BenchCase("conv16_sum_numpy", 16, 3, 4, 3, 8, 1),
+    BenchCase("conv16_merge_numpy", 16, 3, 4, 3, 8, 1, strategy="merge"),
+    BenchCase("conv32_sum_numpy_c16", 32, 3, 4, 16, 16, 1, heavy=True),
+    BenchCase("conv16_sum_builtin", 16, 3, 4, 3, 8, 1, backend="builtin"),
+    BenchCase("conv64_sum_builtin", 64, 5, 4, 3, 8, 2, backend="builtin",
+              heavy=True),
+)
+
+
+def _seed_fft_pow2(x, sign):
+    """The seed's radix-2 kernel: per-stage temporaries + copy-back
+    (since rewritten with in-place ufuncs)."""
+    from repro.fft.plan import get_fft_plan
+
+    n = x.shape[-1]
+    plan = get_fft_plan(n)
+    out = np.ascontiguousarray(x[..., plan.perm], dtype=complex)
+    stages = plan.fwd_stages if sign < 0 else plan.inv_stages
+    size = 2
+    for tw in stages:
+        half = size // 2
+        view = out.reshape(*out.shape[:-1], n // size, size)
+        even = view[..., :half]
+        odd = view[..., half:] * tw
+        view[..., :half], view[..., half:] = even + odd, even - odd
+        size *= 2
+    return out
+
+
+def _seed_builtin_rfft(x, n):
+    """The seed's even-size packed rfft (np.pad + np.roll unpack)."""
+    if x.shape[-1] < n:
+        pad = [(0, 0)] * (x.ndim - 1) + [(0, n - x.shape[-1])]
+        x = np.pad(x, pad)
+    z = x[..., 0::2] + 1j * x[..., 1::2]
+    z_hat = _seed_fft_pow2(z, -1.0)
+    z_rev = np.roll(z_hat[..., ::-1], 1, axis=-1)
+    even = 0.5 * (z_hat + np.conj(z_rev))
+    odd = -0.5j * (z_hat - np.conj(z_rev))
+    tw = np.exp(-2j * np.pi * np.arange(n // 2 + 1) / n)
+    even_ext = np.concatenate([even, even[..., :1]], axis=-1)
+    odd_ext = np.concatenate([odd, odd[..., :1]], axis=-1)
+    return even_ext + tw * odd_ext
+
+
+def _seed_builtin_irfft(spec, n):
+    """The seed's irfft: full Hermitian rebuild + full-length inverse
+    (since replaced by the packed half-length inverse)."""
+    tail = np.conj(spec[..., -2:0:-1])
+    full = np.concatenate([spec, tail], axis=-1)
+    return (_seed_fft_pow2(full, +1.0) / n).real
+
+
+def _seed_conv2d(x, w, padding, strategy, backend):
+    """Per-call pipeline of the seed implementation, replicated verbatim.
+
+    The engine's shared code paths have since been optimized (vectorized
+    merge construction, allocate-and-assign padding, strided gather,
+    in-place radix-2 butterflies, packed half-length inverse real FFT),
+    so timing today's code with caches disabled would understate the
+    seed.  This replica keeps the seed's behavior: per-call validation
+    and shape/plan dispatch (validation ran again inside
+    ``transform_weight`` and ``execute``), pow2 FFT sizes, per-call
+    weight transform with per-filter Python loops for the merge layout,
+    ``np.pad``, advanced-index output gather, and the seed's builtin FFT
+    kernels.
+    """
+    from repro import fft as _fft
+    from repro.core.construction import (
+        channel_kernel_stack, merged_input_polynomial,
+        merged_kernel_polynomial,
+    )
+    from repro.core.multichannel import get_plan
+    from repro.utils.shapes import ConvShape
+    from repro.utils.validation import check_conv_inputs, ensure_array
+
+    x = ensure_array(x, "x", dtype=float)
+    w = ensure_array(w, "weight", dtype=float)
+    check_conv_inputs(x, w, padding, 1)
+    shape = ConvShape.from_tensors(x.shape, w.shape, padding, 1)
+    fft = _fft.get_backend(backend)
+    plan = get_plan(shape, "pow2", strategy, backend)
+    w = ensure_array(w, "weight", ndim=4, dtype=float)
+    x = ensure_array(x, "x", ndim=4, dtype=float)
+    nfft = plan.nfft
+    builtin = fft.name == "builtin"
+    rfft = _seed_builtin_rfft if builtin else fft.rfft
+    pad = shape.padding
+    xp = np.pad(x, [(0, 0), (0, 0), (pad, pad), (pad, pad)])
+    n, c = shape.n, shape.c
+    if strategy == "sum":
+        w_hat = rfft(channel_kernel_stack(w, shape.padded_iw), nfft)
+        x_hat = rfft(xp.reshape(n, c, -1), nfft)
+        out_hat = np.einsum("ncb,fcb->nfb", x_hat, w_hat)
+    else:
+        w_hat = rfft(np.stack([
+            merged_kernel_polynomial(w[f], shape.padded_iw)
+            for f in range(shape.f)
+        ]), nfft)
+        merged = np.stack([merged_input_polynomial(xp[i]) for i in range(n)])
+        x_hat = rfft(merged, nfft)
+        out_hat = x_hat[:, None, :] * w_hat[None, :, :]
+    if builtin:
+        product = _seed_builtin_irfft(out_hat, nfft)
+    else:
+        product = fft.irfft(out_hat, nfft)
+    return product[..., plan.gather]
+
+
+def _time_ms(fn, repeats: int, warmup: int = 1) -> float:
+    """Best-of-*repeats* wall-clock milliseconds for one call of *fn*."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1e3
+
+
+def _time_interleaved(fns: dict[str, object], repeats: int,
+                      rounds: int | None = None,
+                      warmup: int = 1) -> dict[str, float]:
+    """Best-of ms per function, measured as round-robin *blocks*.
+
+    Each path is timed in consecutive-call blocks (the workload the
+    engine targets — repeated same-shape calls — and it keeps the CPU
+    caches in their steady state for that path), but blocks for all paths
+    alternate across several rounds so background-load drift on a shared
+    box cannot bias one path's numbers.  More rounds (of smaller blocks)
+    means every path samples more distinct time windows, so bursty
+    background load is unlikely to depress one path's floor and not
+    another's.
+    """
+    if rounds is None:
+        rounds = max(3, min(12, repeats // 5))
+    for fn in fns.values():
+        for _ in range(warmup):
+            fn()
+    best = {name: float("inf") for name in fns}
+    per_block = max(1, repeats // rounds)
+    for _ in range(rounds):
+        for name, fn in fns.items():
+            fn()  # re-warm this path's cache lines after the round-robin
+            for _ in range(per_block):
+                start = time.perf_counter()
+                fn()
+                best[name] = min(best[name],
+                                 time.perf_counter() - start)
+    return {name: t * 1e3 for name, t in best.items()}
+
+
+def run_case(case: BenchCase, repeats: int = 5,
+             workers: int | None = 2) -> dict:
+    """Measure every engine path for one suite case."""
+    from repro.core import multichannel as mc
+    from repro.nn.layers import Conv2d
+    from repro.utils.random import random_problem
+    from repro.utils.shapes import ConvShape
+
+    shape = ConvShape(ih=case.size, iw=case.size, kh=case.kernel,
+                      kw=case.kernel, n=case.batch, c=case.channels,
+                      f=case.filters, padding=case.padding)
+    x, w = random_problem(shape)
+
+    def call(**kw):
+        return mc.conv2d_polyhankel(x, w, padding=case.padding,
+                                    strategy=case.strategy,
+                                    backend=case.backend, **kw)
+
+    # Cold: plan + spectrum built from nothing.
+    mc.clear_plan_cache()
+    mc.clear_spectrum_cache()
+    start = time.perf_counter()
+    call()
+    first_call_ms = (time.perf_counter() - start) * 1e3
+
+    # The seed replica must agree with the engine, or the baseline is
+    # bogus (see _seed_conv2d).
+    seed_out = _seed_conv2d(x, w, case.padding, case.strategy, case.backend)
+    if not np.allclose(seed_out, call(), atol=1e-8):
+        raise AssertionError(f"seed replica diverged on {case.name}")
+
+    plan = mc.get_plan(shape, strategy=case.strategy, backend=case.backend)
+    fns = {
+        "seed": lambda: _seed_conv2d(x, w, case.padding, case.strategy,
+                                     case.backend),
+        # Per-call weight transform through today's pipeline, bypassing
+        # the spectrum cache.
+        "uncached": lambda: plan.execute(x, plan.transform_weight(w)),
+        "cached": call,
+    }
+    if workers and case.batch > 1:
+        fns["workers"] = lambda: call(workers=workers)
+    # Conv2d always runs the default (numpy) backend, so the layer column
+    # is only meaningful for numpy cases.
+    if case.backend == "numpy":
+        layer = Conv2d(case.channels, case.filters, case.kernel,
+                       padding=case.padding, bias=False)
+        layer.weight = w
+        fns["layer"] = lambda: layer(x)
+
+    times = _time_interleaved(fns, repeats)
+    seed_ms = times["seed"]
+    uncached_ms = times["uncached"]
+    cached_ms = times["cached"]
+    workers_ms = times.get("workers")
+    layer_cached_ms = times.get("layer")
+
+    return {
+        "name": case.name,
+        "shape": {"size": case.size, "kernel": case.kernel,
+                  "batch": case.batch, "channels": case.channels,
+                  "filters": case.filters, "padding": case.padding},
+        "strategy": case.strategy,
+        "backend": case.backend,
+        "first_call_ms": round(first_call_ms, 4),
+        "seed_ms": round(seed_ms, 4),
+        "uncached_ms": round(uncached_ms, 4),
+        "cached_ms": round(cached_ms, 4),
+        "layer_cached_ms": round(layer_cached_ms, 4)
+        if layer_cached_ms is not None else None,
+        "workers_ms": round(workers_ms, 4) if workers_ms is not None
+        else None,
+        "speedup": round(seed_ms / cached_ms, 3) if cached_ms else None,
+        "cache_speedup": round(uncached_ms / cached_ms, 3)
+        if cached_ms else None,
+    }
+
+
+def run_suite(smoke: bool = False, repeats: int = 5,
+              workers: int | None = 2) -> dict:
+    """Run the whole suite; ``smoke=True`` trims repeats and heavy cases."""
+    from repro.core.multichannel import plan_cache_info, spectrum_cache_info
+    from repro.fft.plan import fft_plan_cache_info
+
+    if smoke:
+        repeats = min(repeats, 2)
+    cases = [c for c in SUITE if not (smoke and c.heavy)]
+    results = [run_case(c, repeats=repeats, workers=workers) for c in cases]
+    return {
+        "schema": SCHEMA_VERSION,
+        "date": datetime.date.today().isoformat(),
+        "smoke": smoke,
+        "repeats": repeats,
+        "workers": workers,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "results": results,
+        "caches": {
+            "plan": plan_cache_info()._asdict(),
+            "spectrum": spectrum_cache_info()._asdict(),
+            "fft_plan": fft_plan_cache_info()._asdict(),
+        },
+    }
+
+
+def format_report(report: dict) -> str:
+    """Human-readable table for one :func:`run_suite` report."""
+    lines = [f"bench {report['date']}  (repeats={report['repeats']}, "
+             f"smoke={report['smoke']})"]
+    header = (f"{'case':<24} {'first':>9} {'seed':>9} {'uncached':>9} "
+              f"{'cached':>9} {'layer':>9} {'workers':>9} {'speedup':>8}")
+    lines.append(header)
+    for r in report["results"]:
+        wk = f"{r['workers_ms']:9.3f}" if r["workers_ms"] is not None \
+            else f"{'-':>9}"
+        ly = f"{r['layer_cached_ms']:9.3f}" \
+            if r["layer_cached_ms"] is not None else f"{'-':>9}"
+        lines.append(
+            f"{r['name']:<24} {r['first_call_ms']:9.3f} "
+            f"{r['seed_ms']:9.3f} "
+            f"{r['uncached_ms']:9.3f} {r['cached_ms']:9.3f} "
+            f"{ly} {wk} {r['speedup']:8.2f}x")
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path: str | None = None) -> str:
+    """Serialize *report* to *path* (default ``BENCH_<date>.json``)."""
+    if path is None:
+        path = f"BENCH_{report['date']}.json"
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="PolyHankel execution-engine wall-clock benchmarks")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast subset (CI-friendly)")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="thread count for the workers column")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default BENCH_<date>.json)")
+    parser.add_argument("--no-json", action="store_true",
+                        help="print the table only")
+    args = parser.parse_args(argv)
+
+    report = run_suite(smoke=args.smoke, repeats=args.repeats,
+                       workers=args.workers)
+    print(format_report(report))
+    if not args.no_json:
+        path = write_report(report, args.out)
+        print(f"[written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -7,7 +7,12 @@ Commands:
 - ``simulate``   — simulated GPU time for one convolution shape;
 - ``select``     — algorithm recommendation (model + rules) for a shape;
 - ``tune``       — measure algorithms on this machine for a shape;
+- ``bench``      — execution-engine wall-clock suite, written as JSON;
 - ``algorithms`` — list the registered algorithms.
+
+``selftest``, ``tune`` and ``bench`` accept ``--cache-stats`` to print the
+hit/miss statistics of the plan, weight-spectrum and FFT-plan caches after
+the run.
 """
 
 from __future__ import annotations
@@ -39,6 +44,18 @@ def _add_shape_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--stride", type=int, default=1)
 
 
+def _print_cache_stats() -> None:
+    from repro.core.multichannel import plan_cache_info, spectrum_cache_info
+    from repro.fft.plan import fft_plan_cache_info
+
+    print("\ncache statistics (hits / misses / size / maxsize):")
+    for label, info in [("conv plans", plan_cache_info()),
+                        ("weight spectra", spectrum_cache_info()),
+                        ("fft plans", fft_plan_cache_info())]:
+        print(f"  {label:<16} {info.hits:>6} / {info.misses:>6} / "
+              f"{info.size:>4} / {info.maxsize}")
+
+
 def cmd_selftest(args) -> int:
     from repro.baselines.registry import (
         ConvAlgorithm, convolve, list_algorithms, supports,
@@ -60,6 +77,8 @@ def cmd_selftest(args) -> int:
             failures += 1
         print(f"{algo.value:<24} max|diff| = {err:.2e}  {status}")
     print("selftest", "FAILED" if failures else "passed")
+    if getattr(args, "cache_stats", False):
+        _print_cache_stats()
     return 1 if failures else 0
 
 
@@ -138,7 +157,27 @@ def cmd_tune(args) -> int:
     for algo, seconds in result.ranking():
         print(f"  {algo.value:<24} {seconds * 1e3:10.3f} ms")
     print(f"best: {result.best.value}")
+    if getattr(args, "cache_stats", False):
+        _print_cache_stats()
     return 0
+
+
+def cmd_bench(args) -> int:
+    from repro import bench
+
+    argv = []
+    if args.smoke:
+        argv.append("--smoke")
+    if args.no_json:
+        argv.append("--no-json")
+    if args.out:
+        argv.extend(["--out", args.out])
+    argv.extend(["--repeats", str(args.repeats),
+                 "--workers", str(args.workers)])
+    code = bench.main(argv)
+    if getattr(args, "cache_stats", False):
+        _print_cache_stats()
+    return code
 
 
 def cmd_algorithms(args) -> int:
@@ -156,8 +195,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("selftest", help="cross-algorithm correctness check") \
-        .set_defaults(fn=cmd_selftest)
+    selftest = sub.add_parser("selftest",
+                              help="cross-algorithm correctness check")
+    selftest.add_argument("--cache-stats", action="store_true",
+                          help="print cache hit/miss statistics afterwards")
+    selftest.set_defaults(fn=cmd_selftest)
 
     figures = sub.add_parser("figures", help="regenerate paper figures")
     figures.add_argument("figure", choices=["3", "4", "5", "6", "7", "all"],
@@ -181,7 +223,23 @@ def build_parser() -> argparse.ArgumentParser:
     tune = sub.add_parser("tune", help="measure algorithms on this machine")
     _add_shape_arguments(tune)
     tune.add_argument("--repeats", type=int, default=3)
+    tune.add_argument("--cache-stats", action="store_true",
+                      help="print cache hit/miss statistics afterwards")
     tune.set_defaults(fn=cmd_tune)
+
+    bench = sub.add_parser("bench",
+                           help="execution-engine wall-clock suite (JSON)")
+    bench.add_argument("--smoke", action="store_true",
+                       help="fast subset (CI-friendly)")
+    bench.add_argument("--repeats", type=int, default=5)
+    bench.add_argument("--workers", type=int, default=2)
+    bench.add_argument("--out", default=None,
+                       help="output JSON path (default BENCH_<date>.json)")
+    bench.add_argument("--no-json", action="store_true",
+                       help="print the table only")
+    bench.add_argument("--cache-stats", action="store_true",
+                       help="print cache hit/miss statistics afterwards")
+    bench.set_defaults(fn=cmd_bench)
 
     sub.add_parser("algorithms", help="list registered algorithms") \
         .set_defaults(fn=cmd_algorithms)

@@ -118,6 +118,38 @@ def merged_kernel_polynomial(weight_c: np.ndarray, iw: int) -> np.ndarray:
     return coeffs
 
 
+def merged_input_stack(x_padded: np.ndarray) -> np.ndarray:
+    """Interleaved multi-channel A(t) for a whole batch, vectorized.
+
+    *x_padded* is ``(n, c, ph, pw)``; returns ``(n, C * ph * pw)`` — row
+    ``i`` equals ``merged_input_polynomial(x_padded[i])``.
+    """
+    x_padded = ensure_array(x_padded, "x_padded", ndim=4)
+    n, c = x_padded.shape[:2]
+    # (n, c, L) -> (n, L, c) -> ravel per image interleaves channels.
+    return np.ascontiguousarray(
+        x_padded.reshape(n, c, -1).transpose(0, 2, 1)
+    ).reshape(n, -1)
+
+
+def merged_kernel_stack(weight: np.ndarray, iw: int) -> np.ndarray:
+    """Interleaved multi-channel U(t) for every filter, vectorized.
+
+    *weight* is ``(f, c, kh, kw)``; returns ``(f, C * (M + 1))`` — row
+    ``f`` equals ``merged_kernel_polynomial(weight[f], iw)``.  The scatter
+    indices are disjoint across channels (distinct residues mod C), so one
+    fancy-index assignment replaces the per-filter/per-channel loops.
+    """
+    weight = ensure_array(weight, "weight", ndim=4)
+    f, c, kh, kw = weight.shape
+    m = max_kernel_degree(kh, kw, iw)
+    deg = kernel_degrees(kh, kw, iw)  # (kh, kw)
+    idx = deg[None, :, :] * c + (c - 1 - np.arange(c))[:, None, None]
+    coeffs = np.zeros((f, c * (m + 1)), dtype=weight.dtype)
+    coeffs[:, idx.reshape(-1)] = weight.reshape(f, -1)
+    return coeffs
+
+
 def merged_output_gather_indices(shape: ConvShape) -> np.ndarray:
     """Gather indices for the merged layout: ``C * deg + (C - 1)``."""
     return shape.c * output_gather_indices(shape) + (shape.c - 1)

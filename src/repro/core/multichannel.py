@@ -10,13 +10,23 @@ Two channel-handling strategies, as discussed in the paper:
   price of a C-times larger transform.
 
 Both produce identical results; ``benchmarks/bench_ablation_channel_merge``
-quantifies the tradeoff the paper describes ("an increase in input size
-significantly increases the execution time for FFT, surpassing the time
-needed for summing different channels").
+quantifies the tradeoff the paper describes.
+
+This module is also the execution engine: everything shape-dependent lives
+in a :class:`PolyHankelPlan` (bounded LRU cache, :func:`get_plan`), and
+everything *weight*-dependent — the kernel spectrum — is memoized in a
+bounded, content-verified spectrum cache (:meth:`PolyHankelPlan.
+weight_spectrum`), so steady-state inference transforms each kernel exactly
+once.  :meth:`PolyHankelPlan.execute` optionally chunks the batch across a
+thread pool (``workers=N``); chunked execution is bit-identical to the
+sequential path because every pipeline stage is row-independent.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Literal
 
@@ -25,18 +35,40 @@ import numpy as np
 from repro import fft as _fft
 from repro.core.construction import (
     channel_kernel_stack,
-    merged_input_polynomial,
-    merged_kernel_polynomial,
+    merged_input_stack,
+    merged_kernel_stack,
     merged_output_gather_indices,
     output_gather_indices,
     polynomial_lengths,
 )
-from repro.core.planning import FftPolicy, plan_fft_size
+from repro.core.planning import FftPolicy, plan_fft_size, resolve_fft_policy
+from repro.fft.plan import CacheInfo
 from repro.hankel.im2col_view import pad2d
 from repro.utils.shapes import ConvShape
 from repro.utils.validation import check_conv_inputs, ensure_array
 
 ChannelStrategy = Literal["sum", "merge"]
+
+
+def _as_grid(gather: np.ndarray) -> tuple[int, int, int] | None:
+    """``(base, row_stride, col_stride)`` if *gather* is a regular grid.
+
+    Output degrees are affine in (i, j) for every stride (Eq. 12), so this
+    holds for all shapes we generate; the check keeps it an invariant
+    rather than an assumption.
+    """
+    if gather.ndim != 2 or gather.size == 0:
+        return None
+    base = int(gather[0, 0])
+    cs = int(gather[0, 1]) - base if gather.shape[1] > 1 else 1
+    rs = int(gather[1, 0]) - base if gather.shape[0] > 1 else 1
+    if rs <= 0 or cs <= 0:
+        return None
+    oh, ow = gather.shape
+    expect = base + rs * np.arange(oh)[:, None] + cs * np.arange(ow)[None, :]
+    if not np.array_equal(gather, expect):
+        return None
+    return base, rs, cs
 
 
 @dataclass
@@ -46,8 +78,12 @@ class PolyHankelPlan:
     Mirrors cuDNN's plan/descriptor pattern: the FFT size, gather indices
     and the kernel spectrum layout depend only on the :class:`ConvShape`, so
     repeated executions (every training/inference step) reuse them.  The
-    weight spectrum itself can also be cached via :meth:`transform_weight`
-    when weights are frozen.
+    weight spectrum itself is cached via :meth:`weight_spectrum` when
+    weights are frozen.
+
+    ``fft_policy="auto"`` resolves to the concrete policy best for the
+    plan's backend (see :func:`repro.core.planning.resolve_fft_policy`);
+    after construction :attr:`fft_policy` is always concrete.
     """
 
     shape: ConvShape
@@ -56,6 +92,7 @@ class PolyHankelPlan:
     backend: str | None = None
     nfft: int = field(init=False)
     gather: np.ndarray = field(init=False)
+    gather_grid: tuple[int, int, int] | None = field(init=False)
 
     def __post_init__(self) -> None:
         if self.strategy not in ("sum", "merge"):
@@ -63,6 +100,7 @@ class PolyHankelPlan:
                 f"unknown channel strategy {self.strategy!r}; "
                 "expected 'sum' or 'merge'"
             )
+        self.fft_policy = resolve_fft_policy(self.fft_policy, self.backend)
         len_a, len_u, linear_len = polynomial_lengths(self.shape)
         if self.strategy == "sum":
             self.nfft = plan_fft_size(linear_len, self.fft_policy)
@@ -72,6 +110,19 @@ class PolyHankelPlan:
             merged_linear = c * len_a + c * len_u - 1
             self.nfft = plan_fft_size(merged_linear, self.fft_policy)
             self.gather = merged_output_gather_indices(self.shape)
+        self.gather_grid = _as_grid(self.gather)
+        # Per-plan scratch buffers for the sequential path (padded input,
+        # frequency-product target).  Reuse keeps the pages warm across
+        # repeated calls; every element is overwritten per call, so the
+        # values are identical to freshly allocated buffers.
+        self._scratch: dict = {}
+        self._scratch_lock = threading.Lock()
+
+    @property
+    def cache_key(self) -> tuple:
+        """Identity of this plan's numerical configuration."""
+        backend_name = _fft.get_backend(self.backend).name
+        return (self.shape, self.fft_policy, self.strategy, backend_name)
 
     # -- weight handling -----------------------------------------------------
 
@@ -79,7 +130,8 @@ class PolyHankelPlan:
         """Kernel polynomial spectra for *weight* (``(f, c, kh, kw)``).
 
         Returns ``(f, c, nfft//2 + 1)`` for the ``sum`` strategy and
-        ``(f, nfft//2 + 1)`` for ``merge``.
+        ``(f, nfft//2 + 1)`` for ``merge``.  Always recomputes; the cached
+        entry point is :meth:`weight_spectrum`.
         """
         weight = ensure_array(weight, "weight", ndim=4, dtype=float)
         if weight.shape != self.shape.weight_shape():
@@ -91,80 +143,321 @@ class PolyHankelPlan:
         if self.strategy == "sum":
             stack = channel_kernel_stack(weight, self.shape.padded_iw)
             return fft.rfft(stack, self.nfft)
-        merged = np.stack([
-            merged_kernel_polynomial(weight[f], self.shape.padded_iw)
-            for f in range(self.shape.f)
-        ])
+        merged = merged_kernel_stack(weight, self.shape.padded_iw)
         return fft.rfft(merged, self.nfft)
+
+    def weight_spectrum(self, weight: np.ndarray) -> np.ndarray:
+        """Cached kernel spectra for *weight*.
+
+        Consults the module-level spectrum cache keyed by ``(id(weight),
+        id(plan))``.  A hit is only served after an exact content check
+        against the stored snapshot, so mutating a weight array (in place
+        or by rebinding) always yields fresh spectra — the cache can return
+        stale results **never**, only miss.
+        """
+        if not _spectrum_cache_enabled():
+            return self.transform_weight(weight)
+        # Key on object identities — much cheaper to hash per call than the
+        # full plan cache_key tuple.  Storing the plan in the entry both
+        # pins its id (no reuse while the entry lives) and lets the hit
+        # path confirm the entry belongs to this exact plan object.
+        key = (id(weight), id(self))
+        arr = np.asarray(weight)
+        with _spectrum_lock:
+            entry = _SPECTRUM_CACHE.get(key)
+            if entry is not None and entry[1] is self \
+                    and arr.shape == entry[0].shape \
+                    and np.array_equal(arr, entry[0]):
+                _SPECTRUM_STATS["hits"] += 1
+                _SPECTRUM_CACHE.move_to_end(key)
+                return entry[2]
+            _SPECTRUM_STATS["misses"] += 1
+        spectrum = self.transform_weight(weight)
+        with _spectrum_lock:
+            _SPECTRUM_CACHE[key] = (arr.astype(float, copy=True), self,
+                                    spectrum)
+            _SPECTRUM_CACHE.move_to_end(key)
+            while len(_SPECTRUM_CACHE) > _SPECTRUM_LIMIT[0]:
+                _SPECTRUM_CACHE.popitem(last=False)
+        return spectrum
 
     # -- execution -------------------------------------------------------------
 
-    def execute(self, x: np.ndarray, weight_hat: np.ndarray) -> np.ndarray:
-        """Run the convolution for input *x* against a transformed weight."""
-        x = ensure_array(x, "x", ndim=4, dtype=float)
-        if x.shape != self.shape.input_shape():
-            raise ValueError(
-                f"input shape {x.shape} does not match plan "
-                f"{self.shape.input_shape()}"
-            )
-        fft = _fft.get_backend(self.backend)
-        xp = pad2d(x, self.shape.padding)
-        n, c = self.shape.n, self.shape.c
+    def execute(self, x: np.ndarray, weight_hat: np.ndarray,
+                workers: int | None = None, check: bool = True) -> np.ndarray:
+        """Run the convolution for input *x* against a transformed weight.
 
+        ``workers=N`` (N > 1) chunks the batch across a thread pool; the
+        result is bit-identical to the sequential path because the FFT,
+        pointwise-multiply and gather stages are all row-independent.
+        ``check=False`` skips input validation for callers (the functional
+        wrapper, layers) that have already performed it.
+        """
+        if check:
+            x = ensure_array(x, "x", ndim=4, dtype=float)
+            if x.shape != self.shape.input_shape():
+                raise ValueError(
+                    f"input shape {x.shape} does not match plan "
+                    f"{self.shape.input_shape()}"
+                )
+        fft = _fft.get_backend(self.backend)
+        n = self.shape.n
+        sequential = workers is None or workers <= 1 or n <= 1
+        # Scratch reuse only for the sequential path, and only when no
+        # other caller holds the buffers (concurrent callers fall back to
+        # fresh allocations, so reuse is never a correctness concern).
+        reuse = sequential and self._scratch_lock.acquire(blocking=False)
+        try:
+            xp = self._pad_input(x, reuse)
+            if sequential:
+                return self._execute_block(xp, weight_hat, fft, reuse)
+        finally:
+            if reuse:
+                self._scratch_lock.release()
+        bounds = np.array_split(np.arange(n), min(workers, n))
+        pool = _get_pool(min(workers, n))
+        futures = [
+            pool.submit(self._execute_block,
+                        xp[idx[0]: idx[-1] + 1], weight_hat, fft)
+            for idx in bounds if len(idx)
+        ]
+        return np.concatenate([f.result() for f in futures], axis=0)
+
+    def _pad_input(self, x: np.ndarray, reuse: bool = False) -> np.ndarray:
+        """Zero-padded input, from the plan's scratch buffer if *reuse*.
+
+        The scratch border stays zero across calls (only the interior is
+        rewritten), so reuse skips re-zeroing the whole buffer.
+        """
+        p = self.shape.padding
+        if p == 0:
+            return x
+        if not reuse:
+            return pad2d(x, p)
+        ih, iw = self.shape.ih, self.shape.iw
+        buf = self._scratch.get("xp")
+        if buf is None:
+            buf = np.zeros(x.shape[:-2] + (ih + 2 * p, iw + 2 * p))
+            self._scratch["xp"] = buf
+        buf[..., p:p + ih, p:p + iw] = x
+        return buf
+
+    def _execute_block(self, xp: np.ndarray, weight_hat: np.ndarray,
+                       fft, reuse: bool = False) -> np.ndarray:
+        """The frequency-domain pipeline for one (sub-)batch of padded
+        images ``(n_block, c, ph, pw)``."""
+        n, c = xp.shape[0], self.shape.c
+        bins = weight_hat.shape[-1]
+        out = None
+        if reuse:
+            out = self._scratch.get("out_hat")
+            if out is None or out.shape != (n, self.shape.f, bins):
+                out = np.empty((n, self.shape.f, bins), dtype=complex)
+                self._scratch["out_hat"] = out
         if self.strategy == "sum":
             flat = xp.reshape(n, c, -1)
             x_hat = fft.rfft(flat, self.nfft)            # (n, c, bins)
             # Pointwise multiply and sum over channels: the paper's
             # "summation of outputs across different channels ... during
             # element-wise multiplication".
-            out_hat = np.einsum("ncb,fcb->nfb", x_hat, weight_hat)
+            out_hat = np.einsum("ncb,fcb->nfb", x_hat, weight_hat, out=out) \
+                if out is not None \
+                else np.einsum("ncb,fcb->nfb", x_hat, weight_hat)
         else:
-            merged = np.stack([merged_input_polynomial(xp[i])
-                               for i in range(n)])       # (n, C*L)
+            merged = merged_input_stack(xp)              # (n, C*L)
             x_hat = fft.rfft(merged, self.nfft)          # (n, bins)
-            out_hat = x_hat[:, None, :] * weight_hat[None, :, :]
+            if out is not None:
+                out_hat = np.multiply(x_hat[:, None, :],
+                                      weight_hat[None, :, :], out=out)
+            else:
+                out_hat = x_hat[:, None, :] * weight_hat[None, :, :]
 
         product = fft.irfft(out_hat, self.nfft)          # (n, f, nfft)
-        return product[..., self.gather]                 # (n, f, oh, ow)
+        grid = self.gather_grid
+        if grid is None:
+            return product[..., self.gather]             # (n, f, oh, ow)
+        # The gather degrees form a regular (row-stride, col-stride) grid,
+        # so a strided view + one contiguous copy replaces the advanced
+        # indexing (no index array to walk); the values are identical.
+        base, rs, cs = grid
+        oh, ow = self.gather.shape
+        flat = np.ascontiguousarray(product).reshape(-1, self.nfft)
+        s0, s1 = flat.strides
+        view = np.lib.stride_tricks.as_strided(
+            flat[:, base:], shape=(flat.shape[0], oh, ow),
+            strides=(s0, rs * s1, cs * s1))
+        return np.ascontiguousarray(view).reshape(
+            product.shape[:-1] + (oh, ow))
 
 
-_PLAN_CACHE: dict[tuple, PolyHankelPlan] = {}
+# ---------------------------------------------------------------------------
+# Bounded plan cache with hit/miss statistics.
+# ---------------------------------------------------------------------------
+
+_plan_lock = threading.Lock()
+_PLAN_CACHE: OrderedDict[tuple, PolyHankelPlan] = OrderedDict()
+_PLAN_LIMIT = [256]
+_PLAN_STATS = {"hits": 0, "misses": 0}
 
 
-def get_plan(shape: ConvShape, fft_policy: FftPolicy = "pow2",
+def get_plan(shape: ConvShape, fft_policy: FftPolicy = "auto",
              strategy: ChannelStrategy = "sum",
              backend: str | None = None) -> PolyHankelPlan:
-    """Fetch (or build and cache) the plan for *shape* and options."""
+    """Fetch (or build and LRU-cache) the plan for *shape* and options."""
     backend_name = _fft.get_backend(backend).name
-    key = (shape, fft_policy, strategy, backend_name)
-    plan = _PLAN_CACHE.get(key)
-    if plan is None:
-        plan = PolyHankelPlan(shape, fft_policy, strategy, backend_name)
+    policy = resolve_fft_policy(fft_policy, backend_name)
+    key = (shape, policy, strategy, backend_name)
+    with _plan_lock:
+        plan = _PLAN_CACHE.get(key)
+        if plan is not None:
+            _PLAN_STATS["hits"] += 1
+            _PLAN_CACHE.move_to_end(key)
+            return plan
+        _PLAN_STATS["misses"] += 1
+    plan = PolyHankelPlan(shape, policy, strategy, backend_name)
+    with _plan_lock:
         _PLAN_CACHE[key] = plan
+        _PLAN_CACHE.move_to_end(key)
+        while len(_PLAN_CACHE) > _PLAN_LIMIT[0]:
+            _PLAN_CACHE.popitem(last=False)
     return plan
+
+
+def plan_cache_info() -> CacheInfo:
+    """Hit/miss statistics of the plan cache."""
+    with _plan_lock:
+        return CacheInfo(_PLAN_STATS["hits"], _PLAN_STATS["misses"],
+                         len(_PLAN_CACHE), _PLAN_LIMIT[0])
+
+
+def set_plan_cache_limit(maxsize: int) -> None:
+    """Bound the number of cached plans, evicting LRU entries if needed."""
+    if maxsize < 1:
+        raise ValueError("plan cache limit must be >= 1")
+    with _plan_lock:
+        _PLAN_LIMIT[0] = maxsize
+        while len(_PLAN_CACHE) > maxsize:
+            _PLAN_CACHE.popitem(last=False)
 
 
 def clear_plan_cache() -> None:
     """Drop all cached plans (mainly for tests and memory control)."""
-    _PLAN_CACHE.clear()
+    with _plan_lock:
+        _PLAN_CACHE.clear()
+        _ARG_MEMO.clear()
+        _PLAN_STATS["hits"] = _PLAN_STATS["misses"] = 0
+
+
+# ---------------------------------------------------------------------------
+# Bounded, content-verified weight-spectrum cache.
+# ---------------------------------------------------------------------------
+
+_spectrum_lock = threading.Lock()
+_SPECTRUM_CACHE: OrderedDict[
+    tuple, tuple[np.ndarray, PolyHankelPlan, np.ndarray]] = OrderedDict()
+_SPECTRUM_LIMIT = [64]
+_SPECTRUM_STATS = {"hits": 0, "misses": 0}
+_SPECTRUM_ENABLED = [True]
+
+
+def _spectrum_cache_enabled() -> bool:
+    return _SPECTRUM_ENABLED[0]
+
+
+def enable_spectrum_cache(enabled: bool = True) -> None:
+    """Globally enable/disable spectrum caching (used for benchmarking the
+    uncached reference path)."""
+    _SPECTRUM_ENABLED[0] = bool(enabled)
+
+
+def spectrum_cache_info() -> CacheInfo:
+    """Hit/miss statistics of the weight-spectrum cache."""
+    with _spectrum_lock:
+        return CacheInfo(_SPECTRUM_STATS["hits"], _SPECTRUM_STATS["misses"],
+                         len(_SPECTRUM_CACHE), _SPECTRUM_LIMIT[0])
+
+
+def set_spectrum_cache_limit(maxsize: int) -> None:
+    """Bound the number of cached spectra, evicting LRU entries if needed."""
+    if maxsize < 1:
+        raise ValueError("spectrum cache limit must be >= 1")
+    with _spectrum_lock:
+        _SPECTRUM_LIMIT[0] = maxsize
+        while len(_SPECTRUM_CACHE) > maxsize:
+            _SPECTRUM_CACHE.popitem(last=False)
+
+
+def clear_spectrum_cache() -> None:
+    """Drop all cached spectra and reset the statistics."""
+    with _spectrum_lock:
+        _SPECTRUM_CACHE.clear()
+        _SPECTRUM_STATS["hits"] = _SPECTRUM_STATS["misses"] = 0
+
+
+# ---------------------------------------------------------------------------
+# Shared thread pools for workers=N execution.
+# ---------------------------------------------------------------------------
+
+_pool_lock = threading.Lock()
+_POOLS: dict[int, ThreadPoolExecutor] = {}
+
+
+def _get_pool(workers: int) -> ThreadPoolExecutor:
+    with _pool_lock:
+        pool = _POOLS.get(workers)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="polyhankel")
+            _POOLS[workers] = pool
+        return pool
+
+
+# Front memo for the functional entry point: maps primitive argument
+# tuples straight to plan objects, skipping ConvShape construction and its
+# (comparatively expensive) dataclass hashing on the steady-state path.
+# Entries only reference plans held by _PLAN_CACHE-style lookups; bounded
+# like the other caches and flushed by clear_plan_cache().
+_ARG_MEMO: OrderedDict[tuple, PolyHankelPlan] = OrderedDict()
+_ARG_MEMO_LIMIT = 256
+
+
+def _plan_for_args(x_shape, w_shape, padding, stride, fft_policy, strategy,
+                   backend) -> PolyHankelPlan:
+    key = (x_shape, w_shape, padding, stride, fft_policy, strategy, backend)
+    with _plan_lock:
+        plan = _ARG_MEMO.get(key)
+        if plan is not None:
+            return plan
+    shape = ConvShape.from_tensors(x_shape, w_shape, padding, stride)
+    plan = get_plan(shape, fft_policy, strategy, backend)
+    with _plan_lock:
+        _ARG_MEMO[key] = plan
+        while len(_ARG_MEMO) > _ARG_MEMO_LIMIT:
+            _ARG_MEMO.popitem(last=False)
+    return plan
 
 
 def conv2d_polyhankel(x: np.ndarray, weight: np.ndarray,
                       bias: np.ndarray | None = None, padding: int = 0,
-                      stride: int = 1, fft_policy: FftPolicy = "pow2",
+                      stride: int = 1, fft_policy: FftPolicy = "auto",
                       strategy: ChannelStrategy = "sum",
-                      backend: str | None = None) -> np.ndarray:
+                      backend: str | None = None,
+                      workers: int | None = None) -> np.ndarray:
     """2D convolution of an NCHW batch via the PolyHankel method.
 
     Parameters mirror ``torch.nn.functional.conv2d`` where applicable.
-    Returns an ``(n, f, oh, ow)`` array.
+    Returns an ``(n, f, oh, ow)`` array.  Repeated calls with the same
+    weight array and geometry reuse the cached plan *and* kernel spectrum;
+    ``workers=N`` parallelizes the batch across threads.
     """
     x = ensure_array(x, "x", dtype=float)
     weight = ensure_array(weight, "weight", dtype=float)
     check_conv_inputs(x, weight, padding, stride)
-    shape = ConvShape.from_tensors(x.shape, weight.shape, padding, stride)
-    plan = get_plan(shape, fft_policy, strategy, backend)
-    out = plan.execute(x, plan.transform_weight(weight))
+    plan = _plan_for_args(x.shape, weight.shape, padding, stride,
+                          fft_policy, strategy, backend)
+    shape = plan.shape
+    out = plan.execute(x, plan.weight_spectrum(weight), workers=workers,
+                       check=False)
     if bias is not None:
         bias = ensure_array(bias, "bias", ndim=1)
         if len(bias) != shape.f:

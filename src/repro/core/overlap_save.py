@@ -63,12 +63,12 @@ def overlap_save_convolve(signal: np.ndarray, kernel: np.ndarray,
     buf = np.zeros(signal.shape[:-1] + (padded_len,), dtype=float)
     buf[..., k - 1: k - 1 + length] = signal
 
-    out = np.zeros(signal.shape[:-1] + (n_blocks * step,), dtype=float)
-    for b in range(n_blocks):
-        start = b * step
-        block = buf[..., start: start + nfft]
-        conv = fft.irfft(fft.rfft(block, nfft) * kernel_hat, nfft)
-        out[..., start: start + step] = conv[..., k - 1:]
+    # All blocks at once: a strided view (..., n_blocks, nfft) turns the
+    # per-block Python loop into one batched rfft/irfft round trip.
+    blocks = np.lib.stride_tricks.sliding_window_view(
+        buf, nfft, axis=-1)[..., ::step, :][..., :n_blocks, :]
+    conv = fft.irfft(fft.rfft(blocks, nfft) * kernel_hat, nfft)
+    out = conv[..., k - 1:].reshape(signal.shape[:-1] + (n_blocks * step,))
     return out[..., :out_len]
 
 
@@ -99,13 +99,17 @@ def conv2d_polyhankel_os(x: np.ndarray, weight: np.ndarray,
     slot = image_len + guard
 
     # One long signal per channel: images back to back with guard zeros.
-    long_signal = np.zeros((c, n * slot), dtype=float)
-    flat = xp.reshape(n, c, image_len)
-    for i in range(n):
-        long_signal[:, i * slot: i * slot + image_len] = flat[i]
+    # Vectorized fill: stage per-image slots, then fold the slot axis away.
+    staged = np.zeros((n, c, slot), dtype=float)
+    staged[..., :image_len] = xp.reshape(n, c, image_len)
+    long_signal = np.ascontiguousarray(
+        staged.transpose(1, 0, 2)).reshape(c, n * slot)
 
     kernels = channel_kernel_stack(weight, shape.padded_iw)  # (f, c, M+1)
     gather = output_gather_indices(shape)                    # (oh, ow)
+    # Batched gather: index (i, *, gather) for every image at once.
+    batch_gather = (np.arange(n)[:, None] * slot
+                    + gather.reshape(-1)[None, :])           # (n, oh*ow)
 
     out = np.zeros(shape.output_shape(), dtype=float)
     for f in range(shape.f):
@@ -113,6 +117,5 @@ def conv2d_polyhankel_os(x: np.ndarray, weight: np.ndarray,
         for ch in range(c):
             acc += overlap_save_convolve(long_signal[ch], kernels[f, ch],
                                          block_len, backend)
-        for i in range(n):
-            out[i, f] = acc[i * slot + gather.reshape(-1)].reshape(gather.shape)
+        out[:, f] = acc[batch_gather].reshape((n,) + gather.shape)
     return out

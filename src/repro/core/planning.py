@@ -10,7 +10,12 @@ nearest multiple of 2".  We expose that choice as a policy:
   lengths; usually smaller, sometimes slower per point);
 - ``"even"``    — just round up to an even size (the literal "nearest
   multiple of 2");
-- ``"exact"``   — no rounding (useful for counting-model experiments).
+- ``"exact"``   — no rounding (useful for counting-model experiments);
+- ``"auto"``    — pick per backend: pocketfft (the ``numpy`` backend) is
+  fast at any 7-smooth size, so the tighter ``smooth7`` rounding wins
+  there, while the builtin backend's radix-2 kernel is its fastest path,
+  so it keeps ``pow2``.  ``"auto"`` is resolved to a concrete policy at
+  plan-construction time by :func:`resolve_fft_policy`.
 """
 
 from __future__ import annotations
@@ -20,9 +25,21 @@ from typing import Literal
 from repro import fft as _fft
 from repro.utils.validation import require
 
-FftPolicy = Literal["pow2", "smooth7", "even", "exact"]
+FftPolicy = Literal["pow2", "smooth7", "even", "exact", "auto"]
 
 POLICIES: tuple[str, ...] = ("pow2", "smooth7", "even", "exact")
+
+
+def resolve_fft_policy(policy: FftPolicy,
+                       backend: str | None = None) -> FftPolicy:
+    """Resolve ``"auto"`` to the concrete policy best for *backend*.
+
+    Concrete policies pass through unchanged.  *backend* may be a backend
+    name or ``None`` for the active backend.
+    """
+    if policy != "auto":
+        return policy
+    return "smooth7" if _fft.get_backend(backend).name == "numpy" else "pow2"
 
 
 def plan_fft_size(min_len: int, policy: FftPolicy = "pow2") -> int:

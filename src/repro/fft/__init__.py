@@ -15,12 +15,21 @@ import numpy as np
 
 from repro.fft.backend import (
     FftBackend,
+    FftCallLog,
     available_backends,
     get_backend,
+    record_fft_calls,
     set_backend,
     use_backend,
 )
 from repro.fft.dft import dft, idft
+from repro.fft.plan import (
+    FftPlan,
+    clear_fft_plan_cache,
+    fft_plan_cache_info,
+    get_fft_plan,
+    set_fft_plan_cache_limit,
+)
 from repro.fft.sizes import (
     factorize,
     is_power_of_two,
@@ -34,6 +43,9 @@ __all__ = [
     "dft", "idft",
     "FftBackend", "available_backends", "get_backend", "set_backend",
     "use_backend",
+    "FftCallLog", "record_fft_calls",
+    "FftPlan", "get_fft_plan", "fft_plan_cache_info",
+    "set_fft_plan_cache_limit", "clear_fft_plan_cache",
     "next_fast_len", "next_pow2", "is_smooth", "is_power_of_two", "factorize",
 ]
 

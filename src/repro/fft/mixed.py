@@ -4,7 +4,9 @@ Combined with :mod:`repro.fft.bluestein` for the remaining sizes, this gives
 the builtin backend full generality.  The recursion is decimation-in-time:
 a size ``n = p * m`` transform splits into ``p`` interleaved size-``m``
 transforms recombined with twiddle factors.  All arithmetic is vectorized
-over leading (batch) axes.
+over leading (batch) axes, and the combine tables for every level of the
+decomposition are precomputed once per size by
+:class:`repro.fft.plan.FftPlan`.
 """
 
 from __future__ import annotations
@@ -14,6 +16,7 @@ import functools
 import numpy as np
 
 from repro.fft.bluestein import fft_bluestein, ifft_bluestein
+from repro.fft.plan import FftPlan, combine_table, get_fft_plan
 from repro.fft.radix2 import _fft_pow2
 from repro.fft.sizes import DEFAULT_RADICES, is_power_of_two
 
@@ -28,28 +31,28 @@ def _smallest_radix(n: int) -> int | None:
 @functools.lru_cache(maxsize=256)
 def _combine_twiddles(n: int, p: int, sign: float) -> np.ndarray:
     """Twiddle table of shape (p, p, m): factor for sub-FFT r at output block q."""
-    m = n // p
-    k = np.arange(m)
-    q = np.arange(p)[:, None, None]  # output block
-    r = np.arange(p)[None, :, None]  # sub-transform index
-    return np.exp(sign * 2j * np.pi * r * (q * m + k[None, None, :]) / n)
+    return combine_table(n, p, sign)
 
 
-def _fft_mixed(x: np.ndarray, sign: float) -> np.ndarray:
+def _fft_mixed(x: np.ndarray, sign: float,
+               plan: FftPlan | None = None) -> np.ndarray:
     n = x.shape[-1]
     if n == 1:
         return x.copy()
     if is_power_of_two(n):
-        return _fft_pow2(x, sign)
+        return _fft_pow2(x, sign, plan if plan is not None and plan.n == n
+                         else None)
     p = _smallest_radix(n)
     if p is None:
         # Prime (or 11-rough) size: fall back to the chirp-z algorithm.
         result = fft_bluestein(x) if sign < 0 else fft_bluestein(
             np.conj(x)).conj()
         return result
-    sub = np.stack([_fft_mixed(x[..., r::p], sign) for r in range(p)],
+    sub = np.stack([_fft_mixed(x[..., r::p], sign, plan) for r in range(p)],
                    axis=-2)  # (..., p, m)
-    tw = _combine_twiddles(n, p, sign)  # (p, p, m)
+    tw = plan.table(n, p, sign) if plan is not None else None
+    if tw is None:
+        tw = _combine_twiddles(n, p, sign)  # (p, p, m)
     # out[q*m + k] = sum_r tw[q, r, k] * sub[r, k]
     blocks = np.einsum("qrk,...rk->...qk", tw, sub)
     return blocks.reshape(*x.shape[:-1], n)
@@ -58,9 +61,10 @@ def _fft_mixed(x: np.ndarray, sign: float) -> np.ndarray:
 def fft(x: np.ndarray) -> np.ndarray:
     """Forward DFT along the last axis; any positive length."""
     x = np.asarray(x, dtype=complex)
-    if x.shape[-1] == 0:
+    n = x.shape[-1]
+    if n == 0:
         raise ValueError("cannot transform an empty axis")
-    return _fft_mixed(x, -1.0)
+    return _fft_mixed(x, -1.0, get_fft_plan(n) if n > 1 else None)
 
 
 def ifft(x: np.ndarray) -> np.ndarray:
@@ -71,4 +75,4 @@ def ifft(x: np.ndarray) -> np.ndarray:
         raise ValueError("cannot transform an empty axis")
     if _smallest_radix(n) is None and not is_power_of_two(n) and n > 1:
         return ifft_bluestein(x)
-    return _fft_mixed(x, +1.0) / n
+    return _fft_mixed(x, +1.0, get_fft_plan(n) if n > 1 else None) / n

@@ -1,0 +1,185 @@
+"""Per-size FFT execution plans (twiddles, permutations, stage schedules).
+
+cuFFT (and FFTW) amortize everything that depends only on the transform
+size — twiddle factors, digit-reversal permutations, the radix schedule —
+into a *plan* that is created once and executed many times.  The builtin
+backend previously recomputed or ``lru_cache``-d these pieces ad hoc; this
+module makes the plan explicit:
+
+- :class:`FftPlan` bundles, for one size ``n``, the bit-reversal
+  permutation and per-stage twiddle tables of the radix-2 kernel, the
+  mixed-radix combine tables for every level of the decomposition, and the
+  pack/unpack twiddles shared by :func:`repro.fft.real.rfft` /
+  :func:`~repro.fft.real.irfft`.
+- :func:`get_fft_plan` keeps a bounded LRU cache of plans keyed by ``n``
+  with hit/miss statistics, so repeated transforms of the convolution
+  sizes a network actually uses never rebuild their tables.
+
+The same plan object serves forward and inverse, complex and real
+transforms of its size.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, namedtuple
+
+import numpy as np
+
+from repro.fft.sizes import DEFAULT_RADICES, is_power_of_two
+
+CacheInfo = namedtuple("CacheInfo", ["hits", "misses", "size", "maxsize"])
+
+
+def bit_reversal_permutation(n: int) -> np.ndarray:
+    """Index permutation that bit-reverses positions ``0..n-1`` (vectorized)."""
+    bits = n.bit_length() - 1
+    idx = np.arange(n, dtype=np.intp)
+    perm = np.zeros(n, dtype=np.intp)
+    for _ in range(bits):
+        perm = (perm << 1) | (idx & 1)
+        idx >>= 1
+    return perm
+
+
+def stage_twiddles(half: int, sign: float) -> np.ndarray:
+    """``exp(sign * 2j*pi*k / (2*half))`` for ``k in [0, half)``."""
+    return np.exp(sign * 2j * np.pi * np.arange(half) / (2 * half))
+
+
+def combine_table(n: int, p: int, sign: float) -> np.ndarray:
+    """Mixed-radix combine twiddles of shape ``(p, p, n // p)``.
+
+    Entry ``[q, r, k]`` is the factor applied to sub-FFT ``r`` at output
+    block ``q`` when recombining ``p`` interleaved size-``n/p`` transforms.
+    """
+    m = n // p
+    k = np.arange(m)
+    q = np.arange(p)[:, None, None]  # output block
+    r = np.arange(p)[None, :, None]  # sub-transform index
+    return np.exp(sign * 2j * np.pi * r * (q * m + k[None, None, :]) / n)
+
+
+def _smallest_radix(n: int) -> int | None:
+    for p in DEFAULT_RADICES:
+        if n % p == 0:
+            return p
+    return None
+
+
+class FftPlan:
+    """Precomputed execution state for builtin transforms of one size."""
+
+    __slots__ = (
+        "n", "is_pow2",
+        "perm", "fwd_stages", "inv_stages",      # radix-2 kernel
+        "mixed_tables", "radix_schedule",        # mixed-radix levels
+        "rfft_unpack", "irfft_pack",             # even-size real transforms
+    )
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("FFT plan size must be >= 1")
+        self.n = n
+        self.is_pow2 = is_power_of_two(n)
+        self.perm = None
+        self.fwd_stages: tuple[np.ndarray, ...] = ()
+        self.inv_stages: tuple[np.ndarray, ...] = ()
+        self.mixed_tables: dict[tuple[int, int, float], np.ndarray] = {}
+        self.radix_schedule: tuple[tuple[int, int], ...] = ()
+        if self.is_pow2 and n > 1:
+            self.perm = bit_reversal_permutation(n)
+            halves = [1 << s for s in range(n.bit_length() - 1)]
+            self.fwd_stages = tuple(stage_twiddles(h, -1.0) for h in halves)
+            self.inv_stages = tuple(stage_twiddles(h, +1.0) for h in halves)
+        elif n > 1:
+            self._build_mixed_schedule(n)
+        # Pack/unpack twiddles shared by rfft (forward) and irfft (inverse)
+        # of even sizes: exp(-2j*pi*k/n) for k in [0, n//2].
+        if n % 2 == 0:
+            k = np.arange(n // 2 + 1)
+            self.rfft_unpack = np.exp(-2j * np.pi * k / n)
+            self.irfft_pack = np.conj(self.rfft_unpack[: n // 2])
+        else:
+            self.rfft_unpack = None
+            self.irfft_pack = None
+
+    def _build_mixed_schedule(self, n: int) -> None:
+        """Walk the decimation-in-time chain, materializing every level."""
+        schedule = []
+        level = n
+        while level > 1 and not is_power_of_two(level):
+            p = _smallest_radix(level)
+            if p is None:
+                break  # 11-rough size: Bluestein handles it downstream
+            schedule.append((level, p))
+            self.mixed_tables[(level, p, -1.0)] = combine_table(level, p, -1.0)
+            self.mixed_tables[(level, p, +1.0)] = combine_table(level, p, +1.0)
+            level //= p
+        self.radix_schedule = tuple(schedule)
+
+    def table(self, n: int, p: int, sign: float) -> np.ndarray | None:
+        """Combine table for one decomposition level, if planned."""
+        return self.mixed_tables.get((n, p, sign))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "pow2" if self.is_pow2 else (
+            "mixed" if self.radix_schedule else "bluestein")
+        return f"FftPlan(n={self.n}, kind={kind})"
+
+
+# -- bounded plan cache ------------------------------------------------------
+
+_DEFAULT_PLAN_LIMIT = 128
+
+_lock = threading.Lock()
+_plans: OrderedDict[int, FftPlan] = OrderedDict()
+_limit = _DEFAULT_PLAN_LIMIT
+_hits = 0
+_misses = 0
+
+
+def get_fft_plan(n: int) -> FftPlan:
+    """Fetch (or build and LRU-cache) the plan for size *n*."""
+    global _hits, _misses
+    with _lock:
+        plan = _plans.get(n)
+        if plan is not None:
+            _hits += 1
+            _plans.move_to_end(n)
+            return plan
+        _misses += 1
+    # Build outside the lock: construction is pure and idempotent.
+    plan = FftPlan(n)
+    with _lock:
+        _plans[n] = plan
+        _plans.move_to_end(n)
+        while len(_plans) > _limit:
+            _plans.popitem(last=False)
+    return plan
+
+
+def fft_plan_cache_info() -> CacheInfo:
+    """Hit/miss statistics of the FFT plan cache."""
+    with _lock:
+        return CacheInfo(_hits, _misses, len(_plans), _limit)
+
+
+def set_fft_plan_cache_limit(maxsize: int) -> None:
+    """Bound the number of cached plans (evicting LRU entries if needed)."""
+    global _limit
+    if maxsize < 1:
+        raise ValueError("plan cache limit must be >= 1")
+    with _lock:
+        _limit = maxsize
+        while len(_plans) > _limit:
+            _plans.popitem(last=False)
+
+
+def clear_fft_plan_cache() -> None:
+    """Drop all cached plans and reset the statistics."""
+    global _hits, _misses
+    with _lock:
+        _plans.clear()
+        _hits = 0
+        _misses = 0

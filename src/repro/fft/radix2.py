@@ -1,9 +1,11 @@
 """Iterative radix-2 Cooley-Tukey FFT.
 
 Operates along the last axis of an arbitrary-rank array so that batched
-transforms (the common case in convolution) are vectorized.  Twiddle factors
-are cached per size.  Sizes must be powers of two; the general-size entry
-points live in :mod:`repro.fft.mixed`.
+transforms (the common case in convolution) are vectorized.  The
+bit-reversal permutation and per-stage twiddle factors come from the
+per-size :class:`repro.fft.plan.FftPlan`, so repeated transforms of one
+size never rebuild them.  Sizes must be powers of two; the general-size
+entry points live in :mod:`repro.fft.mixed`.
 """
 
 from __future__ import annotations
@@ -12,44 +14,42 @@ import functools
 
 import numpy as np
 
+from repro.fft.plan import FftPlan, bit_reversal_permutation, get_fft_plan
 from repro.fft.sizes import is_power_of_two
 
 
 @functools.lru_cache(maxsize=64)
 def _bit_reversal_permutation(n: int) -> np.ndarray:
     """Index permutation that bit-reverses positions 0..n-1."""
-    bits = n.bit_length() - 1
-    perm = np.zeros(n, dtype=np.intp)
-    for i in range(n):
-        rev = 0
-        v = i
-        for _ in range(bits):
-            rev = (rev << 1) | (v & 1)
-            v >>= 1
-        perm[i] = rev
-    return perm
+    return bit_reversal_permutation(n)
 
 
-@functools.lru_cache(maxsize=128)
-def _twiddles(half: int, sign: float) -> np.ndarray:
-    """exp(sign * 2j*pi*k / (2*half)) for k in [0, half)."""
-    return np.exp(sign * 2j * np.pi * np.arange(half) / (2 * half))
-
-
-def _fft_pow2(x: np.ndarray, sign: float) -> np.ndarray:
+def _fft_pow2(x: np.ndarray, sign: float,
+              plan: FftPlan | None = None) -> np.ndarray:
     n = x.shape[-1]
-    out = np.ascontiguousarray(x[..., _bit_reversal_permutation(n)],
-                               dtype=complex)
+    if plan is None or plan.n != n:
+        plan = get_fft_plan(n)
+    # Ping-pong between two buffers: each stage reads `cur` and writes
+    # `nxt` out of place, so no per-stage copy of the even half is needed.
+    cur = np.ascontiguousarray(x[..., plan.perm], dtype=complex)
+    nxt = np.empty_like(cur)
+    stages = plan.fwd_stages if sign < 0 else plan.inv_stages
     size = 2
-    while size <= n:
+    for tw in stages:
         half = size // 2
-        tw = _twiddles(half, sign)
-        view = out.reshape(*out.shape[:-1], n // size, size)
-        even = view[..., :half]
-        odd = view[..., half:] * tw
-        view[..., :half], view[..., half:] = even + odd, even - odd
+        src = cur.reshape(*cur.shape[:-1], n // size, size)
+        dst = nxt.reshape(*nxt.shape[:-1], n // size, size)
+        even = src[..., :half]
+        odd = src[..., half:]
+        hi = dst[..., half:]
+        if half > 1:  # the size-2 stage twiddle is exactly 1
+            np.multiply(odd, tw, out=hi)
+            odd = hi
+        np.add(even, odd, out=dst[..., :half])
+        np.subtract(even, odd, out=hi)
+        cur, nxt = nxt, cur
         size *= 2
-    return out
+    return cur
 
 
 def fft2pow(x: np.ndarray) -> np.ndarray:

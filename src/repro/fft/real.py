@@ -1,10 +1,13 @@
 """Real-input transforms (rfft / irfft) built on the complex FFT.
 
 Convolution inputs and kernels are real, so the production path uses the
-half-spectrum transforms.  For even sizes the forward transform packs the
-even/odd samples into a single complex FFT of half the length (the classic
-"two channels for the price of one" trick); odd sizes fall back to a full
-complex transform plus a slice.
+half-spectrum transforms.  For even sizes both directions run a single
+complex FFT of *half* the length (the classic "two channels for the price
+of one" trick): the forward transform packs even/odd samples into one
+complex sequence, and the inverse reverses that packing instead of
+rebuilding the full Hermitian spectrum.  Odd sizes fall back to a full
+complex transform.  The pack/unpack twiddle tables are shared with the
+complex kernels through the per-size :class:`repro.fft.plan.FftPlan`.
 """
 
 from __future__ import annotations
@@ -12,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fft import mixed
+from repro.fft.plan import get_fft_plan
 
 
 def rfft(x: np.ndarray, n: int | None = None) -> np.ndarray:
@@ -25,8 +29,9 @@ def rfft(x: np.ndarray, n: int | None = None) -> np.ndarray:
     if n < 1:
         raise ValueError("transform length must be >= 1")
     if x.shape[-1] < n:
-        pad = [(0, 0)] * (x.ndim - 1) + [(0, n - x.shape[-1])]
-        x = np.pad(x, pad)
+        padded = np.zeros(x.shape[:-1] + (n,), dtype=float)
+        padded[..., :x.shape[-1]] = x
+        x = padded
     elif x.shape[-1] > n:
         x = x[..., :n]
     if n == 1:
@@ -38,15 +43,15 @@ def rfft(x: np.ndarray, n: int | None = None) -> np.ndarray:
 
 def _rfft_even(x: np.ndarray) -> np.ndarray:
     n = x.shape[-1]
-    half = n // 2
+    plan = get_fft_plan(n)
     z = x[..., 0::2] + 1j * x[..., 1::2]
     z_hat = mixed.fft(z)
     # Unpack: split z_hat into the spectra of the even and odd subsequences.
-    z_rev = np.roll(z_hat[..., ::-1], 1, axis=-1)  # Z[(half - k) mod half]
+    # Z[(half - k) mod half]: cheaper as slice-concat than np.roll.
+    z_rev = np.concatenate([z_hat[..., :1], z_hat[..., :0:-1]], axis=-1)
     even = 0.5 * (z_hat + np.conj(z_rev))
     odd = -0.5j * (z_hat - np.conj(z_rev))
-    k = np.arange(half + 1)
-    tw = np.exp(-2j * np.pi * k / n)
+    tw = plan.rfft_unpack  # exp(-2j*pi*k/n), k in [0, n//2]
     even_ext = np.concatenate([even, even[..., :1]], axis=-1)
     odd_ext = np.concatenate([odd, odd[..., :1]], axis=-1)
     return even_ext + tw * odd_ext
@@ -73,10 +78,36 @@ def irfft(x: np.ndarray, n: int | None = None) -> np.ndarray:
         x = np.pad(x, pad)
     elif bins > expected_bins:
         x = x[..., :expected_bins]
-    # Rebuild the full Hermitian spectrum and run a complex inverse FFT.
     if n % 2 == 0:
-        tail = np.conj(x[..., -2:0:-1])
-    else:
-        tail = np.conj(x[..., -1:0:-1])
+        return _irfft_even(x, n)
+    # Odd size: rebuild the full Hermitian spectrum, run a complex inverse.
+    tail = np.conj(x[..., -1:0:-1])
     full = np.concatenate([x, tail], axis=-1)
     return mixed.ifft(full).real
+
+
+def _irfft_even(x: np.ndarray, n: int) -> np.ndarray:
+    """Length-n inverse real FFT via one complex IFFT of length n//2.
+
+    Reverses the even/odd packing of :func:`_rfft_even`: from the
+    half-spectrum ``G[k]`` recover the spectra of the even and odd
+    subsequences, repack them as ``Z = E + 1j * O``, and read the
+    interleaved samples off the half-size inverse transform.
+    """
+    half = n // 2
+    plan = get_fft_plan(n)
+    g = x[..., :half]                      # G[k],     k in [0, half)
+    g_rev = np.conj(x[..., half:0:-1])     # conj(G[half - k]), k in [0, half)
+    even = 0.5 * (g + g_rev)
+    odd = 0.5 * (g - g_rev) * plan.irfft_pack  # exp(+2j*pi*k/n)
+    # Hermitian symmetry forces the DC and Nyquist bins real; like
+    # numpy.fft.irfft, discard any imaginary part they carry.
+    g0 = x[..., 0].real
+    gh = x[..., half].real
+    even[..., 0] = 0.5 * (g0 + gh)
+    odd[..., 0] = 0.5 * (g0 - gh)
+    z = mixed.ifft(even + 1j * odd)
+    out = np.empty(x.shape[:-1] + (n,), dtype=float)
+    out[..., 0::2] = z.real
+    out[..., 1::2] = z.imag
+    return out

@@ -18,7 +18,7 @@ def conv2d(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None,
            padding: int = 0, stride: int = 1,
            dilation: int | tuple[int, int] = 1, groups: int = 1,
            algorithm: ConvAlgorithm | str = ConvAlgorithm.POLYHANKEL,
-           **kwargs) -> np.ndarray:
+           workers: int | None = None, **kwargs) -> np.ndarray:
     """2D convolution with an explicit algorithm choice.
 
     Dilation is implemented by zero-upsampling the kernel (its polynomial
@@ -29,7 +29,12 @@ def conv2d(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None,
     ``algorithm="auto"`` picks per call using the distilled selection rules
     (GEMM small inputs / PolyHankel sweet spot / FFT large kernels) — the
     heuristic dispatch the paper proposes as future work.
+
+    ``workers=N`` chunks the batch across a thread pool (currently
+    supported by the PolyHankel engine; other algorithms reject it).
     """
+    if workers is not None:
+        kwargs["workers"] = workers
     if groups < 1:
         raise ValueError("groups must be positive")
     weight = np.asarray(weight)

@@ -45,12 +45,22 @@ class Conv2d(Layer):
 
     Parameters are initialized with He-style scaling from a caller-provided
     generator, so networks are reproducible.
+
+    When the algorithm is PolyHankel, the layer caches the kernel spectrum
+    per plan (``cache_spectra=True``): the first forward of each input
+    geometry transforms the weight once, and every later forward reuses the
+    spectrum.  Rebinding ``layer.weight`` invalidates the cache via the
+    property setter; in-place mutation is caught too, because cache hits
+    are verified against an exact snapshot of the weight.
+    ``invalidate_weight_cache()`` drops the cached spectra explicitly.
+    ``workers=N`` chunks each forward's batch across a thread pool.
     """
 
     def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
                  padding: int = 0, stride: int = 1, bias: bool = True,
                  algorithm: ConvAlgorithm | str = ConvAlgorithm.POLYHANKEL,
-                 rng: np.random.Generator | None = None):
+                 rng: np.random.Generator | None = None,
+                 cache_spectra: bool = True, workers: int | None = None):
         require(in_channels > 0 and out_channels > 0,
                 "channel counts must be positive")
         require(kernel_size > 0, "kernel size must be positive")
@@ -62,19 +72,79 @@ class Conv2d(Layer):
         self.stride = stride
         self.algorithm = (ConvAlgorithm(algorithm)
                           if isinstance(algorithm, str) else algorithm)
+        self.cache_spectra = cache_spectra
+        self.workers = workers
+        self._spectrum_cache: dict = {}
+        self._weight_version = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
         scale = np.sqrt(2.0 / (in_channels * kernel_size * kernel_size))
         self.weight = rng.standard_normal(
             (out_channels, in_channels, kernel_size, kernel_size)
         ) * scale
         self.bias = np.zeros(out_channels) if bias else None
 
+    # -- weight-spectrum cache ------------------------------------------------
+
+    @property
+    def weight(self) -> np.ndarray:
+        return self._weight
+
+    @weight.setter
+    def weight(self, value: np.ndarray) -> None:
+        self._weight = np.asarray(value)
+        self.invalidate_weight_cache()
+
+    def invalidate_weight_cache(self) -> None:
+        """Drop cached kernel spectra; the next forward retransforms."""
+        self._weight_version += 1
+        self._spectrum_cache.clear()
+
+    @property
+    def weight_version(self) -> int:
+        """Bumped on every rebind/invalidation (introspection aid)."""
+        return self._weight_version
+
+    def spectrum_cache_info(self):
+        """Per-layer (hits, misses, size, maxsize) of the spectrum cache."""
+        from repro.fft.plan import CacheInfo
+
+        return CacheInfo(self._cache_hits, self._cache_misses,
+                         len(self._spectrum_cache), None)
+
     def conv_shape(self, input_shape: tuple) -> ConvShape:
         return ConvShape.from_tensors(input_shape, self.weight.shape,
                                       self.padding, self.stride)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.algorithm is ConvAlgorithm.POLYHANKEL and self.cache_spectra:
+            return self._forward_polyhankel(x)
         return F.conv2d(x, self.weight, self.bias, self.padding,
                         self.stride, algorithm=self.algorithm)
+
+    def _forward_polyhankel(self, x: np.ndarray) -> np.ndarray:
+        """Plan-cached PolyHankel forward: the weight is transformed once
+        per plan and reused until the weight changes."""
+        from repro.core.multichannel import get_plan
+        from repro.utils.validation import check_conv_inputs
+
+        x = np.asarray(x, dtype=float)
+        check_conv_inputs(x, self._weight, self.padding, self.stride)
+        plan = get_plan(self.conv_shape(x.shape))
+        key = plan.cache_key
+        entry = self._spectrum_cache.get(key)
+        if entry is not None and np.array_equal(entry[0], self._weight):
+            self._cache_hits += 1
+            w_hat = entry[1]
+        else:
+            self._cache_misses += 1
+            w_hat = plan.transform_weight(self._weight)
+            self._spectrum_cache[key] = (
+                np.array(self._weight, dtype=float, copy=True), w_hat)
+        out = plan.execute(x, w_hat, workers=self.workers)
+        if self.bias is not None:
+            out = out + self.bias[None, :, None, None]
+        return out
 
     def output_shape(self, input_shape: tuple) -> tuple:
         return self.conv_shape(input_shape).output_shape()

@@ -1,0 +1,106 @@
+"""Tests for the per-size FFT plan cache."""
+
+import numpy as np
+import pytest
+
+from repro.fft import mixed, real
+from repro.fft.plan import (
+    FftPlan,
+    bit_reversal_permutation,
+    clear_fft_plan_cache,
+    fft_plan_cache_info,
+    get_fft_plan,
+    set_fft_plan_cache_limit,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_fft_plan_cache()
+    yield
+    set_fft_plan_cache_limit(128)
+    clear_fft_plan_cache()
+
+
+class TestPlanStructure:
+    def test_pow2_plan_has_stage_schedule(self):
+        plan = FftPlan(16)
+        assert plan.is_pow2
+        assert len(plan.fwd_stages) == 4  # sizes 2, 4, 8, 16
+        assert [2 * t.shape[-1] for t in plan.fwd_stages] == [2, 4, 8, 16]
+        np.testing.assert_array_equal(plan.perm,
+                                      bit_reversal_permutation(16))
+
+    def test_inverse_stages_are_conjugate(self):
+        plan = FftPlan(8)
+        for fwd, inv in zip(plan.fwd_stages, plan.inv_stages):
+            np.testing.assert_allclose(np.conj(fwd), inv, atol=1e-15)
+
+    def test_mixed_plan_materializes_every_level(self):
+        plan = FftPlan(60)  # 60 -> 30 -> 15 -> 5 -> 1, radices 2,2,3,5
+        levels = [n for n, _ in plan.radix_schedule]
+        assert levels == [60, 30, 15, 5]
+        for (n, p) in plan.radix_schedule:
+            assert plan.table(n, p, -1.0).shape == (p, p, n // p)
+            assert plan.table(n, p, +1.0).shape == (p, p, n // p)
+
+    def test_even_plan_has_real_transform_twiddles(self):
+        plan = FftPlan(10)
+        assert plan.rfft_unpack.shape == (6,)
+        assert plan.irfft_pack.shape == (5,)
+        np.testing.assert_allclose(
+            plan.irfft_pack, np.conj(plan.rfft_unpack[:5]), atol=1e-15)
+
+    def test_odd_plan_has_no_real_twiddles(self):
+        assert FftPlan(9).rfft_unpack is None
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            FftPlan(0)
+
+
+class TestPlanCache:
+    def test_plans_are_reused(self):
+        assert get_fft_plan(64) is get_fft_plan(64)
+        info = fft_plan_cache_info()
+        assert info.misses == 1 and info.hits == 1
+
+    def test_cache_is_bounded(self):
+        set_fft_plan_cache_limit(2)
+        for n in (8, 16, 32, 64):
+            get_fft_plan(n)
+        assert fft_plan_cache_info().size <= 2
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            set_fft_plan_cache_limit(0)
+
+    def test_transforms_populate_the_cache(self, rng):
+        x = rng.standard_normal(24)
+        real.rfft(x)
+        assert fft_plan_cache_info().misses >= 1
+
+
+class TestPlannedTransforms:
+    """The planned kernels must still match numpy across size classes."""
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 64, 6, 12, 60, 100, 7, 11, 22])
+    def test_complex_roundtrip(self, rng, n):
+        x = rng.standard_normal((3, n)) + 1j * rng.standard_normal((3, n))
+        np.testing.assert_allclose(mixed.fft(x), np.fft.fft(x), atol=1e-9)
+        np.testing.assert_allclose(mixed.ifft(x), np.fft.ifft(x), atol=1e-9)
+
+    @pytest.mark.parametrize("n", [2, 4, 10, 16, 100, 375, 9, 15])
+    def test_real_roundtrip_shares_plan(self, rng, n):
+        x = rng.standard_normal((2, n))
+        np.testing.assert_allclose(real.rfft(x), np.fft.rfft(x), atol=1e-9)
+        np.testing.assert_allclose(real.irfft(real.rfft(x), n), x,
+                                   atol=1e-9)
+
+    @pytest.mark.parametrize("n", [2, 4, 10, 64, 100])
+    def test_irfft_matches_numpy_on_arbitrary_spectra(self, rng, n):
+        bins = n // 2 + 1
+        spec = (rng.standard_normal((2, bins))
+                + 1j * rng.standard_normal((2, bins)))
+        np.testing.assert_allclose(real.irfft(spec, n),
+                                   np.fft.irfft(spec, n), atol=1e-9)

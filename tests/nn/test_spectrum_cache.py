@@ -1,0 +1,132 @@
+"""Conv2d weight-spectrum cache: amortization guard and invalidation.
+
+The microbenchmark guard asserts the *mechanism* (not wall-clock): a
+counting shim on the FFT backend proves the second forward of a
+fixed-shape ``Conv2d`` performs zero ``rfft`` calls on the weight, so the
+amortization cannot silently regress.
+"""
+
+import numpy as np
+import pytest
+
+from repro import fft as _fft
+from repro.core.multichannel import clear_plan_cache, clear_spectrum_cache
+from repro.nn.layers import Conv2d
+from tests.conftest import naive_conv2d_reference
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_plan_cache()
+    clear_spectrum_cache()
+    yield
+    clear_plan_cache()
+    clear_spectrum_cache()
+
+
+def _weight_call_count(log, layer):
+    """Recorded rfft calls whose input is weight-shaped (f, c, ...)."""
+    f, c = layer.out_channels, layer.in_channels
+    return sum(1 for s in log.shapes("rfft")
+               if len(s) == 3 and s[:2] == (f, c))
+
+
+class TestAmortizationGuard:
+    def test_second_forward_performs_zero_weight_rffts(self, rng):
+        layer = Conv2d(3, 8, 3, padding=1, bias=False)
+        x = rng.standard_normal((2, 3, 12, 12))
+
+        with _fft.record_fft_calls() as log:
+            layer(x)
+        assert _weight_call_count(log, layer) == 1  # cold: transform once
+
+        with _fft.record_fft_calls() as log:
+            layer(x)
+            layer(x)
+        assert _weight_call_count(log, layer) == 0  # warm: never again
+        assert log.count("rfft") == 2  # the input transform still runs
+
+    def test_cache_disabled_layer_retransforms(self, rng):
+        # cache_spectra=False falls back to the functional path; disabling
+        # the module-level spectrum cache too forces a true retransform.
+        from repro.core.multichannel import enable_spectrum_cache
+
+        layer = Conv2d(3, 8, 3, padding=1, bias=False, cache_spectra=False)
+        x = rng.standard_normal((2, 3, 12, 12))
+        try:
+            enable_spectrum_cache(False)
+            layer(x)
+            with _fft.record_fft_calls() as log:
+                layer(x)
+        finally:
+            enable_spectrum_cache(True)
+        assert _weight_call_count(log, layer) == 1
+
+
+class TestLayerCacheCorrectness:
+    def test_cached_forward_matches_reference(self, rng):
+        layer = Conv2d(3, 4, 3, padding=1)
+        x = rng.standard_normal((2, 3, 10, 10))
+        expected = naive_conv2d_reference(x, layer.weight, 1) \
+            + layer.bias[None, :, None, None]
+        for _ in range(3):  # cold then cached
+            np.testing.assert_allclose(layer(x), expected, atol=1e-8)
+        assert layer.spectrum_cache_info().hits == 2
+
+    def test_cached_forward_bit_identical_to_uncached(self, rng):
+        cached = Conv2d(3, 4, 3, padding=1, bias=False)
+        uncached = Conv2d(3, 4, 3, padding=1, bias=False,
+                          cache_spectra=False)
+        uncached.weight = cached.weight.copy()
+        x = rng.standard_normal((2, 3, 10, 10))
+        reference = uncached(x)
+        np.testing.assert_array_equal(cached(x), reference)
+        np.testing.assert_array_equal(cached(x), reference)
+
+    def test_workers_forward_bit_identical(self, rng):
+        seq = Conv2d(3, 4, 3, padding=1, bias=False)
+        par = Conv2d(3, 4, 3, padding=1, bias=False, workers=3)
+        par.weight = seq.weight.copy()
+        x = rng.standard_normal((4, 3, 10, 10))
+        np.testing.assert_array_equal(par(x), seq(x))
+
+    def test_multiple_input_shapes_each_get_a_plan(self, rng):
+        layer = Conv2d(2, 3, 3, padding=1, bias=False)
+        for ih in (8, 10, 12):
+            x = rng.standard_normal((1, 2, ih, ih))
+            np.testing.assert_allclose(
+                layer(x), naive_conv2d_reference(x, layer.weight, 1),
+                atol=1e-8)
+        assert layer.spectrum_cache_info().size == 3
+
+
+class TestLayerCacheInvalidation:
+    def test_rebinding_weight_invalidates(self, rng):
+        layer = Conv2d(2, 3, 3, padding=1, bias=False)
+        x = rng.standard_normal((1, 2, 8, 8))
+        layer(x)
+        version = layer.weight_version
+        layer.weight = rng.standard_normal(layer.weight.shape)
+        assert layer.weight_version == version + 1
+        np.testing.assert_allclose(
+            layer(x), naive_conv2d_reference(x, layer.weight, 1),
+            atol=1e-8)
+
+    def test_in_place_mutation_yields_fresh_spectra(self, rng):
+        layer = Conv2d(2, 3, 3, padding=1, bias=False)
+        x = rng.standard_normal((1, 2, 8, 8))
+        stale = layer(x)
+        layer.weight[...] = rng.standard_normal(layer.weight.shape)
+        out = layer(x)
+        assert not np.array_equal(out, stale)
+        np.testing.assert_allclose(
+            out, naive_conv2d_reference(x, layer.weight, 1), atol=1e-8)
+
+    def test_explicit_invalidation_retransforms(self, rng):
+        layer = Conv2d(2, 3, 3, padding=1, bias=False)
+        x = rng.standard_normal((1, 2, 8, 8))
+        layer(x)
+        layer.invalidate_weight_cache()
+        with _fft.record_fft_calls() as log:
+            layer(x)
+        assert _weight_call_count(log, layer) == 1

@@ -1,0 +1,43 @@
+"""Smoke test for the JSON benchmark harness (slow; excluded from tier-1).
+
+Run explicitly with ``pytest -m slow`` or via ``python -m repro bench
+--smoke``.  Validates the report schema and that it round-trips through
+JSON, without asserting timing (the CI box is too noisy for that).
+"""
+
+import json
+
+import pytest
+
+from repro import bench
+
+pytestmark = pytest.mark.slow
+
+
+def test_smoke_suite_schema(tmp_path):
+    report = bench.run_suite(smoke=True, repeats=1, workers=2)
+    assert report["schema"] == 1
+    assert report["results"], "smoke suite must run at least one case"
+    for row in report["results"]:
+        assert row["seed_ms"] > 0
+        assert row["uncached_ms"] > 0
+        assert row["cached_ms"] > 0
+        assert row["speedup"] == pytest.approx(
+            row["seed_ms"] / row["cached_ms"], rel=1e-2)
+        assert row["cache_speedup"] == pytest.approx(
+            row["uncached_ms"] / row["cached_ms"], rel=1e-2)
+    # every case must be exercised with both cold and warm measurements
+    names = {row["name"] for row in report["results"]}
+    assert len(names) == len(report["results"])
+
+    out = tmp_path / "bench.json"
+    bench.write_report(report, out)
+    assert json.loads(out.read_text())["results"] == report["results"]
+
+
+def test_smoke_cli_entry(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    code = bench.main(["--smoke", "--repeats", "1", "--out", str(out)])
+    assert code == 0
+    assert out.exists()
+    assert "speedup" in capsys.readouterr().out
