@@ -15,18 +15,32 @@ from repro.utils.shapes import ConvShape
 from repro.utils.validation import check_conv_inputs, ensure_array
 
 
-def conv2d_im2col_gemm(x: np.ndarray, weight: np.ndarray, padding: int = 0,
-                       stride: int = 1) -> np.ndarray:
-    """NCHW convolution via explicit im2col expansion and one GEMM."""
+def conv2d_im2col_gemm(x: np.ndarray, weight: np.ndarray, padding=0,
+                       stride: int | tuple = 1, dilation: int | tuple = 1,
+                       groups: int = 1) -> np.ndarray:
+    """NCHW convolution via explicit im2col expansion and one GEMM.
+
+    Patch columns are channel-major, so groups split them into contiguous
+    blocks and the grouped product is one batched GEMM over the group axis.
+    """
     x = ensure_array(x, "x", dtype=float)
     weight = ensure_array(weight, "weight", dtype=float)
-    check_conv_inputs(x, weight, padding, stride)
-    shape = ConvShape.from_tensors(x.shape, weight.shape, padding, stride)
+    check_conv_inputs(x, weight, padding, stride, dilation, groups)
+    shape = ConvShape.from_tensors(x.shape, weight.shape, padding, stride,
+                                   dilation, groups)
 
-    patches = im2col_patches(x, shape.kh, shape.kw, padding, stride)
-    kernel_matrix = weight.reshape(shape.f, -1)          # (f, c*kh*kw)
-    out = patches @ kernel_matrix.T                      # (n, oh*ow, f)
-    return out.transpose(0, 2, 1).reshape(shape.output_shape())
+    patches = im2col_patches(x, shape.kh, shape.kw, padding, stride,
+                             dilation)                   # (n, oh*ow, c*kh*kw)
+    if groups == 1:
+        kernel_matrix = weight.reshape(shape.f, -1)      # (f, c*kh*kw)
+        out = patches @ kernel_matrix.T                  # (n, oh*ow, f)
+        return out.transpose(0, 2, 1).reshape(shape.output_shape())
+    g, f_per = shape.groups, shape.group_filters
+    taps = shape.group_channels * shape.kernel_elems
+    pg = patches.reshape(shape.n, shape.output_elems, g, taps)
+    wg = weight.reshape(g, f_per, taps)
+    out = np.einsum("npgk,gfk->ngfp", pg, wg)
+    return out.reshape(shape.output_shape())
 
 
 def im2col_workspace_elems(shape: ConvShape) -> int:

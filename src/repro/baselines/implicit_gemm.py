@@ -20,18 +20,21 @@ _OFFSET_CACHE: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
 
 def _gather_offsets(shape: ConvShape) -> tuple[np.ndarray, np.ndarray]:
     """Row/col index tables mapping output positions x kernel taps to the
-    padded input."""
-    rows = (shape.stride * np.arange(shape.oh)[:, None, None, None]
-            + np.arange(shape.kh)[None, None, :, None])
-    cols = (shape.stride * np.arange(shape.ow)[None, :, None, None]
-            + np.arange(shape.kw)[None, None, None, :])
+    padded input.  Stride moves the window origin; dilation spaces taps."""
+    sh, sw = shape.stride_hw
+    dh, dw = shape.dilation_hw
+    rows = (sh * np.arange(shape.oh)[:, None, None, None]
+            + dh * np.arange(shape.kh)[None, None, :, None])
+    cols = (sw * np.arange(shape.ow)[None, :, None, None]
+            + dw * np.arange(shape.kw)[None, None, None, :])
     rows, cols = np.broadcast_arrays(rows, cols)
     return np.ascontiguousarray(rows), np.ascontiguousarray(cols)
 
 
 def precomputed_offsets(shape: ConvShape) -> tuple[np.ndarray, np.ndarray]:
     """Cached offset tables for *shape* (the PRECOMP workspace)."""
-    key = (shape.oh, shape.ow, shape.kh, shape.kw, shape.stride)
+    key = (shape.oh, shape.ow, shape.kh, shape.kw, shape.stride_hw,
+           shape.dilation_hw)
     if key not in _OFFSET_CACHE:
         _OFFSET_CACHE[key] = _gather_offsets(shape)
     return _OFFSET_CACHE[key]
@@ -42,8 +45,9 @@ def clear_offset_cache() -> None:
     _OFFSET_CACHE.clear()
 
 
-def conv2d_implicit_gemm(x: np.ndarray, weight: np.ndarray, padding: int = 0,
-                         stride: int = 1,
+def conv2d_implicit_gemm(x: np.ndarray, weight: np.ndarray, padding=0,
+                         stride: int | tuple = 1, dilation: int | tuple = 1,
+                         groups: int = 1,
                          precomputed: bool = False) -> np.ndarray:
     """NCHW convolution with the patch gather fused into the contraction.
 
@@ -53,27 +57,36 @@ def conv2d_implicit_gemm(x: np.ndarray, weight: np.ndarray, padding: int = 0,
     """
     x = ensure_array(x, "x", dtype=float)
     weight = ensure_array(weight, "weight", dtype=float)
-    check_conv_inputs(x, weight, padding, stride)
-    shape = ConvShape.from_tensors(x.shape, weight.shape, padding, stride)
-    xp = pad2d(x, padding)
+    check_conv_inputs(x, weight, padding, stride, dilation, groups)
+    shape = ConvShape.from_tensors(x.shape, weight.shape, padding, stride,
+                                   dilation, groups)
+    xp = pad2d(x, shape.pad_tblr)
+    sh, sw = shape.stride_hw
+    dh, dw = shape.dilation_hw
+    g, c_per, f_per = shape.groups, shape.group_channels, shape.group_filters
+    xg = xp.reshape(shape.n, g, c_per, *xp.shape[-2:])
+    wg = weight.reshape(g, f_per, c_per, shape.kh, shape.kw)
 
     if precomputed:
         rows, cols = precomputed_offsets(shape)
-        # One big gather (n, c, oh, ow, kh, kw), then a single contraction.
-        patches = xp[:, :, rows, cols]
-        return np.einsum("ncijuv,fcuv->nfij", patches, weight)
+        # One big gather (n, g, c, oh, ow, kh, kw), then one contraction.
+        patches = xg[:, :, :, rows, cols]
+        out = np.einsum("ngcijuv,gfcuv->ngfij", patches, wg)
+        return out.reshape(shape.output_shape())
 
-    out = np.zeros(shape.output_shape(), dtype=float)
-    s = shape.stride
+    out = np.zeros((shape.n, g, f_per, shape.oh, shape.ow), dtype=float)
     for u in range(shape.kh):
         for v in range(shape.kw):
-            window = xp[:, :, u: u + s * shape.oh: s, v: v + s * shape.ow: s]
-            out += np.einsum("nchw,fc->nfhw", window, weight[:, :, u, v])
-    return out
+            window = xg[:, :, :, u * dh: u * dh + sh * shape.oh: sh,
+                        v * dw: v * dw + sw * shape.ow: sw]
+            out += np.einsum("ngchw,gfc->ngfhw", window, wg[:, :, :, u, v])
+    return out.reshape(shape.output_shape())
 
 
 def conv2d_implicit_precomp_gemm(x: np.ndarray, weight: np.ndarray,
-                                 padding: int = 0,
-                                 stride: int = 1) -> np.ndarray:
+                                 padding=0, stride: int | tuple = 1,
+                                 dilation: int | tuple = 1,
+                                 groups: int = 1) -> np.ndarray:
     """Convenience wrapper for the PRECOMP variant."""
-    return conv2d_implicit_gemm(x, weight, padding, stride, precomputed=True)
+    return conv2d_implicit_gemm(x, weight, padding, stride, dilation,
+                                groups, precomputed=True)

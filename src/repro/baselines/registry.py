@@ -30,6 +30,7 @@ from repro.baselines.winograd import (
 )
 from repro.core.multichannel import conv2d_polyhankel
 from repro.core.overlap_save import conv2d_polyhankel_os
+from repro.hankel.im2col_view import pad2d
 from repro.utils.shapes import ConvShape
 
 
@@ -51,38 +52,53 @@ class ConvAlgorithm(enum.Enum):
 
 @dataclass(frozen=True)
 class AlgorithmEntry:
-    """Dispatch record: callable plus capability predicate."""
+    """Dispatch record: callable plus capability predicates.
+
+    ``native=True`` means ``fn`` itself accepts the full parameter space
+    (per-axis stride/dilation, asymmetric or ``"same"`` padding, groups).
+    Non-native entries keep the classic ``(x, w, padding:int, stride:int)``
+    signature and are *lowered* by :func:`convolve`: groups are split,
+    dilation is materialized into the kernel, asymmetric pads become an
+    explicit pre-pad, and non-uniform strides run at stride 1 and
+    subsample — so every registered algorithm either runs the extended
+    space or rejects it explicitly through ``supports``.
+    """
 
     algorithm: ConvAlgorithm
     fn: Callable[..., np.ndarray]
     description: str
     supports: Callable[[ConvShape], bool]
+    native: bool = False
 
 
 def _winograd_supported(shape: ConvShape) -> bool:
     # cuDNN restricts Winograd to 3x3 stride-1; our generated transforms are
-    # a bit more general but still bounded by conditioning.
-    return (shape.stride == 1
-            and 2 + shape.kh - 1 <= MAX_ALPHA
-            and 2 + shape.kw - 1 <= MAX_ALPHA)
+    # a bit more general but still bounded by conditioning.  Dilation is
+    # lowered into the kernel, so the *effective* extents must fit the tile.
+    return (shape.stride_hw == (1, 1)
+            and 2 + shape.eff_kh - 1 <= MAX_ALPHA
+            and 2 + shape.eff_kw - 1 <= MAX_ALPHA)
 
 
 _ENTRIES: dict[ConvAlgorithm, AlgorithmEntry] = {}
 
 
 def _register(algorithm: ConvAlgorithm, fn, description: str,
-              supports=lambda shape: True) -> None:
-    _ENTRIES[algorithm] = AlgorithmEntry(algorithm, fn, description, supports)
+              supports=lambda shape: True, native: bool = False) -> None:
+    _ENTRIES[algorithm] = AlgorithmEntry(algorithm, fn, description,
+                                         supports, native)
 
 
 _register(ConvAlgorithm.NAIVE, conv2d_naive,
-          "direct definition-following convolution (reference)")
+          "direct definition-following convolution (reference)",
+          native=True)
 _register(ConvAlgorithm.GEMM, conv2d_im2col_gemm,
-          "explicit im2col expansion + GEMM")
+          "explicit im2col expansion + GEMM", native=True)
 _register(ConvAlgorithm.IMPLICIT_GEMM, conv2d_implicit_gemm,
-          "GEMM with the patch gather fused into the contraction")
+          "GEMM with the patch gather fused into the contraction",
+          native=True)
 _register(ConvAlgorithm.IMPLICIT_PRECOMP_GEMM, conv2d_implicit_precomp_gemm,
-          "implicit GEMM with precomputed gather offset tables")
+          "implicit GEMM with precomputed gather offset tables", native=True)
 _register(ConvAlgorithm.FFT, conv2d_fft,
           "monolithic 2D-FFT convolution")
 _register(ConvAlgorithm.FFT_TILING, conv2d_fft_tiling,
@@ -96,7 +112,8 @@ _register(ConvAlgorithm.WINOGRAD_NONFUSED, conv2d_winograd_nonfused,
 _register(ConvAlgorithm.FINEGRAIN_FFT, conv2d_finegrain_fft,
           "Zhang & Li's per-row block-FFT method (PACT'20)")
 _register(ConvAlgorithm.POLYHANKEL, conv2d_polyhankel,
-          "this paper: polynomial-multiplication convolution, one 1D FFT")
+          "this paper: polynomial-multiplication convolution, one 1D FFT",
+          native=True)
 _register(ConvAlgorithm.POLYHANKEL_OS, conv2d_polyhankel_os,
           "PolyHankel executed with overlap-save batch streaming")
 
@@ -124,21 +141,93 @@ def supports(algorithm: ConvAlgorithm | str, shape: ConvShape) -> bool:
     return get_entry(algorithm).supports(shape)
 
 
+def _basic_space(shape: ConvShape) -> bool:
+    """Whether *shape* sits in the classic (int padding/stride, dilation 1,
+    one group) space every legacy kernel signature understands."""
+    return (shape.groups == 1 and shape.dilation == 1
+            and isinstance(shape.padding, int)
+            and isinstance(shape.stride, int))
+
+
+def _dilate_kernel(weight: np.ndarray,
+                   dilation: tuple[int, int]) -> np.ndarray:
+    """Materialize a dilated kernel by inserting zeros between taps."""
+    dh, dw = dilation
+    f, c, kh, kw = weight.shape
+    out = np.zeros((f, c, (kh - 1) * dh + 1, (kw - 1) * dw + 1),
+                   dtype=weight.dtype)
+    out[:, :, ::dh, ::dw] = weight
+    return out
+
+
+def _convolve_lowered(entry: AlgorithmEntry, x: np.ndarray,
+                      weight: np.ndarray, shape: ConvShape,
+                      **kwargs) -> np.ndarray:
+    """Run a basic-space kernel on an extended-space problem.
+
+    Lowering steps, applied in order: split groups into independent
+    sub-convolutions, turn asymmetric padding into an explicit pre-pad,
+    materialize dilation into the kernel, and express non-uniform stride
+    as stride 1 followed by per-axis output subsampling.  Each step
+    preserves the exact arithmetic of the extended-space definition.
+    """
+    x = np.asarray(x)
+    weight = np.asarray(weight)
+    if shape.groups > 1:
+        c_per, f_per = shape.group_channels, shape.group_filters
+        sub = shape.group_view()
+        outs = [
+            _convolve_lowered(entry, x[:, g * c_per:(g + 1) * c_per],
+                              weight[g * f_per:(g + 1) * f_per], sub,
+                              **kwargs)
+            for g in range(shape.groups)
+        ]
+        return np.concatenate(outs, axis=1)
+    if not isinstance(shape.padding, int):
+        pt, pb, pl, pr = shape.pad_tblr
+        x = pad2d(x, (pt, pb, pl, pr))
+        shape = shape.with_(ih=shape.ih + pt + pb, iw=shape.iw + pl + pr,
+                            padding=0)
+    if shape.dilation != 1:
+        weight = _dilate_kernel(weight, shape.dilation_hw)
+        shape = shape.with_(kh=shape.eff_kh, kw=shape.eff_kw, dilation=1)
+    sh, sw = shape.stride_hw
+    if sh == sw:
+        return entry.fn(x, weight, padding=shape.padding, stride=sh,
+                        **kwargs)
+    out = entry.fn(x, weight, padding=shape.padding, stride=1, **kwargs)
+    return out[:, :, ::sh, ::sw]
+
+
 def convolve(x: np.ndarray, weight: np.ndarray,
              algorithm: ConvAlgorithm | str = ConvAlgorithm.POLYHANKEL,
-             padding: int = 0, stride: int = 1, **kwargs) -> np.ndarray:
+             padding=0, stride: int | tuple = 1,
+             dilation: int | tuple = 1, groups: int = 1,
+             **kwargs) -> np.ndarray:
     """Run a convolution with an explicitly chosen algorithm.
 
-    Raises ``ValueError`` when the algorithm cannot handle the shape (e.g.
-    Winograd with stride 2), mirroring cuDNN's NOT_SUPPORTED status.
+    Accepts the full conv2d parameter space.  Native algorithms receive the
+    parameters directly; legacy kernels are lowered (group split, explicit
+    pre-pad, kernel dilation, stride-1 + subsample) so every algorithm
+    either computes the extended problem or raises ``ValueError`` —
+    mirroring cuDNN's NOT_SUPPORTED status — when its ``supports``
+    predicate rejects the shape (e.g. Winograd with stride 2).
     """
     entry = get_entry(algorithm)
     shape = ConvShape.from_tensors(
-        np.shape(x), np.shape(weight), padding, stride
+        np.shape(x), np.shape(weight), padding, stride, dilation, groups
     )
     if not entry.supports(shape):
         raise ValueError(
             f"algorithm {entry.algorithm.value} does not support this shape "
-            f"(stride={stride}, kernel={shape.kh}x{shape.kw})"
+            f"(stride={shape.stride}, dilation={shape.dilation}, "
+            f"groups={shape.groups}, kernel={shape.kh}x{shape.kw}, "
+            f"effective kernel={shape.eff_kh}x{shape.eff_kw})"
         )
-    return entry.fn(x, weight, padding=padding, stride=stride, **kwargs)
+    if entry.native:
+        return entry.fn(x, weight, padding=padding, stride=stride,
+                        dilation=dilation, groups=groups, **kwargs)
+    if _basic_space(shape):
+        return entry.fn(x, weight, padding=shape.padding,
+                        stride=shape.stride, **kwargs)
+    return _convolve_lowered(entry, x, weight, shape, **kwargs)

@@ -50,7 +50,16 @@ class BenchCase:
     padding: int
     strategy: str = "sum"
     backend: str = "numpy"
+    stride: int = 1
+    dilation: int = 1
+    groups: int = 1
     heavy: bool = False  # skipped in --smoke runs
+
+    @property
+    def extended(self) -> bool:
+        """Outside the parameter space the seed implementation supported
+        (the seed column is only defined for non-extended cases)."""
+        return (self.stride, self.dilation, self.groups) != (1, 1, 1)
 
 
 SUITE: tuple[BenchCase, ...] = (
@@ -61,6 +70,12 @@ SUITE: tuple[BenchCase, ...] = (
     BenchCase("conv16_sum_builtin", 16, 3, 4, 3, 8, 1, backend="builtin"),
     BenchCase("conv64_sum_builtin", 64, 5, 4, 3, 8, 2, backend="builtin",
               heavy=True),
+    # ResNet-style strided stage: the 3x3/s=2 downsampling convolution.
+    BenchCase("resnet_stage_s2", 32, 3, 4, 8, 16, 1, stride=2),
+    # MobileNet-style depthwise layer: groups == channels.
+    BenchCase("mobilenet_depthwise", 32, 3, 4, 16, 16, 1, groups=16),
+    # Dilated (atrous) context layer, DeepLab-style.
+    BenchCase("dilated_d2", 32, 3, 4, 8, 8, 2, dilation=2, heavy=True),
 )
 
 
@@ -218,11 +233,16 @@ def run_case(case: BenchCase, repeats: int = 5,
 
     shape = ConvShape(ih=case.size, iw=case.size, kh=case.kernel,
                       kw=case.kernel, n=case.batch, c=case.channels,
-                      f=case.filters, padding=case.padding)
+                      f=case.filters, padding=case.padding,
+                      stride=case.stride, dilation=case.dilation,
+                      groups=case.groups)
     x, w = random_problem(shape)
 
     def call(**kw):
         return mc.conv2d_polyhankel(x, w, padding=case.padding,
+                                    stride=case.stride,
+                                    dilation=case.dilation,
+                                    groups=case.groups,
                                     strategy=case.strategy,
                                     backend=case.backend, **kw)
 
@@ -233,33 +253,48 @@ def run_case(case: BenchCase, repeats: int = 5,
     call()
     first_call_ms = (time.perf_counter() - start) * 1e3
 
-    # The seed replica must agree with the engine, or the baseline is
-    # bogus (see _seed_conv2d).
-    seed_out = _seed_conv2d(x, w, case.padding, case.strategy, case.backend)
-    if not np.allclose(seed_out, call(), atol=1e-8):
-        raise AssertionError(f"seed replica diverged on {case.name}")
+    if case.extended:
+        # The seed implementation could not run this case; verify the
+        # engine against the naive reference instead of the seed replica.
+        from repro.baselines.naive import conv2d_naive
+
+        want = conv2d_naive(x, w, padding=case.padding, stride=case.stride,
+                            dilation=case.dilation, groups=case.groups)
+        if not np.allclose(want, call(), atol=1e-8):
+            raise AssertionError(f"engine diverged from naive on "
+                                 f"{case.name}")
+    else:
+        # The seed replica must agree with the engine, or the baseline is
+        # bogus (see _seed_conv2d).
+        seed_out = _seed_conv2d(x, w, case.padding, case.strategy,
+                                case.backend)
+        if not np.allclose(seed_out, call(), atol=1e-8):
+            raise AssertionError(f"seed replica diverged on {case.name}")
 
     plan = mc.get_plan(shape, strategy=case.strategy, backend=case.backend)
     fns = {
-        "seed": lambda: _seed_conv2d(x, w, case.padding, case.strategy,
-                                     case.backend),
         # Per-call weight transform through today's pipeline, bypassing
         # the spectrum cache.
         "uncached": lambda: plan.execute(x, plan.transform_weight(w)),
         "cached": call,
     }
+    if not case.extended:
+        fns["seed"] = lambda: _seed_conv2d(x, w, case.padding,
+                                           case.strategy, case.backend)
     if workers and case.batch > 1:
         fns["workers"] = lambda: call(workers=workers)
     # Conv2d always runs the default (numpy) backend, so the layer column
     # is only meaningful for numpy cases.
     if case.backend == "numpy":
         layer = Conv2d(case.channels, case.filters, case.kernel,
-                       padding=case.padding, bias=False)
+                       padding=case.padding, stride=case.stride,
+                       dilation=case.dilation, groups=case.groups,
+                       bias=False)
         layer.weight = w
         fns["layer"] = lambda: layer(x)
 
     times = _time_interleaved(fns, repeats)
-    seed_ms = times["seed"]
+    seed_ms = times.get("seed")
     uncached_ms = times["uncached"]
     cached_ms = times["cached"]
     workers_ms = times.get("workers")
@@ -269,18 +304,21 @@ def run_case(case: BenchCase, repeats: int = 5,
         "name": case.name,
         "shape": {"size": case.size, "kernel": case.kernel,
                   "batch": case.batch, "channels": case.channels,
-                  "filters": case.filters, "padding": case.padding},
+                  "filters": case.filters, "padding": case.padding,
+                  "stride": case.stride, "dilation": case.dilation,
+                  "groups": case.groups},
         "strategy": case.strategy,
         "backend": case.backend,
         "first_call_ms": round(first_call_ms, 4),
-        "seed_ms": round(seed_ms, 4),
+        "seed_ms": round(seed_ms, 4) if seed_ms is not None else None,
         "uncached_ms": round(uncached_ms, 4),
         "cached_ms": round(cached_ms, 4),
         "layer_cached_ms": round(layer_cached_ms, 4)
         if layer_cached_ms is not None else None,
         "workers_ms": round(workers_ms, 4) if workers_ms is not None
         else None,
-        "speedup": round(seed_ms / cached_ms, 3) if cached_ms else None,
+        "speedup": round(seed_ms / cached_ms, 3)
+        if cached_ms and seed_ms is not None else None,
         "cache_speedup": round(uncached_ms / cached_ms, 3)
         if cached_ms else None,
     }
@@ -329,11 +367,15 @@ def format_report(report: dict) -> str:
             else f"{'-':>9}"
         ly = f"{r['layer_cached_ms']:9.3f}" \
             if r["layer_cached_ms"] is not None else f"{'-':>9}"
+        sd = f"{r['seed_ms']:9.3f}" if r["seed_ms"] is not None \
+            else f"{'-':>9}"
+        sp = f"{r['speedup']:8.2f}x" if r["speedup"] is not None \
+            else f"{'-':>9}"
         lines.append(
             f"{r['name']:<24} {r['first_call_ms']:9.3f} "
-            f"{r['seed_ms']:9.3f} "
+            f"{sd} "
             f"{r['uncached_ms']:9.3f} {r['cached_ms']:9.3f} "
-            f"{ly} {wk} {r['speedup']:8.2f}x")
+            f"{ly} {wk} {sp}")
     return "\n".join(lines)
 
 

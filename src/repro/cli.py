@@ -23,13 +23,53 @@ import sys
 import numpy as np
 
 
+def _parse_pair(text: str):
+    """Parse ``"2"`` or ``"2,1"`` into an int or an ``(h, w)`` pair."""
+    parts = [p for p in text.split(",") if p]
+    try:
+        values = [int(p) for p in parts]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an int or 'h,w' pair, got {text!r}"
+        ) from None
+    if len(values) == 1:
+        return values[0]
+    if len(values) == 2:
+        return tuple(values)
+    raise argparse.ArgumentTypeError(
+        f"expected an int or 'h,w' pair, got {text!r}"
+    )
+
+
+def _parse_padding(text: str):
+    """Parse ``"same"``, ``"1"``, ``"1,2"`` or ``"1,1,2,2"``."""
+    if text == "same":
+        return "same"
+    parts = [p for p in text.split(",") if p]
+    try:
+        values = [int(p) for p in parts]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected 'same', an int, 'ph,pw' or 'pt,pb,pl,pr', "
+            f"got {text!r}"
+        ) from None
+    if len(values) == 1:
+        return values[0]
+    if len(values) in (2, 4):
+        return tuple(values)
+    raise argparse.ArgumentTypeError(
+        f"expected 'same', an int, 'ph,pw' or 'pt,pb,pl,pr', got {text!r}"
+    )
+
+
 def _shape_from_args(args) -> "ConvShape":
     from repro.utils.shapes import ConvShape
 
     return ConvShape(ih=args.size, iw=args.size, kh=args.kernel,
                      kw=args.kernel, n=args.batch, c=args.channels,
                      f=args.filters, padding=args.padding,
-                     stride=args.stride)
+                     stride=args.stride, dilation=args.dilation,
+                     groups=args.groups)
 
 
 def _add_shape_arguments(parser: argparse.ArgumentParser) -> None:
@@ -40,8 +80,16 @@ def _add_shape_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--batch", type=int, default=8)
     parser.add_argument("--channels", type=int, default=3)
     parser.add_argument("--filters", type=int, default=16)
-    parser.add_argument("--padding", type=int, default=1)
-    parser.add_argument("--stride", type=int, default=1)
+    parser.add_argument("--padding", type=_parse_padding, default=1,
+                        help="'same', P, 'ph,pw' or 'pt,pb,pl,pr' "
+                             "(default 1)")
+    parser.add_argument("--stride", type=_parse_pair, default=1,
+                        help="S or 'sh,sw' (default 1)")
+    parser.add_argument("--dilation", type=_parse_pair, default=1,
+                        help="D or 'dh,dw' (default 1)")
+    parser.add_argument("--groups", type=int, default=1,
+                        help="channel groups; set to channels for "
+                             "depthwise (default 1)")
 
 
 def _print_cache_stats() -> None:

@@ -43,18 +43,21 @@ def input_polynomial(image: np.ndarray, padding: int = 0) -> np.ndarray:
     return padded.reshape(-1)
 
 
-def kernel_polynomial(kernel: np.ndarray, iw: int) -> np.ndarray:
+def kernel_polynomial(kernel: np.ndarray, iw: int,
+                      dilation: int | tuple = 1) -> np.ndarray:
     """Coefficient vector of U(t) for one 2D kernel (Eq. 6 / Eq. 11).
 
-    *iw* is the **padded** input width.  The vector has length ``M + 1 =
-    (kh - 1) * iw + kw`` — the "combined kernel size" of Sec. 3.2: each
-    kernel row is followed by ``iw - kw`` zeros, and rows appear reversed.
+    *iw* is the **padded** input width.  The vector has length ``M + 1``
+    (``(kh - 1) * iw + kw`` undilated) — the "combined kernel size" of
+    Sec. 3.2: each kernel row is followed by ``iw - kw`` zeros, and rows
+    appear reversed.  *dilation* stretches the degree map (taps scatter
+    ``dh`` rows / ``dw`` columns apart) without materializing zeros.
     """
     kernel = ensure_array(kernel, "kernel", ndim=2)
     kh, kw = kernel.shape
-    m = max_kernel_degree(kh, kw, iw)
+    m = max_kernel_degree(kh, kw, iw, dilation)
     coeffs = np.zeros(m + 1, dtype=kernel.dtype)
-    coeffs[kernel_degrees(kh, kw, iw)] = kernel
+    coeffs[kernel_degrees(kh, kw, iw, dilation)] = kernel
     return coeffs
 
 
@@ -62,24 +65,28 @@ def output_gather_indices(shape: ConvShape) -> np.ndarray:
     """Indices into the product coefficient vector holding the output.
 
     Shape ``(oh, ow)``; entry ``(i, j)`` is the degree from Eq. 12 adjusted
-    for stride.
+    for (per-axis) stride and dilation.
     """
     return output_degrees(shape.oh, shape.ow, shape.padded_iw,
-                          shape.kh, shape.kw, shape.stride)
+                          shape.kh, shape.kw, shape.stride_hw,
+                          shape.dilation_hw)
 
 
-def channel_kernel_stack(weight: np.ndarray, iw: int) -> np.ndarray:
+def channel_kernel_stack(weight: np.ndarray, iw: int,
+                         dilation: int | tuple = 1) -> np.ndarray:
     """Per-channel U(t) vectors for a weight tensor.
 
     *weight* is ``(f, c, kh, kw)``; returns ``(f, c, M + 1)``.  All channels
     share the same degrees because the channel aggregation happens as a sum
-    in the frequency domain (Sec. 3.2, chosen option).
+    in the frequency domain (Sec. 3.2, chosen option).  *dilation* scatters
+    the taps on the stretched degree map.
     """
     weight = ensure_array(weight, "weight", ndim=4)
     f, c, kh, kw = weight.shape
-    m = max_kernel_degree(kh, kw, iw)
+    m = max_kernel_degree(kh, kw, iw, dilation)
     coeffs = np.zeros((f, c, m + 1), dtype=weight.dtype)
-    coeffs[:, :, kernel_degrees(kh, kw, iw)] = weight.reshape(f, c, kh, kw)
+    coeffs[:, :, kernel_degrees(kh, kw, iw, dilation)] = \
+        weight.reshape(f, c, kh, kw)
     return coeffs
 
 
@@ -99,7 +106,8 @@ def merged_input_polynomial(x_padded: np.ndarray) -> np.ndarray:
     return x_padded.reshape(c, -1).T.reshape(-1)
 
 
-def merged_kernel_polynomial(weight_c: np.ndarray, iw: int) -> np.ndarray:
+def merged_kernel_polynomial(weight_c: np.ndarray, iw: int,
+                             dilation: int | tuple = 1) -> np.ndarray:
     """Interleaved multi-channel U(t) for one filter.
 
     *weight_c* is ``(c, kh, kw)``; element ``(c, i, j)`` gets degree
@@ -110,9 +118,9 @@ def merged_kernel_polynomial(weight_c: np.ndarray, iw: int) -> np.ndarray:
     """
     weight_c = ensure_array(weight_c, "weight_c", ndim=3)
     c, kh, kw = weight_c.shape
-    m = max_kernel_degree(kh, kw, iw)
+    m = max_kernel_degree(kh, kw, iw, dilation)
     coeffs = np.zeros(c * (m + 1), dtype=weight_c.dtype)
-    deg = kernel_degrees(kh, kw, iw)  # (kh, kw)
+    deg = kernel_degrees(kh, kw, iw, dilation)  # (kh, kw)
     for ch in range(c):
         coeffs[deg * c + (c - 1 - ch)] = weight_c[ch]
     return coeffs
@@ -132,7 +140,8 @@ def merged_input_stack(x_padded: np.ndarray) -> np.ndarray:
     ).reshape(n, -1)
 
 
-def merged_kernel_stack(weight: np.ndarray, iw: int) -> np.ndarray:
+def merged_kernel_stack(weight: np.ndarray, iw: int,
+                        dilation: int | tuple = 1) -> np.ndarray:
     """Interleaved multi-channel U(t) for every filter, vectorized.
 
     *weight* is ``(f, c, kh, kw)``; returns ``(f, C * (M + 1))`` — row
@@ -142,8 +151,8 @@ def merged_kernel_stack(weight: np.ndarray, iw: int) -> np.ndarray:
     """
     weight = ensure_array(weight, "weight", ndim=4)
     f, c, kh, kw = weight.shape
-    m = max_kernel_degree(kh, kw, iw)
-    deg = kernel_degrees(kh, kw, iw)  # (kh, kw)
+    m = max_kernel_degree(kh, kw, iw, dilation)
+    deg = kernel_degrees(kh, kw, iw, dilation)  # (kh, kw)
     idx = deg[None, :, :] * c + (c - 1 - np.arange(c))[:, None, None]
     coeffs = np.zeros((f, c * (m + 1)), dtype=weight.dtype)
     coeffs[:, idx.reshape(-1)] = weight.reshape(f, -1)
@@ -151,8 +160,13 @@ def merged_kernel_stack(weight: np.ndarray, iw: int) -> np.ndarray:
 
 
 def merged_output_gather_indices(shape: ConvShape) -> np.ndarray:
-    """Gather indices for the merged layout: ``C * deg + (C - 1)``."""
-    return shape.c * output_gather_indices(shape) + (shape.c - 1)
+    """Gather indices for the merged layout: ``C * deg + (C - 1)``.
+
+    ``C`` is the *per-group* channel count: with groups, each group merges
+    its own channels and the gather degrees are identical across groups.
+    """
+    c = shape.group_channels
+    return c * output_gather_indices(shape) + (c - 1)
 
 
 def polynomial_lengths(shape: ConvShape) -> tuple[int, int, int]:
@@ -161,7 +175,6 @@ def polynomial_lengths(shape: ConvShape) -> tuple[int, int, int]:
     These drive FFT size planning; the linear length is what the FFT size
     must meet or exceed for the circular product to equal the linear one.
     """
-    require(shape.stride >= 1, "stride must be positive")
     len_a = shape.poly_input_len
     len_u = shape.poly_kernel_len
     return len_a, len_u, len_a + len_u - 1

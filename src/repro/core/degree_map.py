@@ -24,16 +24,27 @@ import numpy as np
 from repro.utils.validation import require
 
 
-def max_kernel_degree(kh: int, kw: int, iw: int) -> int:
+def _pair(value) -> tuple[int, int]:
+    return (value, value) if isinstance(value, int) else tuple(value)
+
+
+def max_kernel_degree(kh: int, kw: int, iw: int,
+                      dilation: int | tuple = 1) -> int:
     """Highest exponent M in the kernel polynomial U(t).
 
-    ``M = (kh - 1) * iw + kw - 1`` is the flattened index of the kernel's
-    bottom-right element inside a width-``iw`` input, i.e. the last entry of
-    the first row-degree vector RD_1 (Sec. 2.2).
+    Undilated, ``M = (kh - 1) * iw + kw - 1`` is the flattened index of the
+    kernel's bottom-right element inside a width-``iw`` input — the last
+    entry of the first row-degree vector RD_1 (Sec. 2.2).  Dilation
+    *stretches* the degree map: tap ``(i, j)`` lands on input offset
+    ``(dh*i, dw*j)``, so ``M = (kh - 1) * dh * iw + (kw - 1) * dw``.
     """
-    require(kh >= 1 and kw >= 1 and iw >= kw,
-            "need kh, kw >= 1 and iw >= kw")
-    return (kh - 1) * iw + kw - 1
+    dh, dw = _pair(dilation)
+    require(kh >= 1 and kw >= 1, "kernel extents must be positive")
+    require(dh >= 1 and dw >= 1, "dilation must be positive")
+    require(iw >= (kw - 1) * dw + 1,
+            f"dilated kernel width {(kw - 1) * dw + 1} exceeds input "
+            f"width {iw}")
+    return (kh - 1) * dh * iw + (kw - 1) * dw
 
 
 def input_degrees(ih: int, iw: int) -> np.ndarray:
@@ -42,31 +53,41 @@ def input_degrees(ih: int, iw: int) -> np.ndarray:
     return iw * np.arange(ih)[:, None] + np.arange(iw)[None, :]
 
 
-def kernel_degrees(kh: int, kw: int, iw: int) -> np.ndarray:
-    """Exponent of each kernel element in U(t): ``M - (iw * i + j)``.
+def kernel_degrees(kh: int, kw: int, iw: int,
+                   dilation: int | tuple = 1) -> np.ndarray:
+    """Exponent of each kernel element in U(t): ``M - (iw*dh*i + dw*j)``.
 
-    This is the reversed first-row degree vector — the Eq. 6 construction.
+    This is the reversed first-row degree vector — the Eq. 6 construction,
+    generalized to dilated taps via the stretched degree map (a tap at
+    kernel position ``(i, j)`` reads input offset ``(dh*i, dw*j)``, so its
+    degree shifts by ``iw*dh*i + dw*j``).  With ``dilation=1`` it equals
+    scattering the zero-upsampled kernel, without materializing the zeros.
     The paper's closed form Eq. 11 has an off-by-one in its constant term
     (it disagrees with the worked example); this matches the example and is
     verified against direct convolution.
     """
-    m = max_kernel_degree(kh, kw, iw)
-    return m - (iw * np.arange(kh)[:, None] + np.arange(kw)[None, :])
+    dh, dw = _pair(dilation)
+    m = max_kernel_degree(kh, kw, iw, (dh, dw))
+    return m - (iw * dh * np.arange(kh)[:, None]
+                + dw * np.arange(kw)[None, :])
 
 
 def output_degrees(oh: int, ow: int, iw: int, kh: int, kw: int,
-                   stride: int = 1) -> np.ndarray:
+                   stride: int | tuple = 1,
+                   dilation: int | tuple = 1) -> np.ndarray:
     """Exponents in P(t) = A(t) U(t) that hold the convolution output.
 
-    Output position ``(i, j)`` reads coefficient ``M + iw*stride*i +
-    stride*j`` (Eq. 12): the degrees of the last column of the conceptual
-    im2col matrix.  Stride simply subsamples the gather positions.
+    Output position ``(i, j)`` reads coefficient ``M + iw*sh*i + sw*j``
+    (Eq. 12 with per-axis stride): the degrees of the last column of the
+    conceptual im2col matrix.  Stride simply subsamples the gather
+    positions per axis; dilation only enters through ``M``.
     """
-    require(oh >= 1 and ow >= 1 and stride >= 1,
-            "output extents and stride must be positive")
-    m = max_kernel_degree(kh, kw, iw)
-    return (m + iw * stride * np.arange(oh)[:, None]
-            + stride * np.arange(ow)[None, :])
+    sh, sw = _pair(stride)
+    require(oh >= 1 and ow >= 1, "output extents must be positive")
+    require(sh >= 1 and sw >= 1, "stride must be positive")
+    m = max_kernel_degree(kh, kw, iw, dilation)
+    return (m + iw * sh * np.arange(oh)[:, None]
+            + sw * np.arange(ow)[None, :])
 
 
 def lshaped_traversal_map(oh: int, ow: int, kh: int, kw: int) -> np.ndarray:

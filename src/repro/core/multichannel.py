@@ -106,7 +106,10 @@ class PolyHankelPlan:
             self.nfft = plan_fft_size(linear_len, self.fft_policy)
             self.gather = output_gather_indices(self.shape)
         else:
-            c = self.shape.c
+            # Channels merge *within* a group; each group is an independent
+            # polynomial product, so the transform is c/groups times longer,
+            # not c times.
+            c = self.shape.group_channels
             merged_linear = c * len_a + c * len_u - 1
             self.nfft = plan_fft_size(merged_linear, self.fft_policy)
             self.gather = merged_output_gather_indices(self.shape)
@@ -140,10 +143,12 @@ class PolyHankelPlan:
                 f"{self.shape.weight_shape()}"
             )
         fft = _fft.get_backend(self.backend)
+        dilation = self.shape.dilation_hw
         if self.strategy == "sum":
-            stack = channel_kernel_stack(weight, self.shape.padded_iw)
+            stack = channel_kernel_stack(weight, self.shape.padded_iw,
+                                         dilation)
             return fft.rfft(stack, self.nfft)
-        merged = merged_kernel_stack(weight, self.shape.padded_iw)
+        merged = merged_kernel_stack(weight, self.shape.padded_iw, dilation)
         return fft.rfft(merged, self.nfft)
 
     def weight_spectrum(self, weight: np.ndarray) -> np.ndarray:
@@ -229,48 +234,60 @@ class PolyHankelPlan:
         The scratch border stays zero across calls (only the interior is
         rewritten), so reuse skips re-zeroing the whole buffer.
         """
-        p = self.shape.padding
-        if p == 0:
+        pt, pb, pl, pr = self.shape.pad_tblr
+        if not (pt or pb or pl or pr):
             return x
         if not reuse:
-            return pad2d(x, p)
+            return pad2d(x, (pt, pb, pl, pr))
         ih, iw = self.shape.ih, self.shape.iw
         buf = self._scratch.get("xp")
         if buf is None:
-            buf = np.zeros(x.shape[:-2] + (ih + 2 * p, iw + 2 * p))
+            buf = np.zeros(x.shape[:-2] + (ih + pt + pb, iw + pl + pr))
             self._scratch["xp"] = buf
-        buf[..., p:p + ih, p:p + iw] = x
+        buf[..., pt:pt + ih, pl:pl + iw] = x
         return buf
 
     def _execute_block(self, xp: np.ndarray, weight_hat: np.ndarray,
                        fft, reuse: bool = False) -> np.ndarray:
         """The frequency-domain pipeline for one (sub-)batch of padded
         images ``(n_block, c, ph, pw)``."""
-        n, c = xp.shape[0], self.shape.c
+        shape = self.shape
+        n = xp.shape[0]
+        g, c_per, f_per = shape.groups, shape.group_channels, \
+            shape.group_filters
         bins = weight_hat.shape[-1]
         out = None
         if reuse:
             out = self._scratch.get("out_hat")
-            if out is None or out.shape != (n, self.shape.f, bins):
-                out = np.empty((n, self.shape.f, bins), dtype=complex)
+            if out is None or out.shape != (n, shape.f, bins):
+                out = np.empty((n, shape.f, bins), dtype=complex)
                 self._scratch["out_hat"] = out
+        # With groups, filter block g only sees channel block g; both
+        # strategies express this as a reshape to (..., g, per-group, bins)
+        # so the g == 1 case degenerates to the ungrouped pipeline.
+        target = out.reshape(n, g, f_per, bins) if out is not None else None
         if self.strategy == "sum":
-            flat = xp.reshape(n, c, -1)
+            flat = xp.reshape(n, shape.c, -1)
             x_hat = fft.rfft(flat, self.nfft)            # (n, c, bins)
             # Pointwise multiply and sum over channels: the paper's
             # "summation of outputs across different channels ... during
-            # element-wise multiplication".
-            out_hat = np.einsum("ncb,fcb->nfb", x_hat, weight_hat, out=out) \
-                if out is not None \
-                else np.einsum("ncb,fcb->nfb", x_hat, weight_hat)
+            # element-wise multiplication" — per group.
+            xg = x_hat.reshape(n, g, c_per, bins)
+            wg = weight_hat.reshape(g, f_per, c_per, bins)
+            out_hat = np.einsum("ngcb,gfcb->ngfb", xg, wg, out=target) \
+                if target is not None \
+                else np.einsum("ngcb,gfcb->ngfb", xg, wg)
         else:
-            merged = merged_input_stack(xp)              # (n, C*L)
-            x_hat = fft.rfft(merged, self.nfft)          # (n, bins)
-            if out is not None:
-                out_hat = np.multiply(x_hat[:, None, :],
-                                      weight_hat[None, :, :], out=out)
+            grouped = xp.reshape(n * g, c_per, *xp.shape[-2:])
+            merged = merged_input_stack(grouped)         # (n*g, c_per*L)
+            x_hat = fft.rfft(merged, self.nfft).reshape(n, g, bins)
+            wg = weight_hat.reshape(g, f_per, bins)
+            if target is not None:
+                out_hat = np.multiply(x_hat[:, :, None, :],
+                                      wg[None, :, :, :], out=target)
             else:
-                out_hat = x_hat[:, None, :] * weight_hat[None, :, :]
+                out_hat = x_hat[:, :, None, :] * wg[None, :, :, :]
+        out_hat = out_hat.reshape(n, shape.f, bins)
 
         product = fft.irfft(out_hat, self.nfft)          # (n, f, nfft)
         grid = self.gather_grid
@@ -421,14 +438,20 @@ _ARG_MEMO: OrderedDict[tuple, PolyHankelPlan] = OrderedDict()
 _ARG_MEMO_LIMIT = 256
 
 
-def _plan_for_args(x_shape, w_shape, padding, stride, fft_policy, strategy,
-                   backend) -> PolyHankelPlan:
-    key = (x_shape, w_shape, padding, stride, fft_policy, strategy, backend)
+def _hashable(value):
+    return tuple(value) if isinstance(value, list) else value
+
+
+def _plan_for_args(x_shape, w_shape, padding, stride, dilation, groups,
+                   fft_policy, strategy, backend) -> PolyHankelPlan:
+    key = (x_shape, w_shape, _hashable(padding), _hashable(stride),
+           _hashable(dilation), groups, fft_policy, strategy, backend)
     with _plan_lock:
         plan = _ARG_MEMO.get(key)
         if plan is not None:
             return plan
-    shape = ConvShape.from_tensors(x_shape, w_shape, padding, stride)
+    shape = ConvShape.from_tensors(x_shape, w_shape, padding, stride,
+                                   dilation, groups)
     plan = get_plan(shape, fft_policy, strategy, backend)
     with _plan_lock:
         _ARG_MEMO[key] = plan
@@ -438,23 +461,29 @@ def _plan_for_args(x_shape, w_shape, padding, stride, fft_policy, strategy,
 
 
 def conv2d_polyhankel(x: np.ndarray, weight: np.ndarray,
-                      bias: np.ndarray | None = None, padding: int = 0,
-                      stride: int = 1, fft_policy: FftPolicy = "auto",
+                      bias: np.ndarray | None = None,
+                      padding: int | tuple | str = 0,
+                      stride: int | tuple = 1,
+                      dilation: int | tuple = 1, groups: int = 1,
+                      fft_policy: FftPolicy = "auto",
                       strategy: ChannelStrategy = "sum",
                       backend: str | None = None,
                       workers: int | None = None) -> np.ndarray:
     """2D convolution of an NCHW batch via the PolyHankel method.
 
-    Parameters mirror ``torch.nn.functional.conv2d`` where applicable.
-    Returns an ``(n, f, oh, ow)`` array.  Repeated calls with the same
-    weight array and geometry reuse the cached plan *and* kernel spectrum;
-    ``workers=N`` parallelizes the batch across threads.
+    Parameters mirror ``torch.nn.functional.conv2d``: *stride* and
+    *dilation* take an int or an ``(h, w)`` pair, *padding* additionally a
+    ``(pt, pb, pl, pr)`` 4-tuple or ``"same"``, and *groups* splits the
+    channels (``groups=c`` is depthwise).  Returns an ``(n, f, oh, ow)``
+    array.  Repeated calls with the same weight array and geometry reuse
+    the cached plan *and* kernel spectrum; ``workers=N`` parallelizes the
+    batch across threads.
     """
     x = ensure_array(x, "x", dtype=float)
     weight = ensure_array(weight, "weight", dtype=float)
-    check_conv_inputs(x, weight, padding, stride)
-    plan = _plan_for_args(x.shape, weight.shape, padding, stride,
-                          fft_policy, strategy, backend)
+    check_conv_inputs(x, weight, padding, stride, dilation, groups)
+    plan = _plan_for_args(x.shape, weight.shape, padding, stride, dilation,
+                          groups, fft_policy, strategy, backend)
     shape = plan.shape
     out = plan.execute(x, plan.weight_spectrum(weight), workers=workers,
                        check=False)

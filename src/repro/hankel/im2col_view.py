@@ -16,37 +16,54 @@ from repro.utils.shapes import conv_output_size
 from repro.utils.validation import ensure_array, require
 
 
-def pad2d(x: np.ndarray, padding: int) -> np.ndarray:
-    """Zero-pad the trailing two (spatial) axes symmetrically."""
-    if padding == 0:
+def pad2d(x: np.ndarray, padding) -> np.ndarray:
+    """Zero-pad the trailing two (spatial) axes.
+
+    *padding* is an int (symmetric) or a ``(pt, pb, pl, pr)`` 4-tuple for
+    asymmetric pads.
+    """
+    if isinstance(padding, int):
+        pt = pb = pl = pr = padding
+    else:
+        pt, pb, pl, pr = padding
+    if not (pt or pb or pl or pr):
         return x
     # Allocate-and-assign is several times faster than np.pad on the hot
     # per-call path (np.pad builds its pad spec in Python per axis).
     h, w = x.shape[-2], x.shape[-1]
-    out = np.zeros(x.shape[:-2] + (h + 2 * padding, w + 2 * padding),
-                   dtype=x.dtype)
-    out[..., padding:padding + h, padding:padding + w] = x
+    out = np.zeros(x.shape[:-2] + (h + pt + pb, w + pl + pr), dtype=x.dtype)
+    out[..., pt:pt + h, pl:pl + w] = x
     return out
 
 
-def im2col_patches(x: np.ndarray, kh: int, kw: int, padding: int = 0,
-                   stride: int = 1) -> np.ndarray:
+def im2col_patches(x: np.ndarray, kh: int, kw: int, padding=0,
+                   stride: int | tuple = 1,
+                   dilation: int | tuple = 1) -> np.ndarray:
     """Unroll sliding patches of an NCHW tensor.
 
     Returns an array of shape ``(n, oh * ow, c * kh * kw)``: one row per
     kernel position, matching the row layout of Eq. 1 / the column layout of
     Fig. 1 in the paper (we keep patches as rows so the GEMM is a plain
-    ``patches @ weights.T``).
+    ``patches @ weights.T``).  Dilation subsamples the taps inside each
+    (effective-extent) window; stride subsamples the window positions.
     """
+    from repro.utils.shapes import normalize_padding, normalize_pair
+
     x = ensure_array(x, "x", ndim=4)
     n, c, ih, iw = x.shape
-    oh = conv_output_size(ih, kh, padding, stride)
-    ow = conv_output_size(iw, kw, padding, stride)
-    xp = pad2d(x, padding)
+    sh, sw = normalize_pair(stride, "stride")
+    dh, dw = normalize_pair(dilation, "dilation")
+    pt, pb, pl, pr = normalize_padding(padding, ih, iw, kh, kw,
+                                       (sh, sw), (dh, dw))
+    oh = conv_output_size(ih, kh, (pt, pb), sh, dh)
+    ow = conv_output_size(iw, kw, (pl, pr), sw, dw)
+    eff_kh = dh * (kh - 1) + 1
+    eff_kw = dw * (kw - 1) + 1
+    xp = pad2d(x, (pt, pb, pl, pr))
     windows = np.lib.stride_tricks.sliding_window_view(
-        xp, (kh, kw), axis=(2, 3)
-    )  # (n, c, ph-kh+1, pw-kw+1, kh, kw)
-    windows = windows[:, :, ::stride, ::stride]
+        xp, (eff_kh, eff_kw), axis=(2, 3)
+    )  # (n, c, ph-eff_kh+1, pw-eff_kw+1, eff_kh, eff_kw)
+    windows = windows[:, :, ::sh, ::sw, ::dh, ::dw]
     # (n, oh, ow, c, kh, kw) -> (n, oh*ow, c*kh*kw)
     patches = windows.transpose(0, 2, 3, 1, 4, 5)
     return patches.reshape(n, oh * ow, c * kh * kw)

@@ -91,25 +91,30 @@ def parameter(data) -> Tensor:
 # ---------------------------------------------------------------------------
 
 def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
-           padding: int = 0, stride: int = 1,
+           padding: int | tuple | str = 0, stride: int | tuple = 1,
+           dilation: int | tuple = 1, groups: int = 1,
            algorithm: ConvAlgorithm | str = ConvAlgorithm.POLYHANKEL
            ) -> Tensor:
     """Differentiable convolution; forward and both backwards run through
-    the chosen algorithm."""
+    the chosen algorithm.  Supports the full parameter space (per-axis
+    stride/dilation, asymmetric or ``"same"`` padding, groups)."""
     out_data = F.conv2d(x.data, weight.data,
                         None if bias is None else bias.data,
-                        padding, stride, algorithm=algorithm)
+                        padding, stride, dilation=dilation, groups=groups,
+                        algorithm=algorithm)
     parents = (x, weight) + (() if bias is None else (bias,))
 
     def backward_fn(grad: np.ndarray) -> None:
         if x.requires_grad:
             x._accumulate(conv2d_backward_input(
-                grad, weight.data, x.data.shape, padding, stride,
-                algorithm))
+                grad, weight.data, x.data.shape, padding=padding,
+                stride=stride, dilation=dilation, groups=groups,
+                algorithm=algorithm))
         if weight.requires_grad:
             weight._accumulate(conv2d_backward_weight(
-                grad, x.data, weight.data.shape[2:], padding, stride,
-                algorithm))
+                grad, x.data, weight.data.shape[2:], padding=padding,
+                stride=stride, dilation=dilation, groups=groups,
+                algorithm=algorithm))
         if bias is not None and bias.requires_grad:
             bias._accumulate(conv2d_backward_bias(grad))
 

@@ -15,16 +15,19 @@ from repro.utils.validation import ensure_array
 
 
 def conv2d(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None,
-           padding: int = 0, stride: int = 1,
+           padding: int | tuple | str = 0, stride: int | tuple = 1,
            dilation: int | tuple[int, int] = 1, groups: int = 1,
            algorithm: ConvAlgorithm | str = ConvAlgorithm.POLYHANKEL,
            workers: int | None = None, **kwargs) -> np.ndarray:
     """2D convolution with an explicit algorithm choice.
 
-    Dilation is implemented by zero-upsampling the kernel (its polynomial
-    simply acquires more zero gaps, so PolyHankel pays nothing extra) and
-    grouped convolution by splitting the channel axis — both therefore work
-    with *every* registered algorithm.
+    Accepts the full conv2d parameter space: *stride* and *dilation* take
+    an int or ``(h, w)`` pair, *padding* additionally a ``(pt, pb, pl, pr)``
+    4-tuple or ``"same"``, and *groups* splits the channels (``groups=c``
+    is depthwise).  Dispatch goes through the algorithm registry: PolyHankel
+    and the GEMM family run the parameters natively (PolyHankel's stretched
+    degree map absorbs dilation for free), while the FFT/Winograd baselines
+    are lowered — or reject the shape explicitly — by the registry.
 
     ``algorithm="auto"`` picks per call using the distilled selection rules
     (GEMM small inputs / PolyHankel sweet spot / FFT large kernels) — the
@@ -35,54 +38,17 @@ def conv2d(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None,
     """
     if workers is not None:
         kwargs["workers"] = workers
-    if groups < 1:
-        raise ValueError("groups must be positive")
     weight = np.asarray(weight)
     x = np.asarray(x)
     if algorithm == "auto":
         from repro.selection.heuristic import select_algorithm_rules
         from repro.utils.shapes import ConvShape
 
-        # The rules only read the spatial geometry.
-        algorithm = select_algorithm_rules(ConvShape(
-            ih=x.shape[2], iw=x.shape[3],
-            kh=weight.shape[2], kw=weight.shape[3],
-            n=x.shape[0], c=weight.shape[1], f=weight.shape[0],
-            padding=padding, stride=stride,
+        algorithm = select_algorithm_rules(ConvShape.from_tensors(
+            x.shape, weight.shape, padding, stride, dilation, groups
         ))
-    if groups > 1:
-        if x.shape[1] % groups or weight.shape[0] % groups:
-            raise ValueError(
-                f"channels ({x.shape[1]}) and filters ({weight.shape[0]}) "
-                f"must be divisible by groups ({groups})"
-            )
-        if weight.shape[1] != x.shape[1] // groups:
-            raise ValueError(
-                f"grouped weight expects C/groups = "
-                f"{x.shape[1] // groups} input channels, got "
-                f"{weight.shape[1]}"
-            )
-
-    dh, dw = (dilation, dilation) if isinstance(dilation, int) else dilation
-    if dh < 1 or dw < 1:
-        raise ValueError("dilation must be positive")
-    if (dh, dw) != (1, 1):
-        from repro.nn.grad import dilate_spatial
-
-        weight = dilate_spatial(weight, (dh, dw))
-
-    if groups == 1:
-        out = convolve(x, weight, algorithm=algorithm, padding=padding,
-                       stride=stride, **kwargs)
-    else:
-        c_per, f_per = x.shape[1] // groups, weight.shape[0] // groups
-        out = np.concatenate([
-            convolve(x[:, g * c_per: (g + 1) * c_per],
-                     weight[g * f_per: (g + 1) * f_per],
-                     algorithm=algorithm, padding=padding, stride=stride,
-                     **kwargs)
-            for g in range(groups)
-        ], axis=1)
+    out = convolve(x, weight, algorithm=algorithm, padding=padding,
+                   stride=stride, dilation=dilation, groups=groups, **kwargs)
     if bias is not None:
         bias = ensure_array(bias, "bias", ndim=1)
         out = out + bias[None, :, None, None]
@@ -127,7 +93,8 @@ def conv_transpose2d(x: np.ndarray, weight: np.ndarray,
     # weight maps c_out channels to c_in filters — which is exactly the
     # (c_in, c_out, kh, kw) layout of *weight* read as (F, C, kh, kw).
     out = conv2d_backward_input(x, weight, (n, c_out, oh, ow),
-                                padding, stride, algorithm)
+                                padding=padding, stride=stride,
+                                algorithm=algorithm)
     if bias is not None:
         bias = ensure_array(bias, "bias", ndim=1)
         out = out + bias[None, :, None, None]

@@ -41,76 +41,106 @@ def dilate_spatial(x: np.ndarray,
 
 
 def conv2d_backward_input(grad_out: np.ndarray, weight: np.ndarray,
-                          input_shape: tuple, padding: int = 0,
-                          stride: int = 1,
+                          input_shape: tuple, padding=0,
+                          stride: int | tuple = 1,
+                          dilation: int | tuple = 1, groups: int = 1,
                           algorithm: ConvAlgorithm | str =
                           ConvAlgorithm.POLYHANKEL) -> np.ndarray:
     """Gradient of the convolution output w.r.t. its input.
 
     *grad_out* is ``(n, f, oh, ow)``; returns ``(n, c, ih, iw)`` matching
-    *input_shape*.
+    *input_shape*.  The computation is itself a convolution: the
+    stride-dilated, fully padded gradient correlated with the spatially
+    flipped, per-group channel-transposed weights at the *forward*
+    dilation — run through any registered algorithm.
     """
     grad_out = ensure_array(grad_out, "grad_out", ndim=4, dtype=float)
     weight = ensure_array(weight, "weight", ndim=4, dtype=float)
     n, c, ih, iw = input_shape
     f, wc, kh, kw = weight.shape
-    shape = ConvShape(ih=ih, iw=iw, kh=kh, kw=kw, n=n, c=wc, f=f,
-                      padding=padding, stride=stride)
+    shape = ConvShape(ih=ih, iw=iw, kh=kh, kw=kw, n=n, c=c, f=f,
+                      padding=padding, stride=stride, dilation=dilation,
+                      groups=groups)
     if grad_out.shape != shape.output_shape():
         raise ValueError(
             f"grad_out shape {grad_out.shape} does not match "
             f"{shape.output_shape()}"
         )
+    f_per, c_per = shape.group_filters, shape.group_channels
+    eff_kh, eff_kw = shape.eff_kh, shape.eff_kw
+    pt, pb, pl, pr = shape.pad_tblr
 
-    # Stride-dilate the gradient, then full-pad by (k-1) for the
+    # Stride-dilate the gradient, then full-pad by (eff_k - 1) for the
     # transposed correlation.
-    g = dilate_spatial(grad_out, stride)
-    g = np.pad(g, [(0, 0), (0, 0), (kh - 1, kh - 1), (kw - 1, kw - 1)])
-    # Flip the kernel spatially and swap its filter/channel roles.
-    w_t = weight[:, :, ::-1, ::-1].transpose(1, 0, 2, 3)  # (c, f, kh, kw)
-    dx_core = convolve(g, w_t, algorithm=algorithm)
+    g = dilate_spatial(grad_out, shape.stride_hw)
+    g = np.pad(g, [(0, 0), (0, 0), (eff_kh - 1, eff_kh - 1),
+                   (eff_kw - 1, eff_kw - 1)])
+    # Flip the kernel spatially and swap its filter/channel roles within
+    # each group: backward group gi maps f_per gradient channels onto
+    # c_per input channels.
+    w_flip = weight[:, :, ::-1, ::-1]
+    w_t = np.ascontiguousarray(
+        w_flip.reshape(shape.groups, f_per, c_per, kh, kw)
+        .transpose(0, 2, 1, 3, 4)
+    ).reshape(c, f_per, kh, kw)
+    dx_core = convolve(g, w_t, algorithm=algorithm,
+                       dilation=shape.dilation_hw, groups=shape.groups)
     # The transposed convolution only covers the input region the forward
     # stride actually visited; rows/columns beyond the last kernel
     # placement receive zero gradient.
-    ph, pw = ih + 2 * padding, iw + 2 * padding
+    ph, pw = shape.padded_ih, shape.padded_iw
     dx_padded = np.zeros((n, c, ph, pw), dtype=dx_core.dtype)
     dx_padded[:, :, : dx_core.shape[2], : dx_core.shape[3]] = \
         dx_core[:, :, :ph, :pw]
-    if padding:
-        return dx_padded[:, :, padding: padding + ih,
-                         padding: padding + iw]
+    if pt or pb or pl or pr:
+        return dx_padded[:, :, pt: pt + ih, pl: pl + iw]
     return dx_padded
 
 
 def conv2d_backward_weight(grad_out: np.ndarray, x: np.ndarray,
-                           kernel_size: tuple[int, int], padding: int = 0,
-                           stride: int = 1,
+                           kernel_size: tuple[int, int], padding=0,
+                           stride: int | tuple = 1,
+                           dilation: int | tuple = 1, groups: int = 1,
                            algorithm: ConvAlgorithm | str =
                            ConvAlgorithm.POLYHANKEL) -> np.ndarray:
     """Gradient of the convolution output w.r.t. the weights.
 
     *x* is the forward input ``(n, c, ih, iw)``; returns
-    ``(f, c, kh, kw)``.
+    ``(f, c // groups, kh, kw)``.  Per group this is a correlation of the
+    padded input with the stride-dilated gradient, sampled at the forward
+    dilation (the dilation becomes the *stride* of the backward
+    convolution).
     """
     grad_out = ensure_array(grad_out, "grad_out", ndim=4, dtype=float)
     x = ensure_array(x, "x", ndim=4, dtype=float)
     kh, kw = kernel_size
-    n, c = x.shape[0], x.shape[1]
+    n, c, ih, iw = x.shape
     f = grad_out.shape[1]
+    shape = ConvShape(ih=ih, iw=iw, kh=kh, kw=kw, n=n, c=c, f=f,
+                      padding=padding, stride=stride, dilation=dilation,
+                      groups=groups)
+    dil_h, dil_w = shape.dilation_hw
+    f_per, c_per = shape.group_filters, shape.group_channels
 
-    xp = pad2d(x, padding)
-    g = dilate_spatial(grad_out, stride)
+    xp = pad2d(x, shape.pad_tblr)
+    g = dilate_spatial(grad_out, shape.stride_hw)
     # The dilated gradient may be shorter than the padded input allows;
-    # crop the input so the "valid" correlation yields exactly (kh, kw).
-    need_h = g.shape[2] + kh - 1
-    need_w = g.shape[3] + kw - 1
+    # crop the input so the "valid" correlation yields exactly (kh, kw)
+    # samples at stride (dil_h, dil_w).
+    need_h = g.shape[2] + (kh - 1) * dil_h
+    need_w = g.shape[3] + (kw - 1) * dil_w
     xp = xp[:, :, :need_h, :need_w]
 
-    # Contract over batch: treat channels as batch and (f, n) as kernels.
-    x_t = xp.transpose(1, 0, 2, 3)        # (c, n, ph, pw)
-    g_t = g.transpose(1, 0, 2, 3)         # (f, n, gh, gw)
-    dw = convolve(x_t, g_t, algorithm=algorithm)  # (c, f, kh, kw)
-    return dw.transpose(1, 0, 2, 3)
+    # Contract over batch: treat channels as batch and (f, n) as kernels,
+    # one backward convolution per group.
+    grads = []
+    for gi in range(shape.groups):
+        x_t = xp[:, gi * c_per:(gi + 1) * c_per].transpose(1, 0, 2, 3)
+        g_t = g[:, gi * f_per:(gi + 1) * f_per].transpose(1, 0, 2, 3)
+        dw = convolve(x_t, g_t, algorithm=algorithm,
+                      stride=(dil_h, dil_w))        # (c_per, f_per, kh, kw)
+        grads.append(dw.transpose(1, 0, 2, 3))
+    return np.concatenate(grads, axis=0)            # (f, c_per, kh, kw)
 
 
 def conv2d_backward_bias(grad_out: np.ndarray) -> np.ndarray:

@@ -57,19 +57,27 @@ class Conv2d(Layer):
     """
 
     def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
-                 padding: int = 0, stride: int = 1, bias: bool = True,
+                 padding: int | tuple | str = 0, stride: int | tuple = 1,
+                 dilation: int | tuple = 1, groups: int = 1,
+                 bias: bool = True,
                  algorithm: ConvAlgorithm | str = ConvAlgorithm.POLYHANKEL,
                  rng: np.random.Generator | None = None,
                  cache_spectra: bool = True, workers: int | None = None):
         require(in_channels > 0 and out_channels > 0,
                 "channel counts must be positive")
         require(kernel_size > 0, "kernel size must be positive")
+        require(groups >= 1, "groups must be positive")
+        require(in_channels % groups == 0 and out_channels % groups == 0,
+                f"channels ({in_channels}) and filters ({out_channels}) "
+                f"must be divisible by groups ({groups})")
         rng = rng or np.random.default_rng(0)
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = kernel_size
         self.padding = padding
         self.stride = stride
+        self.dilation = dilation
+        self.groups = groups
         self.algorithm = (ConvAlgorithm(algorithm)
                           if isinstance(algorithm, str) else algorithm)
         self.cache_spectra = cache_spectra
@@ -78,9 +86,10 @@ class Conv2d(Layer):
         self._weight_version = 0
         self._cache_hits = 0
         self._cache_misses = 0
-        scale = np.sqrt(2.0 / (in_channels * kernel_size * kernel_size))
+        fan_in = (in_channels // groups) * kernel_size * kernel_size
+        scale = np.sqrt(2.0 / fan_in)
         self.weight = rng.standard_normal(
-            (out_channels, in_channels, kernel_size, kernel_size)
+            (out_channels, in_channels // groups, kernel_size, kernel_size)
         ) * scale
         self.bias = np.zeros(out_channels) if bias else None
 
@@ -114,22 +123,27 @@ class Conv2d(Layer):
 
     def conv_shape(self, input_shape: tuple) -> ConvShape:
         return ConvShape.from_tensors(input_shape, self.weight.shape,
-                                      self.padding, self.stride)
+                                      self.padding, self.stride,
+                                      self.dilation, self.groups)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if self.algorithm is ConvAlgorithm.POLYHANKEL and self.cache_spectra:
             return self._forward_polyhankel(x)
         return F.conv2d(x, self.weight, self.bias, self.padding,
-                        self.stride, algorithm=self.algorithm)
+                        self.stride, dilation=self.dilation,
+                        groups=self.groups, algorithm=self.algorithm)
 
     def _forward_polyhankel(self, x: np.ndarray) -> np.ndarray:
         """Plan-cached PolyHankel forward: the weight is transformed once
-        per plan and reused until the weight changes."""
+        per plan and reused until the weight changes.  The plan key embeds
+        stride/dilation/groups/padding, so the same weight convolved under
+        different parameters never aliases a cached spectrum."""
         from repro.core.multichannel import get_plan
         from repro.utils.validation import check_conv_inputs
 
         x = np.asarray(x, dtype=float)
-        check_conv_inputs(x, self._weight, self.padding, self.stride)
+        check_conv_inputs(x, self._weight, self.padding, self.stride,
+                          self.dilation, self.groups)
         plan = get_plan(self.conv_shape(x.shape))
         key = plan.cache_key
         entry = self._spectrum_cache.get(key)
@@ -165,9 +179,14 @@ class Conv2d(Layer):
         return n
 
     def __repr__(self) -> str:
+        extras = ""
+        if self.dilation != 1:
+            extras += f", d={self.dilation}"
+        if self.groups != 1:
+            extras += f", g={self.groups}"
         return (f"Conv2d({self.in_channels}, {self.out_channels}, "
-                f"k={self.kernel_size}, p={self.padding}, s={self.stride}, "
-                f"algo={self.algorithm.value})")
+                f"k={self.kernel_size}, p={self.padding}, s={self.stride}"
+                f"{extras}, algo={self.algorithm.value})")
 
 
 class ReLU(Layer):

@@ -86,13 +86,25 @@ def select_algorithm(shape: ConvShape,
 #: from the model via tests/selection/test_heuristic.py).
 SMALL_INPUT_THRESHOLD = 32       # below: GEMM wins (Fig. 3 left region)
 LARGE_KERNEL_THRESHOLD = 15      # above: FFT wins (Fig. 4 right region)
+#: Per-filter channel count below which the frequency-domain methods lose
+#: their arithmetic advantage (depthwise/grouped layers do almost no
+#: channel reduction, so the gather-dominated GEMM path wins).
+THIN_GROUP_THRESHOLD = 2
 
 
 def select_algorithm_rules(shape: ConvShape) -> ConvAlgorithm:
-    """O(1) rule-based choice following the paper's empirical regions."""
+    """O(1) rule-based choice following the paper's empirical regions.
+
+    The rules read the *effective* (dilated) kernel extents — dilation
+    moves a layer rightward in Fig. 4 exactly like a larger kernel — and
+    route thin grouped layers (depthwise, ``c/groups`` tiny) to implicit
+    GEMM, where the per-group FFT work cannot amortize.
+    """
     small_input = max(shape.ih, shape.iw) < SMALL_INPUT_THRESHOLD
-    large_kernel = max(shape.kh, shape.kw) >= LARGE_KERNEL_THRESHOLD
-    if small_input:
+    large_kernel = max(shape.eff_kh, shape.eff_kw) >= LARGE_KERNEL_THRESHOLD
+    thin_groups = (shape.groups > 1
+                   and shape.group_channels <= THIN_GROUP_THRESHOLD)
+    if small_input or thin_groups:
         return ConvAlgorithm.IMPLICIT_PRECOMP_GEMM
     if large_kernel:
         return ConvAlgorithm.FFT

@@ -10,9 +10,16 @@ All algorithms in this library speak the same shape language, captured by
 ``ih, iw``   input height / width
 ``kh, kw``   kernel height / width
 ``oh, ow``   output height / width
-``padding``  symmetric zero padding (P)
-``stride``   convolution stride
+``padding``  zero padding — int, ``(ph, pw)``, ``(pt, pb, pl, pr)`` or
+             ``"same"``
+``stride``   convolution stride — int or ``(sh, sw)``
+``dilation`` kernel tap spacing — int or ``(dh, dw)``
+``groups``   channel groups (``c`` and ``f`` both divisible by it)
 ===========  =============================
+
+Parameters are canonicalized at construction time (symmetric tuples collapse
+back to ints, ``"same"`` resolves to concrete pads), so equal geometries
+always hash to the same plan-cache key regardless of how they were spelled.
 """
 
 from __future__ import annotations
@@ -20,9 +27,80 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 
-def conv_output_size(input_size: int, kernel_size: int, padding: int = 0,
-                     stride: int = 1) -> int:
-    """Output extent of a 1D valid convolution with padding and stride.
+def normalize_pair(value: int | tuple, name: str) -> tuple[int, int]:
+    """Coerce an int or 2-sequence into an ``(h, w)`` int pair."""
+    if isinstance(value, (tuple, list)):
+        if len(value) != 2:
+            raise ValueError(
+                f"{name} must be an int or an (h, w) pair, got {value!r}"
+            )
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def same_padding_1d(input_size: int, kernel_size: int, stride: int = 1,
+                    dilation: int = 1) -> tuple[int, int]:
+    """``(lo, hi)`` zero padding so the output extent is ``ceil(in/stride)``.
+
+    TensorFlow/PyTorch ``"same"`` convention: the total pad is split evenly
+    with the extra element on the high (bottom/right) side.
+    """
+    eff_k = dilation * (kernel_size - 1) + 1
+    out = -(-input_size // stride)  # ceil division
+    total = max((out - 1) * stride + eff_k - input_size, 0)
+    return total // 2, total - total // 2
+
+
+def normalize_padding(padding, ih: int, iw: int, kh: int, kw: int,
+                      stride: int | tuple = 1, dilation: int | tuple = 1
+                      ) -> tuple[int, int, int, int]:
+    """Resolve any accepted padding spelling to ``(pt, pb, pl, pr)``.
+
+    Accepts an int (all four sides), an ``(ph, pw)`` pair (per-axis
+    symmetric), a ``(pt, pb, pl, pr)`` 4-tuple, or the string ``"same"``
+    (output extent ``ceil(input/stride)``; needs the geometry arguments).
+    """
+    if isinstance(padding, str):
+        if padding != "same":
+            raise ValueError(
+                f"unknown padding mode {padding!r}; the only string mode "
+                "is 'same'"
+            )
+        sh, sw = normalize_pair(stride, "stride")
+        dh, dw = normalize_pair(dilation, "dilation")
+        pt, pb = same_padding_1d(ih, kh, sh, dh)
+        pl, pr = same_padding_1d(iw, kw, sw, dw)
+        return pt, pb, pl, pr
+    if isinstance(padding, (tuple, list)):
+        vals = tuple(int(p) for p in padding)
+        if len(vals) == 2:
+            return vals[0], vals[0], vals[1], vals[1]
+        if len(vals) == 4:
+            return vals
+        raise ValueError(
+            "padding must be an int, (ph, pw), (pt, pb, pl, pr) or 'same'; "
+            f"got {padding!r}"
+        )
+    p = int(padding)
+    return p, p, p, p
+
+
+def _canonical_pair(pair: tuple[int, int]) -> int | tuple[int, int]:
+    """Collapse a uniform pair back to a plain int (stable cache keys)."""
+    return pair[0] if pair[0] == pair[1] else pair
+
+
+def _canonical_padding(tblr: tuple[int, int, int, int]
+                       ) -> int | tuple[int, int, int, int]:
+    return tblr[0] if len(set(tblr)) == 1 else tblr
+
+
+def conv_output_size(input_size: int, kernel_size: int,
+                     padding: int | tuple[int, int] = 0, stride: int = 1,
+                     dilation: int = 1) -> int:
+    """Output extent of a 1D valid convolution.
+
+    *padding* may be a single int (symmetric) or a ``(lo, hi)`` pair.
 
     >>> conv_output_size(5, 3)
     3
@@ -30,19 +108,31 @@ def conv_output_size(input_size: int, kernel_size: int, padding: int = 0,
     5
     >>> conv_output_size(224, 7, padding=3, stride=2)
     112
+    >>> conv_output_size(7, 3, padding=(0, 1), stride=2, dilation=2)
+    2
     """
     if input_size <= 0 or kernel_size <= 0:
         raise ValueError("input and kernel sizes must be positive")
-    if padding < 0:
+    lo, hi = (padding, padding) if isinstance(padding, int) else padding
+    if lo < 0 or hi < 0:
         raise ValueError("padding must be non-negative")
     if stride <= 0:
-        raise ValueError("stride must be positive")
-    padded = input_size + 2 * padding
-    if padded < kernel_size:
         raise ValueError(
-            f"kernel size {kernel_size} exceeds padded input {padded}"
+            f"stride must be a positive integer, got {stride}"
         )
-    return (padded - kernel_size) // stride + 1
+    if dilation <= 0:
+        raise ValueError(
+            f"dilation must be a positive integer, got {dilation}"
+        )
+    eff_k = dilation * (kernel_size - 1) + 1
+    padded = input_size + lo + hi
+    if padded < eff_k:
+        raise ValueError(
+            f"dilated kernel extent {eff_k} (kernel {kernel_size}, "
+            f"dilation {dilation}) exceeds padded input {padded}; "
+            "increase padding or reduce dilation"
+        )
+    return (padded - eff_k) // stride + 1
 
 
 @dataclass(frozen=True)
@@ -61,30 +151,104 @@ class ConvShape:
     n: int = 1
     c: int = 1
     f: int = 1
-    padding: int = 0
-    stride: int = 1
+    padding: int | tuple | str = 0
+    stride: int | tuple = 1
+    dilation: int | tuple = 1
+    groups: int = 1
 
     def __post_init__(self) -> None:
+        # Canonicalize the parameter spellings in place (frozen dataclass,
+        # hence object.__setattr__) so equal geometries share a hash.
+        sh, sw = normalize_pair(self.stride, "stride")
+        dh, dw = normalize_pair(self.dilation, "dilation")
+        if sh < 1 or sw < 1:
+            raise ValueError(
+                f"stride must be >= 1 in both axes, got ({sh}, {sw})"
+            )
+        if dh < 1 or dw < 1:
+            raise ValueError(
+                f"dilation must be >= 1 in both axes, got ({dh}, {dw})"
+            )
+        tblr = normalize_padding(self.padding, self.ih, self.iw,
+                                 self.kh, self.kw, (sh, sw), (dh, dw))
+        if min(tblr) < 0:
+            raise ValueError(f"padding must be non-negative, got {tblr}")
+        object.__setattr__(self, "stride", _canonical_pair((sh, sw)))
+        object.__setattr__(self, "dilation", _canonical_pair((dh, dw)))
+        object.__setattr__(self, "padding", _canonical_padding(tblr))
+        if self.groups < 1:
+            raise ValueError(f"groups must be positive, got {self.groups}")
+        if self.c % self.groups or self.f % self.groups:
+            raise ValueError(
+                f"channels ({self.c}) and filters ({self.f}) must both be "
+                f"divisible by groups ({self.groups})"
+            )
         # Trigger validation of every derived extent at construction time.
         _ = self.oh, self.ow
+
+    # -- normalized parameter views -----------------------------------------
+
+    @property
+    def stride_hw(self) -> tuple[int, int]:
+        """``(sh, sw)`` regardless of how stride was spelled."""
+        return normalize_pair(self.stride, "stride")
+
+    @property
+    def dilation_hw(self) -> tuple[int, int]:
+        """``(dh, dw)`` regardless of how dilation was spelled."""
+        return normalize_pair(self.dilation, "dilation")
+
+    @property
+    def pad_tblr(self) -> tuple[int, int, int, int]:
+        """``(pt, pb, pl, pr)`` regardless of how padding was spelled."""
+        p = self.padding
+        if isinstance(p, int):
+            return p, p, p, p
+        return p  # canonicalized 4-tuple
+
+    @property
+    def eff_kh(self) -> int:
+        """Dilated (effective) kernel height ``dh*(kh-1) + 1``."""
+        return self.dilation_hw[0] * (self.kh - 1) + 1
+
+    @property
+    def eff_kw(self) -> int:
+        """Dilated (effective) kernel width ``dw*(kw-1) + 1``."""
+        return self.dilation_hw[1] * (self.kw - 1) + 1
+
+    @property
+    def group_channels(self) -> int:
+        """Input channels seen by one filter: ``c // groups``."""
+        return self.c // self.groups
+
+    @property
+    def group_filters(self) -> int:
+        """Filters per group: ``f // groups``."""
+        return self.f // self.groups
 
     # -- derived spatial extents -------------------------------------------
 
     @property
     def padded_ih(self) -> int:
-        return self.ih + 2 * self.padding
+        pt, pb, _, _ = self.pad_tblr
+        return self.ih + pt + pb
 
     @property
     def padded_iw(self) -> int:
-        return self.iw + 2 * self.padding
+        _, _, pl, pr = self.pad_tblr
+        return self.iw + pl + pr
 
     @property
     def oh(self) -> int:
-        return conv_output_size(self.ih, self.kh, self.padding, self.stride)
+        pt, pb, _, _ = self.pad_tblr
+        return conv_output_size(self.ih, self.kh, (pt, pb),
+                                self.stride_hw[0], self.dilation_hw[0])
 
     @property
     def ow(self) -> int:
-        return conv_output_size(self.iw, self.kw, self.padding, self.stride)
+        _, _, pl, pr = self.pad_tblr
+        return conv_output_size(self.iw, self.kw, (pl, pr),
+                                self.stride_hw[1], self.dilation_hw[1])
 
     # -- element counts -----------------------------------------------------
 
@@ -107,7 +271,7 @@ class ConvShape:
 
     @property
     def total_kernel_elems(self) -> int:
-        return self.f * self.c * self.kernel_elems
+        return self.f * self.group_channels * self.kernel_elems
 
     @property
     def total_output_elems(self) -> int:
@@ -118,7 +282,7 @@ class ConvShape:
     @property
     def macs(self) -> int:
         """Multiply-accumulate count of the direct algorithm."""
-        return (self.n * self.f * self.c
+        return (self.n * self.f * self.group_channels
                 * self.output_elems * self.kernel_elems)
 
     @property
@@ -135,8 +299,14 @@ class ConvShape:
 
     @property
     def poly_kernel_len(self) -> int:
-        """Combined kernel polynomial length (Kh-1)*Iw + Kw (Sec. 3.2)."""
-        return (self.kh - 1) * self.padded_iw + self.kw
+        """Combined kernel polynomial length ``M + 1`` (Sec. 3.2).
+
+        With the stretched (dilated) degree map, tap ``(i, j)`` sits at
+        degree ``M - (Iw*dh*i + dw*j)``, so ``M = (Kh-1)*dh*Iw + (Kw-1)*dw``.
+        For ``dilation=1`` this is the paper's ``(Kh-1)*Iw + Kw``.
+        """
+        dh, dw = self.dilation_hw
+        return (self.kh - 1) * dh * self.padded_iw + (self.kw - 1) * dw + 1
 
     @property
     def poly_product_len(self) -> int:
@@ -149,21 +319,28 @@ class ConvShape:
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
 
+    def group_view(self) -> "ConvShape":
+        """The per-group sub-problem: ``c/groups`` channels, ``f/groups``
+        filters, ``groups=1``, same spatial geometry."""
+        return replace(self, c=self.group_channels, f=self.group_filters,
+                       groups=1)
+
     def input_shape(self) -> tuple[int, int, int, int]:
         """NCHW shape of the input tensor."""
         return (self.n, self.c, self.ih, self.iw)
 
     def weight_shape(self) -> tuple[int, int, int, int]:
-        """FCKhKw shape of the weight tensor."""
-        return (self.f, self.c, self.kh, self.kw)
+        """FCKhKw shape of the weight tensor (``C`` is per-group)."""
+        return (self.f, self.group_channels, self.kh, self.kw)
 
     def output_shape(self) -> tuple[int, int, int, int]:
         """NFOhOw shape of the output tensor."""
         return (self.n, self.f, self.oh, self.ow)
 
     @classmethod
-    def from_tensors(cls, x_shape, w_shape, padding: int = 0,
-                     stride: int = 1) -> "ConvShape":
+    def from_tensors(cls, x_shape, w_shape, padding: int | tuple | str = 0,
+                     stride: int | tuple = 1, dilation: int | tuple = 1,
+                     groups: int = 1) -> "ConvShape":
         """Build a ConvShape from NCHW input and FCKhKw weight shapes."""
         if len(x_shape) != 4:
             raise ValueError(f"input must be NCHW, got shape {tuple(x_shape)}")
@@ -173,9 +350,17 @@ class ConvShape:
             )
         n, c, ih, iw = x_shape
         f, wc, kh, kw = w_shape
-        if wc != c:
+        if groups < 1:
+            raise ValueError(f"groups must be positive, got {groups}")
+        if c % groups:
             raise ValueError(
-                f"channel mismatch: input has {c}, weight expects {wc}"
+                f"input channels ({c}) must be divisible by groups ({groups})"
+            )
+        if wc != c // groups:
+            raise ValueError(
+                f"channel mismatch: weight expects C/groups = "
+                f"{c // groups} input channels per group, got {wc}"
             )
         return cls(ih=ih, iw=iw, kh=kh, kw=kw, n=n, c=c, f=f,
-                   padding=padding, stride=stride)
+                   padding=padding, stride=stride, dilation=dilation,
+                   groups=groups)

@@ -22,25 +22,63 @@ def ensure_array(x, name: str = "array", dtype=None,
     return arr
 
 
-def check_conv_inputs(x: np.ndarray, w: np.ndarray, padding: int,
-                      stride: int) -> None:
-    """Validate an NCHW/FCKhKw convolution call; raise ValueError on misuse."""
+def check_conv_inputs(x: np.ndarray, w: np.ndarray, padding, stride,
+                      dilation=1, groups: int = 1) -> None:
+    """Validate an NCHW/FCKhKw convolution call; raise ValueError on misuse.
+
+    Accepts the full conv2d parameter space: *padding* may be an int,
+    ``(ph, pw)``, ``(pt, pb, pl, pr)`` or ``"same"``; *stride* and
+    *dilation* an int or ``(h, w)`` pair.  Every rejection carries an
+    actionable message naming the offending value.
+    """
+    from repro.utils.shapes import normalize_padding, normalize_pair
+
     if x.ndim != 4:
         raise ValueError(f"input must be 4D NCHW, got {x.ndim}D")
     if w.ndim != 4:
         raise ValueError(f"weight must be 4D FCKhKw, got {w.ndim}D")
-    if x.shape[1] != w.shape[1]:
+    if groups < 1:
+        raise ValueError(f"groups must be positive, got {groups}")
+    c, f = x.shape[1], w.shape[0]
+    if c % groups:
         raise ValueError(
-            f"channel mismatch: input C={x.shape[1]}, weight C={w.shape[1]}"
+            f"input channels ({c}) must be divisible by groups ({groups})"
         )
-    if padding < 0:
-        raise ValueError("padding must be non-negative")
-    if stride <= 0:
-        raise ValueError("stride must be positive")
+    if f % groups:
+        raise ValueError(
+            f"filters ({f}) must be divisible by groups ({groups})"
+        )
+    if w.shape[1] != c // groups:
+        raise ValueError(
+            f"channel mismatch: weight expects C/groups = {c // groups} "
+            f"input channels per group, got {w.shape[1]}"
+        )
+    sh, sw = normalize_pair(stride, "stride")
+    if sh < 1 or sw < 1:
+        raise ValueError(
+            f"stride must be >= 1 in both axes, got ({sh}, {sw}); "
+            "zero or negative strides are not a convolution"
+        )
+    dh, dw = normalize_pair(dilation, "dilation")
+    if dh < 1 or dw < 1:
+        raise ValueError(
+            f"dilation must be >= 1 in both axes, got ({dh}, {dw}); "
+            "use dilation=1 for an undilated kernel"
+        )
     ih, iw = x.shape[2], x.shape[3]
     kh, kw = w.shape[2], w.shape[3]
-    if ih + 2 * padding < kh or iw + 2 * padding < kw:
+    pt, pb, pl, pr = normalize_padding(padding, ih, iw, kh, kw,
+                                       (sh, sw), (dh, dw))
+    if min(pt, pb, pl, pr) < 0:
         raise ValueError(
-            f"kernel {kh}x{kw} does not fit padded input "
-            f"{ih + 2 * padding}x{iw + 2 * padding}"
+            f"padding must be non-negative, got (pt={pt}, pb={pb}, "
+            f"pl={pl}, pr={pr})"
+        )
+    eff_kh = dh * (kh - 1) + 1
+    eff_kw = dw * (kw - 1) + 1
+    if ih + pt + pb < eff_kh or iw + pl + pr < eff_kw:
+        raise ValueError(
+            f"kernel {kh}x{kw} (dilated extent {eff_kh}x{eff_kw}) does not "
+            f"fit padded input {ih + pt + pb}x{iw + pl + pr}; "
+            "increase padding or reduce kernel size/dilation"
         )

@@ -1,4 +1,17 @@
-"""Shared test configuration."""
+"""Shared test configuration.
+
+Exposes two helpers used across the suite:
+
+- :func:`naive_conv2d_reference` — an independent loop-based NCHW
+  convolution supporting the full parameter space (per-axis stride and
+  dilation, asymmetric/``"same"`` padding, groups).  It deliberately does
+  not call into :mod:`repro`, so it can referee every library path.
+- :func:`assert_conv_close` — ulp-aware closeness assertion: the absolute
+  tolerance scales with the magnitude of the reference output, so the same
+  call works for unit-variance toy tensors and for large accumulations.
+"""
+
+import math
 
 import numpy as np
 import pytest
@@ -14,6 +27,8 @@ settings.register_profile(
 )
 settings.load_profile("repro")
 
+FLOAT64_EPS = float(np.finfo(np.float64).eps)
+
 
 @pytest.fixture
 def rng() -> np.random.Generator:
@@ -21,19 +36,72 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
 
 
-def naive_conv2d_reference(x, w, padding=0, stride=1):
+def conv_tolerance(ref, ulps: int = 2 ** 14) -> float:
+    """Absolute tolerance of *ulps* units in the last place at the scale of
+    *ref*.  FFT-based paths lose ~eps*sqrt(N) relative accuracy, so a fixed
+    atol is either too loose for small outputs or too tight for big ones;
+    anchoring the tolerance to max|ref| keeps one constant valid for both.
+    """
+    ref = np.asarray(ref)
+    scale = float(np.max(np.abs(ref))) if ref.size else 1.0
+    return max(scale, 1.0) * ulps * FLOAT64_EPS
+
+
+def assert_conv_close(got, ref, ulps: int = 2 ** 14) -> None:
+    """Assert two convolution outputs agree to *ulps* at reference scale."""
+    np.testing.assert_allclose(got, ref, atol=conv_tolerance(ref, ulps),
+                               rtol=0)
+
+
+def _pair(value):
+    return (value, value) if isinstance(value, int) else tuple(value)
+
+
+def _same_axis(size, stride, eff_k):
+    out = math.ceil(size / stride)
+    total = max((out - 1) * stride + eff_k - size, 0)
+    return total // 2, total - total // 2
+
+
+def resolve_padding(padding, ih, iw, stride, eff_kh, eff_kw):
+    """Resolve any padding spelling to a concrete ``(pt, pb, pl, pr)``."""
+    if padding == "same":
+        sh, sw = _pair(stride)
+        pt, pb = _same_axis(ih, sh, eff_kh)
+        pl, pr = _same_axis(iw, sw, eff_kw)
+        return pt, pb, pl, pr
+    if isinstance(padding, int):
+        return padding, padding, padding, padding
+    padding = tuple(padding)
+    if len(padding) == 2:
+        ph, pw = padding
+        return ph, ph, pw, pw
+    return padding
+
+
+def naive_conv2d_reference(x, w, padding=0, stride=1, dilation=1, groups=1):
     """Independent NCHW convolution reference (not the library's own)."""
-    xp = np.pad(x, [(0, 0), (0, 0), (padding, padding), (padding, padding)])
+    sh, sw = _pair(stride)
+    dh, dw = _pair(dilation)
+    f, c_per, kh, kw = w.shape
+    eff_kh = dh * (kh - 1) + 1
+    eff_kw = dw * (kw - 1) + 1
+    pt, pb, pl, pr = resolve_padding(padding, x.shape[2], x.shape[3],
+                                     stride, eff_kh, eff_kw)
+    xp = np.pad(x, [(0, 0), (0, 0), (pt, pb), (pl, pr)])
     n, c, ih, iw = xp.shape
-    f, _, kh, kw = w.shape
-    oh = (ih - kh) // stride + 1
-    ow = (iw - kw) // stride + 1
+    oh = (ih - eff_kh) // sh + 1
+    ow = (iw - eff_kw) // sw + 1
+    f_per = f // groups
     out = np.zeros((n, f, oh, ow))
     for b in range(n):
         for k in range(f):
+            g = k // f_per
+            channels = slice(g * c_per, (g + 1) * c_per)
             for i in range(oh):
                 for j in range(ow):
-                    patch = xp[b, :, i * stride: i * stride + kh,
-                               j * stride: j * stride + kw]
+                    patch = xp[b, channels,
+                               i * sh: i * sh + eff_kh: dh,
+                               j * sw: j * sw + eff_kw: dw]
                     out[b, k, i, j] = np.sum(patch * w[k])
     return out

@@ -66,6 +66,44 @@ class TestAgainstFiniteDifferences:
                                    go.sum(axis=(0, 2, 3)))
 
 
+#: (c, f, ih, iw, padding, stride, dilation, groups) — the extended space.
+#: Shapes stay tiny: the finite-difference probe visits every element.
+EXTENDED_CASES = [
+    pytest.param(2, 2, 7, 6, "same", 1, 2, 2, id="depthwise-dilated-same"),
+    pytest.param(3, 3, 6, 6, 1, 1, 1, 3, id="depthwise"),
+    pytest.param(2, 2, 7, 7, (1, 0, 2, 1), (2, 1), (1, 2), 1,
+                 id="asym-everything"),
+    pytest.param(4, 2, 8, 7, 2, 2, 2, 2, id="grouped-strided-dilated"),
+]
+
+
+class TestExtendedParamsAgainstFiniteDifferences:
+    """Backward passes over the full parameter space (the acceptance
+    criterion: depthwise + dilation must train, not just infer)."""
+
+    @pytest.mark.parametrize("c,f,ih,iw,p,s,d,g", EXTENDED_CASES)
+    def test_input_gradient(self, rng, c, f, ih, iw, p, s, d, g):
+        x = rng.standard_normal((1, c, ih, iw))
+        w = rng.standard_normal((f, c // g, 3, 3))
+        kwargs = dict(padding=p, stride=s, dilation=d, groups=g)
+        go = rng.standard_normal(conv2d_naive(x, w, **kwargs).shape)
+        dx = conv2d_backward_input(go, w, x.shape, **kwargs)
+        expected = numerical_gradient(
+            lambda: np.sum(conv2d_naive(x, w, **kwargs) * go), x)
+        np.testing.assert_allclose(dx, expected, atol=1e-4)
+
+    @pytest.mark.parametrize("c,f,ih,iw,p,s,d,g", EXTENDED_CASES)
+    def test_weight_gradient(self, rng, c, f, ih, iw, p, s, d, g):
+        x = rng.standard_normal((1, c, ih, iw))
+        w = rng.standard_normal((f, c // g, 3, 3))
+        kwargs = dict(padding=p, stride=s, dilation=d, groups=g)
+        go = rng.standard_normal(conv2d_naive(x, w, **kwargs).shape)
+        dw = conv2d_backward_weight(go, x, (3, 3), **kwargs)
+        expected = numerical_gradient(
+            lambda: np.sum(conv2d_naive(x, w, **kwargs) * go), w)
+        np.testing.assert_allclose(dw, expected, atol=1e-4)
+
+
 class TestAlgorithmChoice:
     @pytest.mark.parametrize("algorithm", [
         ConvAlgorithm.POLYHANKEL, ConvAlgorithm.GEMM, ConvAlgorithm.FFT,

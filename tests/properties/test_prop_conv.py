@@ -8,6 +8,7 @@ from repro.baselines.registry import ConvAlgorithm, convolve, supports
 from repro.core.multichannel import conv2d_polyhankel
 from repro.core.polyhankel import conv2d_single
 from repro.utils.shapes import ConvShape
+from tests.conftest import assert_conv_close, naive_conv2d_reference
 
 
 @st.composite
@@ -87,6 +88,96 @@ def test_linearity_in_input(problem):
            + 3.0 * conv2d_polyhankel(x2, w, padding=shape.padding,
                                      stride=shape.stride))
     np.testing.assert_allclose(lhs, rhs, atol=1e-6)
+
+
+@st.composite
+def full_conv_problems(draw):
+    """A random, always-valid problem over the *extended* parameter space:
+    per-axis stride and dilation, asymmetric or ``"same"`` padding, groups.
+    Sizes are chosen so the dilated kernel always fits the padded input."""
+    kh = draw(st.integers(1, 3))
+    kw = draw(st.integers(1, 3))
+    dh = draw(st.integers(1, 3))
+    dw = draw(st.integers(1, 3))
+    eff_kh = dh * (kh - 1) + 1
+    eff_kw = dw * (kw - 1) + 1
+    ih = draw(st.integers(eff_kh, eff_kh + 8))
+    iw = draw(st.integers(eff_kw, eff_kw + 8))
+    stride = (draw(st.integers(1, 3)), draw(st.integers(1, 3)))
+    padding = draw(st.one_of(
+        st.integers(0, 2),
+        st.tuples(st.integers(0, 2), st.integers(0, 2)),
+        st.tuples(st.integers(0, 2), st.integers(0, 2),
+                  st.integers(0, 2), st.integers(0, 2)),
+        st.just("same"),
+    ))
+    groups = draw(st.sampled_from([1, 2, 4]))
+    c = groups * draw(st.integers(1, 2))
+    f = groups * draw(st.integers(1, 2))
+    n = draw(st.integers(1, 2))
+    shape = ConvShape(ih=ih, iw=iw, kh=kh, kw=kw, n=n, c=c, f=f,
+                      padding=padding, stride=stride, dilation=(dh, dw),
+                      groups=groups)
+    seed = draw(st.integers(0, 2 ** 31 - 1))
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(shape.input_shape())
+    w = rng.standard_normal(shape.weight_shape())
+    return shape, x, w
+
+
+@given(full_conv_problems())
+def test_polyhankel_full_params_match_reference(problem):
+    shape, x, w = problem
+    got = conv2d_polyhankel(x, w, padding=shape.padding,
+                            stride=shape.stride, dilation=shape.dilation,
+                            groups=shape.groups)
+    ref = naive_conv2d_reference(x, w, shape.padding, shape.stride,
+                                 shape.dilation, shape.groups)
+    assert_conv_close(got, ref)
+
+
+@given(full_conv_problems())
+def test_merge_strategy_full_params_match_sum(problem):
+    shape, x, w = problem
+    kwargs = dict(padding=shape.padding, stride=shape.stride,
+                  dilation=shape.dilation, groups=shape.groups)
+    a = conv2d_polyhankel(x, w, strategy="sum", **kwargs)
+    b = conv2d_polyhankel(x, w, strategy="merge", **kwargs)
+    assert_conv_close(a, b)
+
+
+@given(full_conv_problems())
+def test_grouped_equals_per_group_convolutions(problem):
+    """conv(x, w, groups=g) == concat of g independent convolutions."""
+    shape, x, w = problem
+    got = conv2d_polyhankel(x, w, padding=shape.padding,
+                            stride=shape.stride, dilation=shape.dilation,
+                            groups=shape.groups)
+    c_per, f_per = shape.group_channels, shape.group_filters
+    pieces = [
+        conv2d_polyhankel(x[:, g * c_per:(g + 1) * c_per],
+                          w[g * f_per:(g + 1) * f_per],
+                          padding=shape.pad_tblr, stride=shape.stride,
+                          dilation=shape.dilation)
+        for g in range(shape.groups)
+    ]
+    assert_conv_close(got, np.concatenate(pieces, axis=1))
+
+
+@given(full_conv_problems(),
+       st.sampled_from([ConvAlgorithm.GEMM, ConvAlgorithm.FFT,
+                        ConvAlgorithm.WINOGRAD,
+                        ConvAlgorithm.IMPLICIT_GEMM]))
+def test_every_algorithm_full_params_match_reference(problem, algorithm):
+    shape, x, w = problem
+    if not supports(algorithm, shape):
+        return
+    got = convolve(x, w, algorithm=algorithm, padding=shape.padding,
+                   stride=shape.stride, dilation=shape.dilation,
+                   groups=shape.groups)
+    ref = naive_conv2d_reference(x, w, shape.padding, shape.stride,
+                                 shape.dilation, shape.groups)
+    assert_conv_close(got, ref)
 
 
 @given(conv_problems(max_size=8, max_kernel=3))

@@ -18,14 +18,27 @@ def test_smoke_suite_schema(tmp_path):
     report = bench.run_suite(smoke=True, repeats=1, workers=2)
     assert report["schema"] == 1
     assert report["results"], "smoke suite must run at least one case"
+    extended_seen = 0
     for row in report["results"]:
-        assert row["seed_ms"] > 0
         assert row["uncached_ms"] > 0
         assert row["cached_ms"] > 0
-        assert row["speedup"] == pytest.approx(
-            row["seed_ms"] / row["cached_ms"], rel=1e-2)
+        shape = row["shape"]
+        extended = (shape["stride"], shape["dilation"], shape["groups"]) \
+            != (1, 1, 1)
+        if extended:
+            # The seed replica cannot run strided/dilated/grouped layers:
+            # those rows are verified against naive and carry no seed
+            # comparison.
+            extended_seen += 1
+            assert row["seed_ms"] is None and row["speedup"] is None
+        else:
+            assert row["seed_ms"] > 0
+            assert row["speedup"] == pytest.approx(
+                row["seed_ms"] / row["cached_ms"], rel=1e-2)
         assert row["cache_speedup"] == pytest.approx(
             row["uncached_ms"] / row["cached_ms"], rel=1e-2)
+    assert extended_seen >= 2, \
+        "smoke suite must cover the strided and depthwise presets"
     # every case must be exercised with both cold and warm measurements
     names = {row["name"] for row in report["results"]}
     assert len(names) == len(report["results"])

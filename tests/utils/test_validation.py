@@ -71,3 +71,74 @@ class TestCheckConvInputs:
         w = np.zeros((1, 1, 6, 6))
         with pytest.raises(ValueError, match="does not fit"):
             check_conv_inputs(x, w, 0, 1)
+
+
+class TestCheckConvInputsExtended:
+    """Rejection paths for the extended parameter space.
+
+    Every invalid spelling must fail with an actionable message naming the
+    offending value — asserted via ``match`` so a reworded error that drops
+    the key term breaks loudly here.
+    """
+
+    def _xw(self):
+        return np.zeros((1, 4, 8, 8)), np.zeros((4, 4, 3, 3))
+
+    def test_valid_full_params(self):
+        x = np.zeros((1, 4, 9, 8))
+        w = np.zeros((4, 2, 3, 3))
+        check_conv_inputs(x, w, padding=(1, 0, 2, 1), stride=(1, 2),
+                          dilation=(2, 1), groups=2)
+        check_conv_inputs(x, w, padding="same", stride=2, dilation=2,
+                          groups=2)
+
+    @pytest.mark.parametrize("stride", [0, -1, (0, 1), (1, -2)])
+    def test_nonpositive_stride(self, stride):
+        x, w = self._xw()
+        with pytest.raises(ValueError,
+                           match="stride must be >= 1 in both axes"):
+            check_conv_inputs(x, w, 1, stride)
+
+    @pytest.mark.parametrize("dilation", [0, -1, (0, 2), (2, -1)])
+    def test_nonpositive_dilation(self, dilation):
+        x, w = self._xw()
+        with pytest.raises(ValueError,
+                           match="dilation must be >= 1 in both axes"):
+            check_conv_inputs(x, w, 1, 1, dilation=dilation)
+
+    def test_dilated_extent_does_not_fit(self):
+        """A 3x3 kernel at dilation 4 spans 9 pixels — more than the 8+0
+        padded input; the message must surface the dilated extent."""
+        x, w = self._xw()
+        with pytest.raises(ValueError, match=r"dilated extent 9x9"):
+            check_conv_inputs(x, w, 0, 1, dilation=4)
+
+    def test_dilated_extent_fits_with_padding(self):
+        x, w = self._xw()
+        check_conv_inputs(x, w, 1, 1, dilation=4)  # 8+2 >= 9: fine
+
+    def test_negative_asymmetric_padding(self):
+        x, w = self._xw()
+        with pytest.raises(ValueError, match="padding must be non-negative"):
+            check_conv_inputs(x, w, (1, -1, 0, 0), 1)
+
+    def test_zero_groups(self):
+        x, w = self._xw()
+        with pytest.raises(ValueError, match="groups must be positive"):
+            check_conv_inputs(x, w, 1, 1, groups=0)
+
+    def test_channels_not_divisible_by_groups(self):
+        x, _ = self._xw()
+        with pytest.raises(ValueError, match="divisible by groups"):
+            check_conv_inputs(x, np.zeros((3, 1, 3, 3)), 1, 1, groups=3)
+
+    def test_group_channel_mismatch(self):
+        x, w = self._xw()  # weight has 4 channel taps, C/groups is 2
+        with pytest.raises(ValueError, match="C/groups"):
+            check_conv_inputs(x, w, 1, 1, groups=2)
+
+    @pytest.mark.parametrize("bad", [(1, 2, 3), (1, 2, 3, 4, 5)])
+    def test_malformed_padding_tuple(self, bad):
+        x, w = self._xw()
+        with pytest.raises(ValueError, match="padding"):
+            check_conv_inputs(x, w, bad, 1)
