@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hankel.im2col_view import im2col_patches
+from repro.observe import span
 from repro.utils.shapes import ConvShape
 from repro.utils.validation import check_conv_inputs, ensure_array
 
@@ -29,18 +30,21 @@ def conv2d_im2col_gemm(x: np.ndarray, weight: np.ndarray, padding=0,
     shape = ConvShape.from_tensors(x.shape, weight.shape, padding, stride,
                                    dilation, groups)
 
-    patches = im2col_patches(x, shape.kh, shape.kw, padding, stride,
-                             dilation)                   # (n, oh*ow, c*kh*kw)
-    if groups == 1:
-        kernel_matrix = weight.reshape(shape.f, -1)      # (f, c*kh*kw)
-        out = patches @ kernel_matrix.T                  # (n, oh*ow, f)
-        return out.transpose(0, 2, 1).reshape(shape.output_shape())
-    g, f_per = shape.groups, shape.group_filters
-    taps = shape.group_channels * shape.kernel_elems
-    pg = patches.reshape(shape.n, shape.output_elems, g, taps)
-    wg = weight.reshape(g, f_per, taps)
-    out = np.einsum("npgk,gfk->ngfp", pg, wg)
-    return out.reshape(shape.output_shape())
+    with span("stage.im2col", bytes=x.nbytes) as im2col_span:
+        patches = im2col_patches(x, shape.kh, shape.kw, padding, stride,
+                                 dilation)               # (n, oh*ow, c*kh*kw)
+        im2col_span.add_attrs(workspace_bytes=patches.nbytes)
+    with span("stage.gemm", bytes=patches.nbytes + weight.nbytes):
+        if groups == 1:
+            kernel_matrix = weight.reshape(shape.f, -1)  # (f, c*kh*kw)
+            out = patches @ kernel_matrix.T              # (n, oh*ow, f)
+            return out.transpose(0, 2, 1).reshape(shape.output_shape())
+        g, f_per = shape.groups, shape.group_filters
+        taps = shape.group_channels * shape.kernel_elems
+        pg = patches.reshape(shape.n, shape.output_elems, g, taps)
+        wg = weight.reshape(g, f_per, taps)
+        out = np.einsum("npgk,gfk->ngfp", pg, wg)
+        return out.reshape(shape.output_shape())
 
 
 def im2col_workspace_elems(shape: ConvShape) -> int:

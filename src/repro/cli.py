@@ -8,11 +8,14 @@ Commands:
 - ``select``     — algorithm recommendation (model + rules) for a shape;
 - ``tune``       — measure algorithms on this machine for a shape;
 - ``bench``      — execution-engine wall-clock suite, written as JSON;
+  ``--check BASELINE.json`` turns it into the CI regression gate;
+- ``profile``    — measured per-stage times joined against the analytic
+  cost model, with drift flags (``--trace`` prints raw spans);
+- ``cache-stats``— the consolidated cache hit/miss table (one registry);
 - ``algorithms`` — list the registered algorithms.
 
 ``selftest``, ``tune`` and ``bench`` accept ``--cache-stats`` to print the
-hit/miss statistics of the plan, weight-spectrum and FFT-plan caches after
-the run.
+same consolidated table after the run.
 """
 
 from __future__ import annotations
@@ -93,15 +96,10 @@ def _add_shape_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _print_cache_stats() -> None:
-    from repro.core.multichannel import plan_cache_info, spectrum_cache_info
-    from repro.fft.plan import fft_plan_cache_info
+    from repro.observe import format_cache_stats
 
-    print("\ncache statistics (hits / misses / size / maxsize):")
-    for label, info in [("conv plans", plan_cache_info()),
-                        ("weight spectra", spectrum_cache_info()),
-                        ("fft plans", fft_plan_cache_info())]:
-        print(f"  {label:<16} {info.hits:>6} / {info.misses:>6} / "
-              f"{info.size:>4} / {info.maxsize}")
+    print("\ncache statistics (unified observe registry):")
+    print(format_cache_stats())
 
 
 def cmd_selftest(args) -> int:
@@ -216,16 +214,60 @@ def cmd_bench(args) -> int:
     argv = []
     if args.smoke:
         argv.append("--smoke")
+    if args.quick:
+        argv.append("--quick")
     if args.no_json:
         argv.append("--no-json")
     if args.out:
         argv.extend(["--out", args.out])
+    if args.check:
+        argv.extend(["--check", args.check,
+                     "--tolerance", str(args.tolerance),
+                     "--counter-tolerance", str(args.counter_tolerance)])
     argv.extend(["--repeats", str(args.repeats),
                  "--workers", str(args.workers)])
     code = bench.main(argv)
     if getattr(args, "cache_stats", False):
         _print_cache_stats()
     return code
+
+
+def cmd_profile(args) -> int:
+    from repro.observe.profile import (
+        case_for_shape, format_profile, profile_case, resolve_preset,
+        write_profile,
+    )
+
+    if args.preset:
+        case = resolve_preset(args.preset, algorithm=args.algorithm)
+    else:
+        case = case_for_shape(
+            args.algorithm, size=args.size, kernel=args.kernel,
+            batch=args.batch, channels=args.channels, filters=args.filters,
+            padding=args.padding, stride=args.stride,
+            dilation=args.dilation, groups=args.groups,
+            strategy=args.strategy, backend=args.backend)
+    report = profile_case(case, repeats=args.repeats,
+                          drift_threshold=args.drift_threshold)
+    print(format_profile(report))
+    if args.trace:
+        print("\nspans (completion order):")
+        spans = report["spans"]
+        print("\n".join(
+            f"{'  ' * s['depth']}{s['name']:<28} {s['ms']:9.4f} ms  "
+            + " ".join(f"{k}={v}" for k, v in s["attrs"].items())
+            for s in spans))
+    if args.json:
+        path = write_profile(report, args.json)
+        print(f"[written to {path}]")
+    return 0
+
+
+def cmd_cache_stats(args) -> int:
+    from repro.observe import format_cache_stats
+
+    print(format_cache_stats())
+    return 0
 
 
 def cmd_algorithms(args) -> int:
@@ -279,15 +321,55 @@ def build_parser() -> argparse.ArgumentParser:
                            help="execution-engine wall-clock suite (JSON)")
     bench.add_argument("--smoke", action="store_true",
                        help="fast subset (CI-friendly)")
+    bench.add_argument("--quick", action="store_true",
+                       help="alias for --smoke (the CI gate's spelling)")
     bench.add_argument("--repeats", type=int, default=5)
     bench.add_argument("--workers", type=int, default=2)
     bench.add_argument("--out", default=None,
                        help="output JSON path (default BENCH_<date>.json)")
     bench.add_argument("--no-json", action="store_true",
                        help="print the table only")
+    bench.add_argument("--check", metavar="BASELINE", default=None,
+                       help="regression-gate against a baseline JSON "
+                            "(nonzero exit on regression)")
+    bench.add_argument("--tolerance", type=float, default=0.5,
+                       help="allowed wall-clock growth fraction "
+                            "(default 0.5)")
+    bench.add_argument("--counter-tolerance", type=float, default=0.1,
+                       help="allowed counter-total growth fraction "
+                            "(default 0.1)")
     bench.add_argument("--cache-stats", action="store_true",
                        help="print cache hit/miss statistics afterwards")
     bench.set_defaults(fn=cmd_bench)
+
+    profile = sub.add_parser(
+        "profile",
+        help="measured per-stage times vs the analytic cost model")
+    profile.add_argument("preset", nargs="?", default=None,
+                         help="bench-suite case name (e.g. "
+                              "conv64_sum_numpy); omit to use shape flags")
+    _add_shape_arguments(profile)
+    profile.add_argument("--algorithm", default="polyhankel",
+                         choices=["polyhankel", "gemm"],
+                         help="execution path to profile")
+    profile.add_argument("--strategy", default="sum",
+                         choices=["sum", "merge"])
+    profile.add_argument("--backend", default="numpy",
+                         choices=["numpy", "builtin"])
+    profile.add_argument("--repeats", type=int, default=10)
+    profile.add_argument("--drift-threshold", type=float, default=5.0,
+                         help="flag stages whose measured/predicted share "
+                              "ratio leaves [1/t, t] (default 5)")
+    profile.add_argument("--trace", action="store_true",
+                         help="print the raw span log afterwards")
+    profile.add_argument("--json", metavar="PATH", default=None,
+                         help="also write the profile report as JSON")
+    profile.set_defaults(fn=cmd_profile)
+
+    sub.add_parser(
+        "cache-stats",
+        help="consolidated cache hit/miss table (observe registry)"
+    ).set_defaults(fn=cmd_cache_stats)
 
     sub.add_parser("algorithms", help="list registered algorithms") \
         .set_defaults(fn=cmd_algorithms)

@@ -29,7 +29,7 @@ from repro.core.degree_map import (
 )
 from repro.hankel.im2col_view import pad2d
 from repro.utils.shapes import ConvShape
-from repro.utils.validation import ensure_array, require
+from repro.utils.validation import ensure_array
 
 
 def input_polynomial(image: np.ndarray, padding: int = 0) -> np.ndarray:

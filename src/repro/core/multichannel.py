@@ -44,6 +44,8 @@ from repro.core.construction import (
 from repro.core.planning import FftPolicy, plan_fft_size, resolve_fft_policy
 from repro.fft.plan import CacheInfo
 from repro.hankel.im2col_view import pad2d
+from repro.observe import record_cache_event, span
+from repro.observe.registry import cache_hits_misses, reset_cache_stats
 from repro.utils.shapes import ConvShape
 from repro.utils.validation import check_conv_inputs, ensure_array
 
@@ -144,12 +146,15 @@ class PolyHankelPlan:
             )
         fft = _fft.get_backend(self.backend)
         dilation = self.shape.dilation_hw
-        if self.strategy == "sum":
-            stack = channel_kernel_stack(weight, self.shape.padded_iw,
+        with span("weight.transform", strategy=self.strategy,
+                  nfft=self.nfft, bytes=weight.nbytes):
+            if self.strategy == "sum":
+                stack = channel_kernel_stack(weight, self.shape.padded_iw,
+                                             dilation)
+                return fft.rfft(stack, self.nfft)
+            merged = merged_kernel_stack(weight, self.shape.padded_iw,
                                          dilation)
-            return fft.rfft(stack, self.nfft)
-        merged = merged_kernel_stack(weight, self.shape.padded_iw, dilation)
-        return fft.rfft(merged, self.nfft)
+            return fft.rfft(merged, self.nfft)
 
     def weight_spectrum(self, weight: np.ndarray) -> np.ndarray:
         """Cached kernel spectra for *weight*.
@@ -173,10 +178,10 @@ class PolyHankelPlan:
             if entry is not None and entry[1] is self \
                     and arr.shape == entry[0].shape \
                     and np.array_equal(arr, entry[0]):
-                _SPECTRUM_STATS["hits"] += 1
+                record_cache_event("spectrum", hit=True)
                 _SPECTRUM_CACHE.move_to_end(key)
                 return entry[2]
-            _SPECTRUM_STATS["misses"] += 1
+        record_cache_event("spectrum", hit=False)
         spectrum = self.transform_weight(weight)
         with _spectrum_lock:
             _SPECTRUM_CACHE[key] = (arr.astype(float, copy=True), self,
@@ -237,15 +242,16 @@ class PolyHankelPlan:
         pt, pb, pl, pr = self.shape.pad_tblr
         if not (pt or pb or pl or pr):
             return x
-        if not reuse:
-            return pad2d(x, (pt, pb, pl, pr))
-        ih, iw = self.shape.ih, self.shape.iw
-        buf = self._scratch.get("xp")
-        if buf is None:
-            buf = np.zeros(x.shape[:-2] + (ih + pt + pb, iw + pl + pr))
-            self._scratch["xp"] = buf
-        buf[..., pt:pt + ih, pl:pl + iw] = x
-        return buf
+        with span("stage.pad", reuse=reuse, bytes=x.nbytes):
+            if not reuse:
+                return pad2d(x, (pt, pb, pl, pr))
+            ih, iw = self.shape.ih, self.shape.iw
+            buf = self._scratch.get("xp")
+            if buf is None:
+                buf = np.zeros(x.shape[:-2] + (ih + pt + pb, iw + pl + pr))
+                self._scratch["xp"] = buf
+            buf[..., pt:pt + ih, pl:pl + iw] = x
+            return buf
 
     def _execute_block(self, xp: np.ndarray, weight_hat: np.ndarray,
                        fft, reuse: bool = False) -> np.ndarray:
@@ -268,43 +274,58 @@ class PolyHankelPlan:
         target = out.reshape(n, g, f_per, bins) if out is not None else None
         if self.strategy == "sum":
             flat = xp.reshape(n, shape.c, -1)
-            x_hat = fft.rfft(flat, self.nfft)            # (n, c, bins)
+            with span("stage.input_fft", n=self.nfft, rows=n * shape.c,
+                      bytes=flat.nbytes):
+                x_hat = fft.rfft(flat, self.nfft)        # (n, c, bins)
             # Pointwise multiply and sum over channels: the paper's
             # "summation of outputs across different channels ... during
             # element-wise multiplication" — per group.
             xg = x_hat.reshape(n, g, c_per, bins)
             wg = weight_hat.reshape(g, f_per, c_per, bins)
-            out_hat = np.einsum("ngcb,gfcb->ngfb", xg, wg, out=target) \
-                if target is not None \
-                else np.einsum("ngcb,gfcb->ngfb", xg, wg)
+            with span("stage.pointwise", strategy="sum",
+                      bytes=x_hat.nbytes + weight_hat.nbytes):
+                out_hat = np.einsum("ngcb,gfcb->ngfb", xg, wg, out=target) \
+                    if target is not None \
+                    else np.einsum("ngcb,gfcb->ngfb", xg, wg)
         else:
             grouped = xp.reshape(n * g, c_per, *xp.shape[-2:])
             merged = merged_input_stack(grouped)         # (n*g, c_per*L)
-            x_hat = fft.rfft(merged, self.nfft).reshape(n, g, bins)
+            with span("stage.input_fft", n=self.nfft, rows=n * g,
+                      bytes=merged.nbytes):
+                x_hat = fft.rfft(merged, self.nfft).reshape(n, g, bins)
             wg = weight_hat.reshape(g, f_per, bins)
-            if target is not None:
-                out_hat = np.multiply(x_hat[:, :, None, :],
-                                      wg[None, :, :, :], out=target)
-            else:
-                out_hat = x_hat[:, :, None, :] * wg[None, :, :, :]
+            with span("stage.pointwise", strategy="merge",
+                      bytes=x_hat.nbytes + weight_hat.nbytes):
+                if target is not None:
+                    out_hat = np.multiply(x_hat[:, :, None, :],
+                                          wg[None, :, :, :], out=target)
+                else:
+                    out_hat = x_hat[:, :, None, :] * wg[None, :, :, :]
         out_hat = out_hat.reshape(n, shape.f, bins)
 
-        product = fft.irfft(out_hat, self.nfft)          # (n, f, nfft)
-        grid = self.gather_grid
-        if grid is None:
-            return product[..., self.gather]             # (n, f, oh, ow)
-        # The gather degrees form a regular (row-stride, col-stride) grid,
-        # so a strided view + one contiguous copy replaces the advanced
-        # indexing (no index array to walk); the values are identical.
-        base, rs, cs = grid
-        oh, ow = self.gather.shape
-        flat = np.ascontiguousarray(product).reshape(-1, self.nfft)
-        s0, s1 = flat.strides
-        view = np.lib.stride_tricks.as_strided(
-            flat[:, base:], shape=(flat.shape[0], oh, ow),
-            strides=(s0, rs * s1, cs * s1))
-        return np.ascontiguousarray(view).reshape(
-            product.shape[:-1] + (oh, ow))
+        with span("stage.inverse_fft", n=self.nfft, rows=n * shape.f,
+                  bytes=out_hat.nbytes):
+            product = fft.irfft(out_hat, self.nfft)      # (n, f, nfft)
+        with span("stage.gather", bytes=product.nbytes) as gather_span:
+            grid = self.gather_grid
+            if grid is None:
+                result = product[..., self.gather]       # (n, f, oh, ow)
+            else:
+                # The gather degrees form a regular (row-stride,
+                # col-stride) grid, so a strided view + one contiguous copy
+                # replaces the advanced indexing (no index array to walk);
+                # the values are identical.
+                base, rs, cs = grid
+                oh, ow = self.gather.shape
+                flat = np.ascontiguousarray(product).reshape(-1, self.nfft)
+                s0, s1 = flat.strides
+                view = np.lib.stride_tricks.as_strided(
+                    flat[:, base:], shape=(flat.shape[0], oh, ow),
+                    strides=(s0, rs * s1, cs * s1))
+                result = np.ascontiguousarray(view).reshape(
+                    product.shape[:-1] + (oh, ow))
+            gather_span.add_attrs(out_bytes=result.nbytes)
+        return result
 
 
 # ---------------------------------------------------------------------------
@@ -314,7 +335,6 @@ class PolyHankelPlan:
 _plan_lock = threading.Lock()
 _PLAN_CACHE: OrderedDict[tuple, PolyHankelPlan] = OrderedDict()
 _PLAN_LIMIT = [256]
-_PLAN_STATS = {"hits": 0, "misses": 0}
 
 
 def get_plan(shape: ConvShape, fft_policy: FftPolicy = "auto",
@@ -327,11 +347,12 @@ def get_plan(shape: ConvShape, fft_policy: FftPolicy = "auto",
     with _plan_lock:
         plan = _PLAN_CACHE.get(key)
         if plan is not None:
-            _PLAN_STATS["hits"] += 1
+            record_cache_event("conv_plan", hit=True)
             _PLAN_CACHE.move_to_end(key)
             return plan
-        _PLAN_STATS["misses"] += 1
-    plan = PolyHankelPlan(shape, policy, strategy, backend_name)
+    record_cache_event("conv_plan", hit=False)
+    with span("plan.build", strategy=strategy, backend=backend_name):
+        plan = PolyHankelPlan(shape, policy, strategy, backend_name)
     with _plan_lock:
         _PLAN_CACHE[key] = plan
         _PLAN_CACHE.move_to_end(key)
@@ -341,10 +362,11 @@ def get_plan(shape: ConvShape, fft_policy: FftPolicy = "auto",
 
 
 def plan_cache_info() -> CacheInfo:
-    """Hit/miss statistics of the plan cache."""
+    """Hit/miss statistics of the plan cache (events from the unified
+    :mod:`repro.observe` registry; size/limit from the structure)."""
+    hits, misses = cache_hits_misses("conv_plan")
     with _plan_lock:
-        return CacheInfo(_PLAN_STATS["hits"], _PLAN_STATS["misses"],
-                         len(_PLAN_CACHE), _PLAN_LIMIT[0])
+        return CacheInfo(hits, misses, len(_PLAN_CACHE), _PLAN_LIMIT[0])
 
 
 def set_plan_cache_limit(maxsize: int) -> None:
@@ -362,7 +384,7 @@ def clear_plan_cache() -> None:
     with _plan_lock:
         _PLAN_CACHE.clear()
         _ARG_MEMO.clear()
-        _PLAN_STATS["hits"] = _PLAN_STATS["misses"] = 0
+    reset_cache_stats("conv_plan")
 
 
 # ---------------------------------------------------------------------------
@@ -373,7 +395,6 @@ _spectrum_lock = threading.Lock()
 _SPECTRUM_CACHE: OrderedDict[
     tuple, tuple[np.ndarray, PolyHankelPlan, np.ndarray]] = OrderedDict()
 _SPECTRUM_LIMIT = [64]
-_SPECTRUM_STATS = {"hits": 0, "misses": 0}
 _SPECTRUM_ENABLED = [True]
 
 
@@ -388,10 +409,12 @@ def enable_spectrum_cache(enabled: bool = True) -> None:
 
 
 def spectrum_cache_info() -> CacheInfo:
-    """Hit/miss statistics of the weight-spectrum cache."""
+    """Hit/miss statistics of the weight-spectrum cache (events from the
+    unified :mod:`repro.observe` registry)."""
+    hits, misses = cache_hits_misses("spectrum")
     with _spectrum_lock:
-        return CacheInfo(_SPECTRUM_STATS["hits"], _SPECTRUM_STATS["misses"],
-                         len(_SPECTRUM_CACHE), _SPECTRUM_LIMIT[0])
+        return CacheInfo(hits, misses, len(_SPECTRUM_CACHE),
+                         _SPECTRUM_LIMIT[0])
 
 
 def set_spectrum_cache_limit(maxsize: int) -> None:
@@ -408,7 +431,7 @@ def clear_spectrum_cache() -> None:
     """Drop all cached spectra and reset the statistics."""
     with _spectrum_lock:
         _SPECTRUM_CACHE.clear()
-        _SPECTRUM_STATS["hits"] = _SPECTRUM_STATS["misses"] = 0
+    reset_cache_stats("spectrum")
 
 
 # ---------------------------------------------------------------------------
@@ -448,8 +471,11 @@ def _plan_for_args(x_shape, w_shape, padding, stride, dilation, groups,
            _hashable(dilation), groups, fft_policy, strategy, backend)
     with _plan_lock:
         plan = _ARG_MEMO.get(key)
-        if plan is not None:
-            return plan
+    if plan is not None:
+        # The front memo is part of the plan-cache surface: count its hits
+        # so the consolidated cache table reflects steady-state reuse.
+        record_cache_event("conv_plan", hit=True)
+        return plan
     shape = ConvShape.from_tensors(x_shape, w_shape, padding, stride,
                                    dilation, groups)
     plan = get_plan(shape, fft_policy, strategy, backend)

@@ -18,6 +18,7 @@ from repro.core.construction import (
     polynomial_lengths,
 )
 from repro.core.planning import FftPolicy, plan_fft_size
+from repro.observe import span
 from repro.utils.shapes import ConvShape
 from repro.utils.validation import ensure_array
 
@@ -50,7 +51,15 @@ def conv2d_single(image: np.ndarray, kernel: np.ndarray, padding: int = 0,
     nfft = plan_fft_size(linear_len, fft_policy)
 
     with _fft.use_backend(_fft.get_backend(backend)):
-        product = _fft.irfft(
-            _fft.rfft(a_coeffs, nfft) * _fft.rfft(u_coeffs, nfft), nfft
-        )
-    return product[output_gather_indices(shape)]
+        with span("stage.input_fft", n=nfft, rows=1,
+                  bytes=a_coeffs.nbytes):
+            a_hat = _fft.rfft(a_coeffs, nfft)
+        with span("weight.transform", n=nfft, bytes=u_coeffs.nbytes):
+            u_hat = _fft.rfft(u_coeffs, nfft)
+        with span("stage.pointwise", bytes=a_hat.nbytes + u_hat.nbytes):
+            out_hat = a_hat * u_hat
+        with span("stage.inverse_fft", n=nfft, rows=1,
+                  bytes=out_hat.nbytes):
+            product = _fft.irfft(out_hat, nfft)
+    with span("stage.gather", bytes=product.nbytes):
+        return product[output_gather_indices(shape)]

@@ -16,6 +16,8 @@ from typing import Callable
 import numpy as np
 
 from repro.fft import mixed, real
+from repro.observe import span, tracing_enabled
+from repro.observe.registry import counters
 
 
 @dataclass(frozen=True)
@@ -77,17 +79,29 @@ def available_backends() -> list[str]:
 
 
 def get_backend(name: str | FftBackend | None = None) -> FftBackend:
-    """Resolve *name* to a backend; ``None`` returns the active one."""
+    """Resolve *name* to a backend; ``None`` returns the active one.
+
+    While observation is enabled (:func:`repro.observe.enable_tracing`),
+    the resolved backend is wrapped so every transform invocation is
+    counted — by kind and size — in the unified registry and recorded as
+    a span.  When observation is off the raw backend is returned and the
+    hot path pays nothing.
+    """
     if name is None:
-        return _active
-    if isinstance(name, FftBackend):
-        return name
-    try:
-        return _BACKENDS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown FFT backend {name!r}; available: {available_backends()}"
-        ) from None
+        backend = _active
+    elif isinstance(name, FftBackend):
+        backend = name
+    else:
+        try:
+            backend = _BACKENDS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown FFT backend {name!r}; "
+                f"available: {available_backends()}"
+            ) from None
+    if tracing_enabled():
+        return _observed(backend)
+    return backend
 
 
 def set_backend(name: str | FftBackend) -> FftBackend:
@@ -110,6 +124,61 @@ def use_backend(name: str | FftBackend):
 
 
 # -- instrumentation ---------------------------------------------------------
+
+_COMPLEX_ITEM = 16  # complex128
+_FLOAT_ITEM = 8     # float64
+
+
+def _invocation_bytes(op: str, rows: int, n: int) -> int:
+    """Approximate DRAM traffic of one batched transform invocation."""
+    bins = n // 2 + 1
+    if op == "rfft":
+        return rows * (n * _FLOAT_ITEM + bins * _COMPLEX_ITEM)
+    if op == "irfft":
+        return rows * (bins * _COMPLEX_ITEM + n * _FLOAT_ITEM)
+    return rows * 2 * n * _COMPLEX_ITEM  # fft / ifft
+
+
+def _observing(backend: "FftBackend", op: str, fn):
+    def wrapped(x, n=None):
+        if not tracing_enabled():
+            return fn(x, n)
+        shape = np.shape(x)
+        size = n if n is not None else (shape[-1] if shape else 1)
+        rows = 1
+        for dim in shape[:-1]:
+            rows *= dim
+        counters.add("fft.calls", 1, kind=op, n=size, backend=backend.name)
+        counters.add("fft.rows", rows, kind=op, n=size, backend=backend.name)
+        with span(f"fft.{op}", n=size, rows=rows, backend=backend.name,
+                  bytes=_invocation_bytes(op, rows, size)):
+            return fn(x, n)
+    return wrapped
+
+
+_OBSERVED: dict[str, "FftBackend"] = {}
+
+
+def _observed(backend: "FftBackend") -> "FftBackend":
+    """Invocation-counting view of *backend* (memoized per name)."""
+    if getattr(backend.fft, "__wrapped_backend__", None) is not None:
+        return backend  # already an observing view
+    cached = _OBSERVED.get(backend.name)
+    # Rebuild if the underlying backend object changed (record_fft_calls
+    # swaps _BACKENDS entries for counting wrappers and back).
+    if cached is not None and cached.fft.__wrapped_backend__ is backend:
+        return cached
+    wrapped = FftBackend(
+        name=backend.name,
+        fft=_observing(backend, "fft", backend.fft),
+        ifft=_observing(backend, "ifft", backend.ifft),
+        rfft=_observing(backend, "rfft", backend.rfft),
+        irfft=_observing(backend, "irfft", backend.irfft),
+    )
+    wrapped.fft.__wrapped_backend__ = backend
+    _OBSERVED[backend.name] = wrapped
+    return wrapped
+
 
 @dataclass
 class FftCallLog:

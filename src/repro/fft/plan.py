@@ -27,6 +27,8 @@ from collections import OrderedDict, namedtuple
 import numpy as np
 
 from repro.fft.sizes import DEFAULT_RADICES, is_power_of_two
+from repro.observe import record_cache_event, span
+from repro.observe.registry import cache_hits_misses, reset_cache_stats
 
 CacheInfo = namedtuple("CacheInfo", ["hits", "misses", "size", "maxsize"])
 
@@ -135,22 +137,20 @@ _DEFAULT_PLAN_LIMIT = 128
 _lock = threading.Lock()
 _plans: OrderedDict[int, FftPlan] = OrderedDict()
 _limit = _DEFAULT_PLAN_LIMIT
-_hits = 0
-_misses = 0
 
 
 def get_fft_plan(n: int) -> FftPlan:
     """Fetch (or build and LRU-cache) the plan for size *n*."""
-    global _hits, _misses
     with _lock:
         plan = _plans.get(n)
         if plan is not None:
-            _hits += 1
+            record_cache_event("fft_plan", hit=True)
             _plans.move_to_end(n)
             return plan
-        _misses += 1
+    record_cache_event("fft_plan", hit=False)
     # Build outside the lock: construction is pure and idempotent.
-    plan = FftPlan(n)
+    with span("fft_plan.build", n=n):
+        plan = FftPlan(n)
     with _lock:
         _plans[n] = plan
         _plans.move_to_end(n)
@@ -160,9 +160,14 @@ def get_fft_plan(n: int) -> FftPlan:
 
 
 def fft_plan_cache_info() -> CacheInfo:
-    """Hit/miss statistics of the FFT plan cache."""
+    """Hit/miss statistics of the FFT plan cache.
+
+    Event counts come from the unified :mod:`repro.observe` registry;
+    size/limit from the cache structure itself.
+    """
+    hits, misses = cache_hits_misses("fft_plan")
     with _lock:
-        return CacheInfo(_hits, _misses, len(_plans), _limit)
+        return CacheInfo(hits, misses, len(_plans), _limit)
 
 
 def set_fft_plan_cache_limit(maxsize: int) -> None:
@@ -178,8 +183,6 @@ def set_fft_plan_cache_limit(maxsize: int) -> None:
 
 def clear_fft_plan_cache() -> None:
     """Drop all cached plans and reset the statistics."""
-    global _hits, _misses
     with _lock:
         _plans.clear()
-        _hits = 0
-        _misses = 0
+    reset_cache_stats("fft_plan")

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.fft import mixed
 from repro.fft.plan import get_fft_plan
+from repro.observe import span
 
 
 def rfft(x: np.ndarray, n: int | None = None) -> np.ndarray:
@@ -36,9 +37,10 @@ def rfft(x: np.ndarray, n: int | None = None) -> np.ndarray:
         x = x[..., :n]
     if n == 1:
         return x.astype(complex)
-    if n % 2 == 0:
-        return _rfft_even(x)
-    return mixed.fft(x)[..., : n // 2 + 1]
+    with span("real.rfft", n=n, even=(n % 2 == 0)):
+        if n % 2 == 0:
+            return _rfft_even(x)
+        return mixed.fft(x)[..., : n // 2 + 1]
 
 
 def _rfft_even(x: np.ndarray) -> np.ndarray:
@@ -78,12 +80,14 @@ def irfft(x: np.ndarray, n: int | None = None) -> np.ndarray:
         x = np.pad(x, pad)
     elif bins > expected_bins:
         x = x[..., :expected_bins]
-    if n % 2 == 0:
-        return _irfft_even(x, n)
-    # Odd size: rebuild the full Hermitian spectrum, run a complex inverse.
-    tail = np.conj(x[..., -1:0:-1])
-    full = np.concatenate([x, tail], axis=-1)
-    return mixed.ifft(full).real
+    with span("real.irfft", n=n, even=(n % 2 == 0)):
+        if n % 2 == 0:
+            return _irfft_even(x, n)
+        # Odd size: rebuild the full Hermitian spectrum and run a complex
+        # inverse transform.
+        tail = np.conj(x[..., -1:0:-1])
+        full = np.concatenate([x, tail], axis=-1)
+        return mixed.ifft(full).real
 
 
 def _irfft_even(x: np.ndarray, n: int) -> np.ndarray:

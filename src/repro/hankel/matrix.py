@@ -101,7 +101,8 @@ class DoublyBlockedHankel:
         require(
             self.base.shape == (block_rows + block_cols - 1,
                                 inner_rows + inner_cols - 1),
-            f"base must be {(block_rows + block_cols - 1, inner_rows + inner_cols - 1)},"
+            f"base must be "
+            f"{(block_rows + block_cols - 1, inner_rows + inner_cols - 1)},"
             f" got {self.base.shape}",
         )
         self.block_rows = block_rows

@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.baselines.registry import ConvAlgorithm
 from repro.nn import functional as F
+from repro.observe import record_cache_event, span
 from repro.perfmodel.counters import count
 from repro.perfmodel.device import GpuDevice
 from repro.perfmodel.timing import simulate
@@ -127,11 +128,14 @@ class Conv2d(Layer):
                                       self.dilation, self.groups)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        if self.algorithm is ConvAlgorithm.POLYHANKEL and self.cache_spectra:
-            return self._forward_polyhankel(x)
-        return F.conv2d(x, self.weight, self.bias, self.padding,
-                        self.stride, dilation=self.dilation,
-                        groups=self.groups, algorithm=self.algorithm)
+        with span("conv2d.forward", algorithm=self.algorithm.value,
+                  out_channels=self.out_channels, k=self.kernel_size):
+            if (self.algorithm is ConvAlgorithm.POLYHANKEL
+                    and self.cache_spectra):
+                return self._forward_polyhankel(x)
+            return F.conv2d(x, self.weight, self.bias, self.padding,
+                            self.stride, dilation=self.dilation,
+                            groups=self.groups, algorithm=self.algorithm)
 
     def _forward_polyhankel(self, x: np.ndarray) -> np.ndarray:
         """Plan-cached PolyHankel forward: the weight is transformed once
@@ -149,9 +153,11 @@ class Conv2d(Layer):
         entry = self._spectrum_cache.get(key)
         if entry is not None and np.array_equal(entry[0], self._weight):
             self._cache_hits += 1
+            record_cache_event("layer_spectrum", hit=True)
             w_hat = entry[1]
         else:
             self._cache_misses += 1
+            record_cache_event("layer_spectrum", hit=False)
             w_hat = plan.transform_weight(self._weight)
             self._spectrum_cache[key] = (
                 np.array(self._weight, dtype=float, copy=True), w_hat)

@@ -1,0 +1,277 @@
+"""Measured-vs-model stage profiles (``python -m repro profile``).
+
+This is the repo's version of the paper's Fig. 7 methodology: the analytic
+cost model (:mod:`repro.perfmodel.counters`) predicts per-stage FLOPs and
+DRAM bytes; this module *measures* the same stages with trace spans and
+joins the two, flagging stages whose measured share of the runtime drifts
+from the model's predicted share.
+
+Drift is deliberately a **share ratio**, not an absolute-time ratio: the
+model targets GPUs while the engine runs on a CPU, so absolute predictions
+are meaningless here, but the *distribution* of time across stages should
+agree if the model captures the algorithm.  For each stage::
+
+    drift = (measured_ms / sum measured) / (predicted_ms / sum predicted)
+
+with the predicted per-stage time taken from a CPU roofline proxy
+``max(flops / PEAK_FLOPS, bytes / PEAK_BW)``.  A stage is flagged when its
+drift leaves ``[1/threshold, threshold]``.  One-shot stages (the weight
+transform, amortized away by the spectrum cache) are reported but excluded
+from the share normalization.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.observe import aggregate_spans, clear_trace, get_trace, tracing
+from repro.observe.registry import counters, fft_call_totals
+
+#: CPU roofline constants for the predicted-share proxy.  Order-of-magnitude
+#: figures for one modern core; only the *ratio* between the compute and
+#: memory walls matters, because drift compares normalized shares.
+CPU_PEAK_FLOPS = 5.0e10
+CPU_PEAK_BW = 2.0e10
+
+DEFAULT_DRIFT_THRESHOLD = 5.0
+
+#: Maps each cost-model stage to the trace spans that implement it, per
+#: algorithm.  ``amortized`` marks stages that do not run on the cached
+#: steady-state call (measured once, excluded from drift normalization).
+STAGE_MAP = {
+    "polyhankel": (
+        ("input_block_ffts", ("stage.pad", "stage.input_fft"), False),
+        ("kernel_ffts", ("weight.transform",), True),
+        ("pointwise_channel_sum", ("stage.pointwise",), False),
+        ("ifft_blocks_gather", ("stage.inverse_fft", "stage.gather"), False),
+    ),
+    "gemm": (
+        ("im2col", ("stage.im2col",), False),
+        ("gemm", ("stage.gemm",), False),
+    ),
+}
+
+
+def _runner(case, x, w):
+    """Steady-state callable + one-shot weight-transform callable."""
+    if case.algorithm == "polyhankel":
+        from repro.core import multichannel as mc
+        from repro.utils.shapes import ConvShape
+
+        shape = ConvShape(ih=case.size, iw=case.size, kh=case.kernel,
+                          kw=case.kernel, n=case.batch, c=case.channels,
+                          f=case.filters, padding=case.padding,
+                          stride=case.stride, dilation=case.dilation,
+                          groups=case.groups)
+        plan = mc.get_plan(shape, strategy=case.strategy,
+                           backend=case.backend)
+        w_hat = plan.transform_weight(w)
+        return (lambda: plan.execute(x, w_hat, check=False),
+                lambda: plan.transform_weight(w))
+    if case.algorithm == "gemm":
+        from repro.baselines.im2col_gemm import conv2d_im2col_gemm
+
+        def call():
+            return conv2d_im2col_gemm(
+                x, w, padding=case.padding, stride=case.stride,
+                dilation=case.dilation, groups=case.groups)
+        return call, None
+    raise ValueError(
+        f"profile supports algorithms {sorted(STAGE_MAP)}, "
+        f"got {case.algorithm!r}"
+    )
+
+
+def profile_case(case, repeats: int = 10, warmup: int = 2,
+                 drift_threshold: float = DEFAULT_DRIFT_THRESHOLD) -> dict:
+    """Measure one bench case's stages and join them with the cost model.
+
+    *case* is a :class:`repro.bench.BenchCase` (or anything with the same
+    fields plus an ``algorithm`` attribute, see :func:`resolve_preset`).
+    """
+    from repro.perfmodel.counters import count
+    from repro.utils.random import random_problem
+    from repro.utils.shapes import ConvShape
+
+    shape = ConvShape(ih=case.size, iw=case.size, kh=case.kernel,
+                      kw=case.kernel, n=case.batch, c=case.channels,
+                      f=case.filters, padding=case.padding,
+                      stride=case.stride, dilation=case.dilation,
+                      groups=case.groups)
+    x, w = random_problem(shape)
+    call, transform = _runner(case, x, w)
+
+    for _ in range(max(warmup, 1)):
+        call()
+
+    counters.clear("fft.")
+    counters.clear("bytes.")
+    with tracing():
+        start = time.perf_counter()
+        for _ in range(repeats):
+            call()
+        wall_s = time.perf_counter() - start
+        if transform is not None:
+            transform()
+        spans = get_trace()
+    clear_trace()
+    measured = aggregate_spans(spans)
+    fft_calls = fft_call_totals()
+
+    model_algo = {"polyhankel": "polyhankel", "gemm": "gemm"}[case.algorithm]
+    report = count(model_algo, shape)
+    model_stages = {s.name: s for s in report.stages}
+
+    rows = []
+    for stage_name, span_names, amortized in STAGE_MAP[case.algorithm]:
+        stage = model_stages[stage_name]
+        calls = 1 if amortized else repeats
+        # Inclusive totals: a stage span's time should include the nested
+        # fft.* backend spans that do its actual work.
+        measured_ms = sum(
+            measured[name]["total_ms"]
+            for name in span_names if name in measured
+        )
+        predicted_s = max(stage.flops / CPU_PEAK_FLOPS,
+                          stage.bytes_moved / CPU_PEAK_BW)
+        rows.append({
+            "stage": stage_name,
+            "spans": list(span_names),
+            "amortized": amortized,
+            "measured_ms": measured_ms / calls,
+            "flops": stage.flops,
+            "bytes_moved": stage.bytes_moved,
+            "predicted_ms": predicted_s * 1e3,
+        })
+
+    norm = [r for r in rows if not r["amortized"]]
+    measured_total = sum(r["measured_ms"] for r in norm)
+    predicted_total = sum(r["predicted_ms"] for r in norm)
+    for row in rows:
+        if row["amortized"] or not measured_total or not predicted_total:
+            row["measured_share"] = None
+            row["predicted_share"] = None
+            row["drift"] = None
+            row["flagged"] = False
+            continue
+        row["measured_share"] = row["measured_ms"] / measured_total
+        row["predicted_share"] = row["predicted_ms"] / predicted_total
+        drift = (row["measured_share"] / row["predicted_share"]
+                 if row["predicted_share"] else float("inf"))
+        row["drift"] = drift
+        row["flagged"] = not (1.0 / drift_threshold
+                              <= drift <= drift_threshold)
+
+    return {
+        "name": getattr(case, "name", "custom"),
+        "algorithm": case.algorithm,
+        "strategy": case.strategy,
+        "backend": case.backend,
+        "shape": {"size": case.size, "kernel": case.kernel,
+                  "batch": case.batch, "channels": case.channels,
+                  "filters": case.filters, "padding": case.padding,
+                  "stride": case.stride, "dilation": case.dilation,
+                  "groups": case.groups},
+        "repeats": repeats,
+        "call_ms": wall_s * 1e3 / repeats,
+        "drift_threshold": drift_threshold,
+        "stages": rows,
+        "measured_total_ms": measured_total,
+        "predicted_total_ms": predicted_total,
+        "fft_calls": {
+            kind: {"calls": v["calls"], "rows": v["rows"],
+                   "by_n": {str(n): c for n, c in sorted(v["by_n"].items())}}
+            for kind, v in fft_calls.items()
+        },
+        "spans": [
+            {"name": s.name, "depth": s.depth, "ms": s.duration_ms,
+             "attrs": {k: v for k, v in s.attrs.items()}}
+            for s in spans
+        ],
+    }
+
+
+def resolve_preset(name: str, algorithm: str = "polyhankel"):
+    """A bench-suite case by name, retargeted at *algorithm*."""
+    from repro.bench import SUITE
+
+    for case in SUITE:
+        if case.name == name:
+            return _ProfileCase(case, algorithm)
+    raise ValueError(
+        f"unknown preset {name!r}; known: {[c.name for c in SUITE]}"
+    )
+
+
+class _ProfileCase:
+    """A bench case plus the algorithm the profiler should drive."""
+
+    def __init__(self, case, algorithm: str):
+        self._case = case
+        self.algorithm = algorithm
+
+    def __getattr__(self, item):
+        return getattr(self._case, item)
+
+
+def case_for_shape(algorithm: str = "polyhankel", *, size: int = 32,
+                   kernel: int = 3, batch: int = 4, channels: int = 3,
+                   filters: int = 8, padding=1, stride=1, dilation=1,
+                   groups: int = 1, strategy: str = "sum",
+                   backend: str = "numpy"):
+    """A profileable case for an ad-hoc shape (the CLI's shape flags)."""
+    from repro.bench import BenchCase
+
+    case = BenchCase("custom", size, kernel, batch, channels, filters,
+                     padding, strategy=strategy, backend=backend,
+                     stride=stride, dilation=dilation, groups=groups)
+    return _ProfileCase(case, algorithm)
+
+
+def format_profile(report: dict) -> str:
+    """Human-readable per-stage drift table."""
+    lines = [
+        f"profile {report['name']}  algo={report['algorithm']}  "
+        f"strategy={report['strategy']}  backend={report['backend']}  "
+        f"({report['repeats']} calls, {report['call_ms']:.3f} ms/call)",
+        f"{'stage':<24} {'measured':>11} {'flops':>12} {'bytes':>12} "
+        f"{'m-share':>8} {'p-share':>8} {'drift':>7}",
+    ]
+    for row in report["stages"]:
+        if row["drift"] is None:
+            share = f"{'-':>8} {'-':>8} {'-':>7}"
+            note = "  (amortized)" if row["amortized"] else ""
+        else:
+            flag = " !" if row["flagged"] else ""
+            share = (f"{100 * row['measured_share']:7.1f}% "
+                     f"{100 * row['predicted_share']:7.1f}% "
+                     f"{row['drift']:6.2f}x{flag}")
+            note = ""
+        lines.append(
+            f"{row['stage']:<24} {row['measured_ms']:9.4f}ms "
+            f"{row['flops']:12.3g} {row['bytes_moved']:12.3g} "
+            f"{share}{note}")
+    flagged = [r["stage"] for r in report["stages"] if r["flagged"]]
+    if flagged:
+        lines.append(f"drift flagged (outside 1/{report['drift_threshold']:g}"
+                     f"..{report['drift_threshold']:g}x): "
+                     + ", ".join(flagged))
+    else:
+        lines.append("no stage drift flagged")
+    if report["fft_calls"]:
+        parts = []
+        for kind, v in sorted(report["fft_calls"].items()):
+            sizes = ", ".join(f"n={n}:{c}" for n, c in v["by_n"].items())
+            parts.append(f"{kind}={v['calls']} ({sizes})")
+        lines.append("fft invocations: " + "; ".join(parts))
+    return "\n".join(lines)
+
+
+def write_profile(report: dict, path: str) -> str:
+    """Serialize *report* (minus the raw span list) to *path* as JSON."""
+    slim = {k: v for k, v in report.items() if k != "spans"}
+    with open(path, "w") as fh:
+        json.dump(slim, fh, indent=2, default=float)
+        fh.write("\n")
+    return path

@@ -1,0 +1,186 @@
+"""One process-wide counter registry for every runtime metric.
+
+Before this module each cache kept its own ad-hoc hit/miss dicts
+(``fft/plan.py``, the module-level spectrum cache, per-``Conv2d`` spectrum
+caches) and the CLI read them inconsistently.  Now every surface reports
+events here, and ``python -m repro cache-stats`` renders one coherent table
+from this registry.
+
+Counters are keyed by ``(name, tags)`` where *tags* is a sorted tuple of
+``(key, value)`` pairs — e.g. FFT invocations are recorded as
+``("fft.calls", (("kind", "rfft"), ("n", 512)))`` so per-size/per-kind
+breakdowns fall out of the key structure.
+
+Two classes of counters:
+
+- **cache events** (always on): plan/spectrum/FFT-plan/layer-spectrum
+  hits and misses.  These were always counted; the registry just unifies
+  where.
+- **per-call metrics** (on only while tracing is enabled): FFT backend
+  invocations by kind and size, rows transformed, bytes moved per stage.
+  The hot path guards these behind the same flag as spans, so the
+  disabled cost stays a single truth test.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+Tags = tuple[tuple[str, object], ...]
+
+
+@dataclass(frozen=True)
+class CounterRow:
+    """One (name, tags, value) snapshot row."""
+
+    name: str
+    tags: Tags
+    value: float
+
+    @property
+    def tag_dict(self) -> dict:
+        return dict(self.tags)
+
+
+class CounterRegistry:
+    """Thread-safe additive counters keyed by name + tags."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._data: dict[tuple[str, Tags], float] = {}
+
+    @staticmethod
+    def _key(name: str, tags: dict) -> tuple[str, Tags]:
+        return name, tuple(sorted(tags.items()))
+
+    def add(self, name: str, value: float = 1.0, **tags) -> None:
+        """Add *value* to the counter ``(name, tags)``."""
+        key = self._key(name, tags)
+        with self._lock:
+            self._data[key] = self._data.get(key, 0.0) + value
+
+    def get(self, name: str, **tags) -> float:
+        """Value of one exact ``(name, tags)`` counter (0.0 if unseen)."""
+        with self._lock:
+            return self._data.get(self._key(name, tags), 0.0)
+
+    def total(self, name: str, **tags) -> float:
+        """Sum over every counter with *name* whose tags include *tags*."""
+        want = set(tags.items())
+        with self._lock:
+            return sum(
+                v for (n, t), v in self._data.items()
+                if n == name and want.issubset(t)
+            )
+
+    def snapshot(self, prefix: str = "") -> list[CounterRow]:
+        """All counters (optionally name-prefix filtered), sorted by key."""
+        with self._lock:
+            rows = [CounterRow(n, t, v) for (n, t), v in self._data.items()
+                    if n.startswith(prefix)]
+        return sorted(rows, key=lambda r: (r.name, r.tags))
+
+    def clear(self, prefix: str = "") -> None:
+        """Drop counters whose name starts with *prefix* (all by default)."""
+        with self._lock:
+            if not prefix:
+                self._data.clear()
+                return
+            for key in [k for k in self._data if k[0].startswith(prefix)]:
+                del self._data[key]
+
+
+#: The process-wide registry every instrumented module reports into.
+counters = CounterRegistry()
+
+
+def record_cache_event(cache: str, hit: bool) -> None:
+    """Record one hit or miss on the named cache surface.
+
+    Known surfaces: ``conv_plan``, ``spectrum``, ``fft_plan``,
+    ``layer_spectrum`` — but nothing enforces the vocabulary; new caches
+    simply pick a name.
+    """
+    counters.add(f"cache.{cache}.{'hits' if hit else 'misses'}")
+
+
+def cache_hits_misses(cache: str) -> tuple[int, int]:
+    """(hits, misses) of one cache surface, from the registry."""
+    return (int(counters.get(f"cache.{cache}.hits")),
+            int(counters.get(f"cache.{cache}.misses")))
+
+
+def reset_cache_stats(cache: str) -> None:
+    """Zero the hit/miss counters of one cache surface."""
+    counters.clear(f"cache.{cache}.")
+
+
+def cache_stats() -> list[dict]:
+    """The consolidated cache table: one row per cache surface.
+
+    Sizes and limits come from the owning structures (the registry only
+    holds event counts); surfaces without a global size — the per-layer
+    spectrum caches live on ``Conv2d`` instances — report ``None``.
+    """
+    from repro.core.multichannel import plan_cache_info, spectrum_cache_info
+    from repro.fft.plan import fft_plan_cache_info
+
+    plan = plan_cache_info()
+    spectrum = spectrum_cache_info()
+    fft_plan = fft_plan_cache_info()
+    layer_hits, layer_misses = cache_hits_misses("layer_spectrum")
+    rows = [
+        {"cache": "conv_plan", "label": "conv plans",
+         "hits": plan.hits, "misses": plan.misses,
+         "size": plan.size, "maxsize": plan.maxsize},
+        {"cache": "spectrum", "label": "weight spectra",
+         "hits": spectrum.hits, "misses": spectrum.misses,
+         "size": spectrum.size, "maxsize": spectrum.maxsize},
+        {"cache": "fft_plan", "label": "fft plans",
+         "hits": fft_plan.hits, "misses": fft_plan.misses,
+         "size": fft_plan.size, "maxsize": fft_plan.maxsize},
+        {"cache": "layer_spectrum", "label": "layer spectra",
+         "hits": layer_hits, "misses": layer_misses,
+         "size": None, "maxsize": None},
+    ]
+    for row in rows:
+        total = row["hits"] + row["misses"]
+        row["hit_rate"] = row["hits"] / total if total else None
+    return rows
+
+
+def format_cache_stats(rows: list[dict] | None = None) -> str:
+    """Render :func:`cache_stats` as the CLI's coherent table."""
+    if rows is None:
+        rows = cache_stats()
+    lines = [f"{'cache':<16} {'hits':>8} {'misses':>8} {'hit%':>7} "
+             f"{'size':>6} {'max':>6}"]
+    for row in rows:
+        rate = f"{100 * row['hit_rate']:6.1f}%" if row["hit_rate"] is not None \
+            else f"{'-':>7}"
+        size = row["size"] if row["size"] is not None else "-"
+        maxsize = row["maxsize"] if row["maxsize"] is not None else "-"
+        lines.append(f"{row['label']:<16} {row['hits']:>8} "
+                     f"{row['misses']:>8} {rate} {size:>6} {maxsize:>6}")
+    return "\n".join(lines)
+
+
+def fft_call_totals() -> dict[str, dict]:
+    """Per-kind FFT invocation totals recorded while tracing was enabled.
+
+    Returns ``{kind: {"calls": int, "rows": int, "by_n": {n: calls}}}``.
+    """
+    out: dict[str, dict] = {}
+    for row in counters.snapshot("fft.calls"):
+        tags = row.tag_dict
+        kind = tags.get("kind", "?")
+        entry = out.setdefault(kind, {"calls": 0, "rows": 0, "by_n": {}})
+        entry["calls"] += int(row.value)
+        n = tags.get("n")
+        entry["by_n"][n] = entry["by_n"].get(n, 0) + int(row.value)
+    for row in counters.snapshot("fft.rows"):
+        kind = row.tag_dict.get("kind", "?")
+        entry = out.setdefault(kind, {"calls": 0, "rows": 0, "by_n": {}})
+        entry["rows"] += int(row.value)
+    return out

@@ -1,0 +1,105 @@
+"""Noise-aware performance-regression gate (``repro bench --check``).
+
+Compares a freshly measured :mod:`repro.bench` report against a committed
+baseline JSON and decides pass/fail:
+
+- **Wall-clock** (``cached_ms``, ``uncached_ms``): a case regresses when
+  ``current / baseline > 1 + tolerance``.  Cases whose baseline sits below
+  ``min_ms`` are skipped — at that scale the timer measures the OS, not
+  the engine.  The bench harness re-measures flagged cases once with more
+  repeats before the verdict (see ``repro.bench.main``), so a single noisy
+  block cannot fail the gate.
+- **Counter totals** (``fft_calls``, ``fft_rows``): deterministic, so the
+  allowed growth is the much tighter ``counter_tolerance``.  A change that
+  adds FFT invocations to the steady-state path fails the gate even when
+  the machine is fast enough to hide it — exactly the regression the
+  2-3x warm-call speedups of PR 1 are made of.
+
+Baselines are ordinary ``repro bench`` JSON reports; cases are matched by
+name, and cases present on only one side are ignored (suites may grow).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+WALL_METRICS = ("cached_ms", "uncached_ms")
+COUNTER_METRICS = ("fft_calls", "fft_rows")
+
+DEFAULT_TOLERANCE = 0.5
+DEFAULT_COUNTER_TOLERANCE = 0.1
+DEFAULT_MIN_MS = 0.05
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric of one case exceeding its allowed ratio."""
+
+    case: str
+    metric: str
+    kind: str  # 'wall' | 'counter'
+    baseline: float
+    current: float
+    limit: float
+
+    @property
+    def ratio(self) -> float:
+        return self.current / self.baseline if self.baseline else float("inf")
+
+    def describe(self) -> str:
+        unit = " ms" if self.kind == "wall" else ""
+        return (f"{self.case}: {self.metric} {self.baseline:g}{unit} -> "
+                f"{self.current:g}{unit} ({self.ratio:.2f}x, "
+                f"limit {self.limit:.2f}x)")
+
+
+def compare_reports(current: dict, baseline: dict,
+                    tolerance: float = DEFAULT_TOLERANCE,
+                    counter_tolerance: float = DEFAULT_COUNTER_TOLERANCE,
+                    min_ms: float = DEFAULT_MIN_MS) -> list[Regression]:
+    """All regressions of *current* against *baseline* (empty == pass)."""
+    regressions = []
+    base_by_name = {r["name"]: r for r in baseline.get("results", [])}
+    for cur in current.get("results", []):
+        base = base_by_name.get(cur["name"])
+        if base is None:
+            continue
+        for metric in WALL_METRICS:
+            b, c = base.get(metric), cur.get(metric)
+            if not b or not c or b < min_ms:
+                continue
+            limit = 1.0 + tolerance
+            if c / b > limit:
+                regressions.append(Regression(
+                    cur["name"], metric, "wall", b, c, limit))
+        base_counters = base.get("counters") or {}
+        cur_counters = cur.get("counters") or {}
+        for metric in COUNTER_METRICS:
+            b, c = base_counters.get(metric), cur_counters.get(metric)
+            if not b or c is None:
+                continue
+            limit = 1.0 + counter_tolerance
+            if c / b > limit:
+                regressions.append(Regression(
+                    cur["name"], metric, "counter", b, c, limit))
+    return regressions
+
+
+def load_baseline(path: str) -> dict:
+    """Read a committed baseline report."""
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def format_check(regressions: list[Regression], baseline_path: str,
+                 tolerance: float, counter_tolerance: float) -> str:
+    """Human-readable verdict for the CLI."""
+    if not regressions:
+        return (f"bench check OK against {baseline_path} "
+                f"(tolerance {tolerance:g}, "
+                f"counters {counter_tolerance:g})")
+    lines = [f"bench check FAILED against {baseline_path}: "
+             f"{len(regressions)} regression(s)"]
+    lines += [f"  {r.describe()}" for r in regressions]
+    return "\n".join(lines)

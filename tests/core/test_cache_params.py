@@ -8,7 +8,6 @@ down, because a silent aliasing bug here produces plausible-looking wrong
 numbers rather than a crash.
 """
 
-import numpy as np
 
 from repro.core.multichannel import (
     conv2d_polyhankel, get_plan, spectrum_cache_info,

@@ -1,7 +1,6 @@
 """Tests for the polynomial construction (Sec. 2.2, Eqs. 10-12)."""
 
 import numpy as np
-import pytest
 
 from repro.core.construction import (
     channel_kernel_stack,

@@ -8,7 +8,6 @@ sequential reference — caching may only skip work, never change it.
 import numpy as np
 import pytest
 
-from repro.core import multichannel as mc
 from repro.core.multichannel import (
     PolyHankelPlan,
     clear_plan_cache,

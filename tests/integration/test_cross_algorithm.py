@@ -11,8 +11,8 @@ from repro.baselines.registry import (
     list_algorithms,
     supports,
 )
-from repro.utils.shapes import ConvShape
 from repro.utils.random import random_problem
+from repro.utils.shapes import ConvShape
 
 GRID = [
     ConvShape(ih=6, iw=6, kh=3, kw=3, n=1, c=1, f=1),

@@ -1,7 +1,6 @@
 """End-to-end integration: networks, API surface, experiment machinery."""
 
 import numpy as np
-import pytest
 
 import repro
 from repro.nn import functional as F

@@ -6,7 +6,6 @@ import pytest
 from repro.baselines.registry import (
     ConvAlgorithm,
     convolve,
-    list_algorithms,
     supports,
 )
 from repro.utils.shapes import ConvShape

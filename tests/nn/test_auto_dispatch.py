@@ -1,7 +1,6 @@
 """Tests for algorithm="auto" dispatch in nn.functional.conv2d."""
 
 import numpy as np
-import pytest
 
 from repro.nn import functional as F
 from tests.conftest import naive_conv2d_reference

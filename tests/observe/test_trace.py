@@ -1,0 +1,128 @@
+"""Trace spans: nesting, attribution, thread isolation, aggregation."""
+
+import threading
+
+import pytest
+
+from repro.observe import (
+    aggregate_spans,
+    clear_trace,
+    format_trace,
+    get_trace,
+    span,
+    tracing,
+    tracing_enabled,
+)
+from repro.observe.trace import _NOOP
+
+
+@pytest.fixture(autouse=True)
+def _clean_trace():
+    clear_trace()
+    yield
+    clear_trace()
+
+
+class TestDisabled:
+    def test_disabled_by_default(self):
+        assert not tracing_enabled()
+
+    def test_span_returns_shared_noop(self):
+        first = span("anything", n=1)
+        second = span("else")
+        assert first is _NOOP and second is _NOOP
+
+    def test_noop_collects_nothing(self):
+        with span("invisible", n=64):
+            pass
+        assert get_trace() == []
+
+    def test_noop_add_attrs_is_silent(self):
+        with span("invisible") as s:
+            s.add_attrs(bytes=123)
+        assert get_trace() == []
+
+
+class TestNesting:
+    def test_depth_and_parent(self):
+        with tracing():
+            with span("outer", n=8):
+                with span("inner", n=4):
+                    pass
+        outer = next(s for s in get_trace() if s.name == "outer")
+        inner = next(s for s in get_trace() if s.name == "inner")
+        assert (outer.depth, inner.depth) == (0, 1)
+        assert inner.parent is outer
+
+    def test_completion_order_child_first(self):
+        with tracing():
+            with span("outer"):
+                with span("inner"):
+                    pass
+        assert [s.name for s in get_trace()] == ["inner", "outer"]
+
+    def test_self_time_excludes_children(self):
+        with tracing():
+            with span("outer"):
+                with span("inner"):
+                    sum(range(2000))
+        outer = next(s for s in get_trace() if s.name == "outer")
+        inner = next(s for s in get_trace() if s.name == "inner")
+        assert outer.self_s <= outer.duration_s
+        assert outer.child_s == pytest.approx(inner.duration_s)
+
+    def test_attrs_recorded_and_amended(self):
+        with tracing():
+            with span("stage", n=375, kind="rfft") as s:
+                s.add_attrs(rows=6)
+        record = get_trace()[0]
+        assert record.attrs == {"n": 375, "kind": "rfft", "rows": 6}
+
+    def test_state_restored_after_context(self):
+        assert not tracing_enabled()
+        with tracing():
+            assert tracing_enabled()
+        assert not tracing_enabled()
+
+    def test_threads_have_independent_stacks(self):
+        """A span opened in a worker thread must not nest under the
+        caller's open span (each thread keeps its own stack)."""
+        def body():
+            with span("worker"):
+                pass
+
+        with tracing():
+            with span("caller"):
+                t = threading.Thread(target=body)
+                t.start()
+                t.join()
+        worker_span = next(s for s in get_trace() if s.name == "worker")
+        caller_span = next(s for s in get_trace() if s.name == "caller")
+        assert worker_span.depth == 0
+        assert worker_span.parent is None
+        assert worker_span.thread_id != caller_span.thread_id
+
+
+class TestAggregation:
+    def test_aggregate_counts_and_totals(self):
+        with tracing():
+            for _ in range(3):
+                with span("stage.pointwise"):
+                    pass
+        agg = aggregate_spans()
+        assert agg["stage.pointwise"]["count"] == 3
+        assert agg["stage.pointwise"]["total_ms"] >= 0.0
+        assert (agg["stage.pointwise"]["max_ms"]
+                <= agg["stage.pointwise"]["total_ms"])
+
+    def test_format_trace_indents_by_depth(self):
+        with tracing():
+            with span("outer", n=8):
+                with span("inner"):
+                    pass
+        text = format_trace()
+        outer_line = next(ln for ln in text.splitlines() if "outer" in ln)
+        inner_line = next(ln for ln in text.splitlines() if "inner" in ln)
+        assert not outer_line.startswith(" ")
+        assert inner_line.startswith("  ")
+        assert "n=8" in outer_line

@@ -1,6 +1,5 @@
 """Tests for the empirical convolution tuner."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.registry import ConvAlgorithm

@@ -1,0 +1,149 @@
+"""Regression gate: compare_reports semantics and the bench --check wiring."""
+
+import json
+
+import pytest
+
+from repro.observe.regression import (
+    Regression,
+    compare_reports,
+    format_check,
+    load_baseline,
+)
+
+
+def _report(cases):
+    return {"schema_version": 2, "results": cases}
+
+
+def _case(name, cached=1.0, uncached=2.0, fft_calls=10, fft_rows=80):
+    return {
+        "name": name,
+        "cached_ms": cached,
+        "uncached_ms": uncached,
+        "counters": {"fft_calls": fft_calls, "fft_rows": fft_rows},
+    }
+
+
+class TestCompareReports:
+    def test_identical_reports_pass(self):
+        report = _report([_case("a"), _case("b")])
+        assert compare_reports(report, report) == []
+
+    def test_within_tolerance_passes(self):
+        base = _report([_case("a", cached=1.0)])
+        cur = _report([_case("a", cached=1.4)])
+        assert compare_reports(cur, base, tolerance=0.5) == []
+
+    def test_injected_2x_slowdown_fails(self):
+        """The acceptance scenario: doctor the baseline to look 2x faster
+        and the gate must report wall-clock regressions."""
+        base = _report([_case("a", cached=1.0, uncached=2.0)])
+        doctored = json.loads(json.dumps(base))
+        for row in doctored["results"]:
+            row["cached_ms"] /= 2.0
+            row["uncached_ms"] /= 2.0
+        regressions = compare_reports(base, doctored, tolerance=0.5)
+        assert {(r.metric, r.kind) for r in regressions} == {
+            ("cached_ms", "wall"), ("uncached_ms", "wall")}
+        assert all(r.ratio == pytest.approx(2.0) for r in regressions)
+
+    def test_faster_is_never_a_regression(self):
+        base = _report([_case("a", cached=2.0, uncached=4.0)])
+        cur = _report([_case("a", cached=0.5, uncached=1.0)])
+        assert compare_reports(cur, base) == []
+
+    def test_sub_noise_floor_baselines_are_skipped(self):
+        base = _report([_case("a", cached=0.01)])
+        cur = _report([_case("a", cached=0.04)])  # 4x, but ~timer noise
+        regressions = compare_reports(cur, base, min_ms=0.05)
+        assert [r.metric for r in regressions if r.kind == "wall"] == []
+
+    def test_counter_growth_is_tight(self):
+        base = _report([_case("a", fft_calls=10)])
+        cur = _report([_case("a", fft_calls=12)])  # +20% FFT invocations
+        regressions = compare_reports(cur, base, counter_tolerance=0.1)
+        assert [(r.metric, r.kind) for r in regressions] == [
+            ("fft_calls", "counter")]
+
+    def test_counters_absent_on_either_side_are_ignored(self):
+        base = _report([_case("a")])
+        cur = _report([_case("a")])
+        del base["results"][0]["counters"]
+        assert compare_reports(cur, base) == []
+
+    def test_cases_only_in_one_report_are_ignored(self):
+        base = _report([_case("a"), _case("gone")])
+        cur = _report([_case("a"), _case("new")])
+        assert compare_reports(cur, base) == []
+
+    def test_regression_describe_mentions_limit(self):
+        reg = Regression("a", "cached_ms", "wall", 1.0, 2.0, 1.5)
+        text = reg.describe()
+        assert "2.00x" in text and "1.50x" in text and "a" in text
+
+
+class TestFormatAndLoad:
+    def test_format_ok(self):
+        text = format_check([], "base.json", 0.5, 0.1)
+        assert "OK" in text and "base.json" in text
+
+    def test_format_failed_lists_each(self):
+        regs = [Regression("a", "cached_ms", "wall", 1.0, 2.0, 1.5),
+                Regression("b", "fft_calls", "counter", 10, 12, 1.1)]
+        text = format_check(regs, "base.json", 0.5, 0.1)
+        assert "FAILED" in text and "2 regression(s)" in text
+        assert "a: cached_ms" in text and "b: fft_calls" in text
+
+    def test_load_baseline_roundtrip(self, tmp_path):
+        report = _report([_case("a")])
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(report))
+        assert load_baseline(str(path)) == report
+
+
+class TestBenchWiring:
+    """run_check + the --check CLI path on a real (tiny) measurement."""
+
+    @pytest.fixture(scope="class")
+    def measured(self):
+        from repro.bench import SUITE, run_case
+
+        case = next(c for c in SUITE if c.name == "conv16_sum_numpy")
+        result = run_case(case, repeats=2, workers=None)
+        return _report([result])
+
+    def test_results_carry_counters(self, measured):
+        counters = measured["results"][0]["counters"]
+        assert counters["fft_calls"] >= 2  # >=1 rfft + >=1 irfft
+        assert counters["fft_rows"] > 0
+        assert "by_kind" in counters
+
+    def test_run_check_passes_against_self(self, measured, tmp_path,
+                                            capsys):
+        from repro.bench import run_check
+
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(measured))
+        assert run_check(measured, str(path), tolerance=0.5,
+                         counter_tolerance=0.1, repeats=2,
+                         workers=None) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_run_check_fails_on_doctored_baseline(self, measured,
+                                                  tmp_path, capsys):
+        """Counter metrics are deterministic, so halving the baseline's
+        FFT-invocation counts must fail the gate regardless of machine
+        speed — the confirmation re-measure only rescues wall metrics."""
+        from repro.bench import run_check
+
+        doctored = json.loads(json.dumps(measured))
+        for row in doctored["results"]:
+            row["counters"]["fft_calls"] //= 2
+            row["counters"]["fft_rows"] //= 2
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(doctored))
+        assert run_check(measured, str(path), tolerance=0.5,
+                         counter_tolerance=0.1, repeats=2,
+                         workers=None) == 1
+        assert "FAILED" in capsys.readouterr().out

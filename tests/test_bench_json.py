@@ -16,7 +16,10 @@ pytestmark = pytest.mark.slow
 
 def test_smoke_suite_schema(tmp_path):
     report = bench.run_suite(smoke=True, repeats=1, workers=2)
-    assert report["schema"] == 1
+    # v2 added the per-case deterministic FFT counters (see --check gate).
+    assert report["schema"] == bench.SCHEMA_VERSION == 2
+    for row in report["results"]:
+        assert row["counters"]["fft_calls"] >= 2
     assert report["results"], "smoke suite must run at least one case"
     extended_seen = 0
     for row in report["results"]:

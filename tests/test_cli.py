@@ -63,3 +63,42 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Fig. 5" in out
         assert "polyhankel" in out
+
+
+class TestObservabilityCommands:
+    def test_profile_preset(self, capsys):
+        assert main(["profile", "conv16_sum_numpy",
+                     "--repeats", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "profile conv16_sum_numpy" in out
+        assert "input_block_ffts" in out
+        assert "drift" in out
+        assert "fft invocations" in out
+
+    def test_profile_custom_shape_gemm(self, capsys):
+        assert main(["profile", "--algorithm", "gemm", "--size", "12",
+                     "--batch", "1", "--channels", "1", "--filters", "1",
+                     "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "algo=gemm" in out
+        assert "im2col" in out and "gemm" in out
+
+    def test_profile_trace_and_json(self, capsys, tmp_path):
+        path = tmp_path / "profile.json"
+        assert main(["profile", "conv16_sum_numpy", "--repeats", "1",
+                     "--trace", "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "spans (completion order):" in out
+        assert "stage.pointwise" in out
+        assert path.exists()
+
+    def test_profile_unknown_preset(self, capsys):
+        with pytest.raises(ValueError, match="unknown preset"):
+            main(["profile", "definitely_not_a_case"])
+
+    def test_cache_stats(self, capsys):
+        assert main(["cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "conv plans" in out
+        assert "fft plans" in out
+        assert "layer spectra" in out
