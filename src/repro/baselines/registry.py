@@ -141,6 +141,42 @@ def supports(algorithm: ConvAlgorithm | str, shape: ConvShape) -> bool:
     return get_entry(algorithm).supports(shape)
 
 
+#: Default descent for guarded execution: the research method first, its
+#: streaming variant (a different code path over the same math), then the
+#: exact non-FFT routes.  GEMM and naive share no machinery with the FFT
+#: pipeline, so a broken backend or poisoned spectrum cannot follow the
+#: chain all the way down.
+FALLBACK_ORDER = (
+    ConvAlgorithm.POLYHANKEL,
+    ConvAlgorithm.POLYHANKEL_OS,
+    ConvAlgorithm.GEMM,
+    ConvAlgorithm.NAIVE,
+)
+
+
+def fallback_chain(shape: ConvShape,
+                   primary: ConvAlgorithm | str | None = None,
+                   order=None) -> list[ConvAlgorithm]:
+    """Ordered algorithms guarded execution may try for *shape*.
+
+    The requested *primary* comes first, followed by *order*
+    (:data:`FALLBACK_ORDER` by default, enums or string values) minus
+    duplicates, keeping only algorithms whose ``supports`` predicate
+    accepts the shape.  Never empty in practice: naive supports
+    everything.
+    """
+    if order is None:
+        order = FALLBACK_ORDER
+    ordered: list[ConvAlgorithm] = []
+    if primary is not None:
+        ordered.append(get_entry(primary).algorithm)
+    for algo in order:
+        algo = get_entry(algo).algorithm
+        if algo not in ordered:
+            ordered.append(algo)
+    return [algo for algo in ordered if _ENTRIES[algo].supports(shape)]
+
+
 def _basic_space(shape: ConvShape) -> bool:
     """Whether *shape* sits in the classic (int padding/stride, dilation 1,
     one group) space every legacy kernel signature understands."""

@@ -21,7 +21,16 @@ and records, per case:
 Each case additionally records deterministic runtime counter totals (FFT
 invocations and row-transforms of one cached steady-state call, measured
 through :mod:`repro.observe`), so regressions that add work to the hot
-path are caught even when the machine hides them.
+path are caught even when the machine hides them.  Schema 3 adds
+``guard_fallbacks``: the ``guard.fallback`` count of one guard-enabled
+steady-state call, which must stay 0 on a healthy install — a nonzero
+value means the supervised chain had to route around the primary
+algorithm, i.e. the engine is silently degraded.
+
+``--inject`` switches the harness from timing to a recovery drill: every
+suite case runs guard-enabled under each fault kind of
+:mod:`repro.guard.faults` and must still reproduce the naive reference;
+the exit code reports any case the chain failed to recover.
 
 Results are written as ``BENCH_<date>.json`` so successive PRs can diff
 wall-clock numbers against a committed baseline — and ``--check
@@ -43,7 +52,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -320,6 +329,23 @@ def run_case(case: BenchCase, repeats: int = 5,
         "by_kind": {kind: v["calls"] for kind, v in sorted(totals.items())},
     }
 
+    # One guard-enabled steady-state call: on a healthy install the primary
+    # algorithm passes its sentinel and the chain never advances, so the
+    # fallback count must be 0.  The regression gate enforces this with
+    # zero tolerance (a healthy CI box has no excuse for a fallback).
+    from repro.guard.chain import reset_guard
+    from repro.guard.state import guarded
+    from repro.nn import functional as F
+
+    reset_guard()
+    with guarded():
+        F.conv2d(x, w, padding=case.padding, stride=case.stride,
+                 dilation=case.dilation, groups=case.groups,
+                 algorithm="polyhankel", strategy=case.strategy,
+                 backend=case.backend)
+    case_counters["guard_fallbacks"] = int(_counters.total("guard.fallback"))
+    reset_guard()
+
     seed_ms = times.get("seed")
     uncached_ms = times["uncached"]
     cached_ms = times["cached"]
@@ -380,6 +406,102 @@ def run_suite(smoke: bool = False, repeats: int = 5,
             "fft_plan": fft_plan_cache_info()._asdict(),
         },
     }
+
+
+def run_inject_drill(kinds: tuple[str, ...] | None = None,
+                     smoke: bool = False, seed: int = 0) -> dict:
+    """Guard recovery drill: every case forward, under every fault kind.
+
+    Each suite case runs one guard-enabled forward inside a
+    :func:`repro.guard.faults.inject` scope and must still reproduce the
+    naive reference within tolerance.  Returns a report with one row per
+    (case, fault) pair; ``report["failures"]`` counts rows that either
+    exhausted the chain or produced a wrong answer.
+    """
+    from repro.baselines.naive import conv2d_naive
+    from repro.guard import faults
+    from repro.guard.chain import reset_guard
+    from repro.guard.state import guarded
+    from repro.nn import functional as F
+    from repro.observe.registry import counters as _counters
+    from repro.utils.random import random_problem
+    from repro.utils.shapes import ConvShape
+
+    if not kinds:
+        kinds = faults.FAULT_KINDS
+    cases = [c for c in SUITE if not (smoke and c.heavy)]
+    rows = []
+    for case in cases:
+        shape = ConvShape(ih=case.size, iw=case.size, kh=case.kernel,
+                          kw=case.kernel, n=case.batch, c=case.channels,
+                          f=case.filters, padding=case.padding,
+                          stride=case.stride, dilation=case.dilation,
+                          groups=case.groups)
+        x, w = random_problem(shape)
+        ref = conv2d_naive(x, w, padding=case.padding, stride=case.stride,
+                           dilation=case.dilation, groups=case.groups)
+        tol = 1e-8 * max(float(np.max(np.abs(ref))), 1.0)
+        for kind in kinds:
+            reset_guard()
+            error = None
+            err = float("inf")
+            # Injected NaN/Inf legitimately flow through the arithmetic
+            # before the sentinel catches them; silence the noise.
+            with guarded(), faults.inject(kind, seed=seed) as state, \
+                    np.errstate(invalid="ignore", over="ignore"):
+                try:
+                    out = F.conv2d(x, w, padding=case.padding,
+                                   stride=case.stride,
+                                   dilation=case.dilation,
+                                   groups=case.groups,
+                                   algorithm="polyhankel",
+                                   strategy=case.strategy,
+                                   backend=case.backend)
+                    err = float(np.max(np.abs(out - ref)))
+                except Exception as exc:
+                    error = f"{type(exc).__name__}: {exc}"
+            rows.append({
+                "case": case.name,
+                "fault": kind,
+                "recovered": error is None and err <= tol,
+                "max_err": None if error is not None else err,
+                "error": error,
+                "injected": int(state.counts.get(kind, 0)),
+                "fallbacks": int(_counters.total("guard.fallback")),
+                "sentinel_trips": int(_counters.total("guard.sentinel_trip")),
+                "cache_corrupt": int(_counters.total("guard.cache_corrupt")),
+            })
+    reset_guard()
+    return {
+        "schema": SCHEMA_VERSION,
+        "kinds": list(kinds),
+        "seed": seed,
+        "rows": rows,
+        "failures": sum(1 for r in rows if not r["recovered"]),
+    }
+
+
+def format_inject_report(report: dict) -> str:
+    """Human-readable table for one :func:`run_inject_drill` report."""
+    lines = [f"fault-injection drill (kinds={','.join(report['kinds'])}, "
+             f"seed={report['seed']})"]
+    lines.append(f"{'case':<24} {'fault':<20} {'verdict':<10} "
+                 f"{'max err':>10} {'inj':>4} {'fb':>4} {'trip':>5} "
+                 f"{'corrupt':>8}")
+    for r in report["rows"]:
+        verdict = "recovered" if r["recovered"] else "FAILED"
+        err = f"{r['max_err']:10.2e}" if r["max_err"] is not None \
+            else f"{'-':>10}"
+        lines.append(
+            f"{r['case']:<24} {r['fault']:<20} {verdict:<10} {err} "
+            f"{r['injected']:>4} {r['fallbacks']:>4} "
+            f"{r['sentinel_trips']:>5} {r['cache_corrupt']:>8}")
+        if r["error"] is not None:
+            lines.append(f"    {r['error']}")
+    failures = report["failures"]
+    lines.append("drill passed: every forward recovered" if not failures
+                 else f"drill FAILED: {failures} unrecovered forward(s)")
+    return "\n".join(lines)
 
 
 def format_report(report: dict) -> str:
@@ -488,8 +610,21 @@ def main(argv: list[str] | None = None) -> int:
                         default=DEFAULT_COUNTER_TOLERANCE,
                         help="allowed counter-total growth as a fraction "
                              f"(default {DEFAULT_COUNTER_TOLERANCE:g})")
+    parser.add_argument("--inject", nargs="*", metavar="FAULT",
+                        default=None,
+                        help="run the guard recovery drill instead of the "
+                             "timing suite; optional fault kinds to inject "
+                             "(default: all kinds)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fault-injection seed (with --inject)")
     args = parser.parse_args(argv)
     smoke = args.smoke or args.quick
+
+    if args.inject is not None:
+        drill = run_inject_drill(kinds=tuple(args.inject) or None,
+                                 smoke=smoke, seed=args.seed)
+        print(format_inject_report(drill))
+        return 1 if drill["failures"] else 0
 
     report = run_suite(smoke=smoke, repeats=args.repeats,
                        workers=args.workers)

@@ -9,6 +9,10 @@ Commands:
 - ``tune``       — measure algorithms on this machine for a shape;
 - ``bench``      — execution-engine wall-clock suite, written as JSON;
   ``--check BASELINE.json`` turns it into the CI regression gate;
+  ``--inject`` runs the guard recovery drill instead of the timings;
+- ``doctor``     — install health report (FFT parity, cache integrity,
+  fallback-chain reachability, sentinel, guarded recovery); exits
+  nonzero when any check fails;
 - ``profile``    — measured per-stage times joined against the analytic
   cost model, with drift flags (``--trace`` prints raw spans);
 - ``cache-stats``— the consolidated cache hit/miss table (one registry);
@@ -224,12 +228,24 @@ def cmd_bench(args) -> int:
         argv.extend(["--check", args.check,
                      "--tolerance", str(args.tolerance),
                      "--counter-tolerance", str(args.counter_tolerance)])
+    if args.inject is not None:
+        argv.append("--inject")
+        argv.extend(args.inject)
+        argv.extend(["--seed", str(args.seed)])
     argv.extend(["--repeats", str(args.repeats),
                  "--workers", str(args.workers)])
     code = bench.main(argv)
     if getattr(args, "cache_stats", False):
         _print_cache_stats()
     return code
+
+
+def cmd_doctor(args) -> int:
+    from repro.guard.doctor import format_report, run_doctor
+
+    results = run_doctor()
+    print(format_report(results))
+    return 0 if all(r.ok for r in results) else 1
 
 
 def cmd_profile(args) -> int:
@@ -340,7 +356,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default 0.1)")
     bench.add_argument("--cache-stats", action="store_true",
                        help="print cache hit/miss statistics afterwards")
+    bench.add_argument("--inject", nargs="*", metavar="FAULT", default=None,
+                       help="run the guard fault-injection recovery drill "
+                            "instead of the timing suite (default: all "
+                            "fault kinds)")
+    bench.add_argument("--seed", type=int, default=0,
+                       help="fault-injection seed (with --inject)")
     bench.set_defaults(fn=cmd_bench)
+
+    sub.add_parser(
+        "doctor",
+        help="install health report: FFT parity, cache integrity, "
+             "fallback chain, sentinel, guarded recovery"
+    ).set_defaults(fn=cmd_doctor)
 
     profile = sub.add_parser(
         "profile",

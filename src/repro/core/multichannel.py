@@ -43,9 +43,16 @@ from repro.core.construction import (
 )
 from repro.core.planning import FftPolicy, plan_fft_size, resolve_fft_policy
 from repro.fft.plan import CacheInfo
+from repro.guard import faults as _faults
+from repro.guard.checksum import array_checksum, verify_checksum
+from repro.guard.state import guard_enabled
 from repro.hankel.im2col_view import pad2d
 from repro.observe import record_cache_event, span
-from repro.observe.registry import cache_hits_misses, reset_cache_stats
+from repro.observe.registry import (
+    cache_hits_misses,
+    counters,
+    reset_cache_stats,
+)
 from repro.utils.shapes import ConvShape
 from repro.utils.validation import check_conv_inputs, ensure_array
 
@@ -163,7 +170,11 @@ class PolyHankelPlan:
         id(plan))``.  A hit is only served after an exact content check
         against the stored snapshot, so mutating a weight array (in place
         or by rebinding) always yields fresh spectra — the cache can return
-        stale results **never**, only miss.
+        stale results **never**, only miss.  While the guard is enabled,
+        entries additionally carry a content checksum of the *spectrum*
+        itself: a hit whose spectrum no longer matches its insert-time
+        stamp (in-memory rot, a doctored entry) is treated as a miss and
+        recomputed, reported through ``guard.cache_corrupt``.
         """
         if not _spectrum_cache_enabled():
             return self.transform_weight(weight)
@@ -173,6 +184,7 @@ class PolyHankelPlan:
         # path confirm the entry belongs to this exact plan object.
         key = (id(weight), id(self))
         arr = np.asarray(weight)
+        hit = None
         with _spectrum_lock:
             entry = _SPECTRUM_CACHE.get(key)
             if entry is not None and entry[1] is self \
@@ -180,12 +192,24 @@ class PolyHankelPlan:
                     and np.array_equal(arr, entry[0]):
                 record_cache_event("spectrum", hit=True)
                 _SPECTRUM_CACHE.move_to_end(key)
-                return entry[2]
-        record_cache_event("spectrum", hit=False)
+                hit = entry
+        if hit is not None:
+            spectrum, stamp = hit[2], hit[3]
+            if _faults._STACK:
+                _faults.maybe_corrupt_spectrum(spectrum)
+            if not guard_enabled() or verify_checksum(spectrum, stamp):
+                return spectrum
+            counters.add("guard.cache_corrupt", cache="spectrum")
+        else:
+            record_cache_event("spectrum", hit=False)
         spectrum = self.transform_weight(weight)
+        # Stamp unconditionally: inserts are rare (one per weight transform)
+        # and a crc32 is microseconds, so entries born while the guard was
+        # off are still verifiable once it turns on.
+        stamp = array_checksum(spectrum)
         with _spectrum_lock:
             _SPECTRUM_CACHE[key] = (arr.astype(float, copy=True), self,
-                                    spectrum)
+                                    spectrum, stamp)
             _SPECTRUM_CACHE.move_to_end(key)
             while len(_SPECTRUM_CACHE) > _SPECTRUM_LIMIT[0]:
                 _SPECTRUM_CACHE.popitem(last=False)
@@ -219,8 +243,13 @@ class PolyHankelPlan:
         reuse = sequential and self._scratch_lock.acquire(blocking=False)
         try:
             xp = self._pad_input(x, reuse)
+            if _faults._STACK:
+                # Fault-injection hook: poisons a *copy*, so reused scratch
+                # buffers (whose zero border is never rewritten) stay clean.
+                xp = _faults.poison_intermediate(xp)
             if sequential:
-                return self._execute_block(xp, weight_hat, fft, reuse)
+                out = self._execute_block(xp, weight_hat, fft, reuse)
+                return _faults.maybe_blowup(out) if _faults._STACK else out
         finally:
             if reuse:
                 self._scratch_lock.release()
@@ -231,7 +260,8 @@ class PolyHankelPlan:
                         xp[idx[0]: idx[-1] + 1], weight_hat, fft)
             for idx in bounds if len(idx)
         ]
-        return np.concatenate([f.result() for f in futures], axis=0)
+        out = np.concatenate([f.result() for f in futures], axis=0)
+        return _faults.maybe_blowup(out) if _faults._STACK else out
 
     def _pad_input(self, x: np.ndarray, reuse: bool = False) -> np.ndarray:
         """Zero-padded input, from the plan's scratch buffer if *reuse*.
@@ -393,7 +423,8 @@ def clear_plan_cache() -> None:
 
 _spectrum_lock = threading.Lock()
 _SPECTRUM_CACHE: OrderedDict[
-    tuple, tuple[np.ndarray, PolyHankelPlan, np.ndarray]] = OrderedDict()
+    tuple, tuple[np.ndarray, PolyHankelPlan, np.ndarray, int | None]
+] = OrderedDict()
 _SPECTRUM_LIMIT = [64]
 _SPECTRUM_ENABLED = [True]
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fft.backend import (
+    BackendExecutionError,
     FftBackend,
     FftCallLog,
     available_backends,
@@ -41,6 +42,7 @@ from repro.fft.sizes import (
 __all__ = [
     "fft", "ifft", "rfft", "irfft",
     "dft", "idft",
+    "BackendExecutionError",
     "FftBackend", "available_backends", "get_backend", "set_backend",
     "use_backend",
     "FftCallLog", "record_fft_calls",

@@ -16,8 +16,32 @@ from typing import Callable
 import numpy as np
 
 from repro.fft import mixed, real
+from repro.guard import faults as _faults
 from repro.observe import span, tracing_enabled
 from repro.observe.registry import counters
+
+
+class BackendExecutionError(RuntimeError):
+    """A transform failed inside a backend, with dispatch context attached.
+
+    Raised by the propagation layer of :func:`get_backend` in place of
+    whatever the backend threw (the original is chained as ``__cause__``),
+    so callers — the guarded fallback chain above all — see *which*
+    backend, operation and transform size failed instead of a bare
+    library error from five frames down.  ``ValueError`` passes through
+    unwrapped: it means the *call* was wrong (bad size, bad shape), not
+    that the backend broke.
+    """
+
+    def __init__(self, backend: str, op: str, n: int | None,
+                 cause: BaseException):
+        self.backend = backend
+        self.op = op
+        self.n = n
+        super().__init__(
+            f"FFT backend {backend!r} failed in {op}(n={n}): "
+            f"{type(cause).__name__}: {cause}"
+        )
 
 
 @dataclass(frozen=True)
@@ -86,28 +110,39 @@ def get_backend(name: str | FftBackend | None = None) -> FftBackend:
     counted — by kind and size — in the unified registry and recorded as
     a span.  When observation is off the raw backend is returned and the
     hot path pays nothing.
+
+    Every resolution additionally passes through the propagation layer:
+    a backend exception other than ``ValueError`` surfaces as
+    :class:`BackendExecutionError` carrying the failing backend, operation
+    and transform size — the context the guarded fallback chain reports
+    and keys its circuit breaker on.  The wrappers are memoized, so the
+    per-call cost is one truth test and a zero-cost ``try``.
     """
-    if name is None:
-        backend = _active
-    elif isinstance(name, FftBackend):
-        backend = name
-    else:
-        try:
-            backend = _BACKENDS[name]
-        except KeyError:
-            raise ValueError(
-                f"unknown FFT backend {name!r}; "
-                f"available: {available_backends()}"
-            ) from None
+    backend = _resolve(name)
     if tracing_enabled():
-        return _observed(backend)
-    return backend
+        backend = _observed(backend)
+    return _propagated(backend)
+
+
+def _resolve(name: str | FftBackend | None) -> FftBackend:
+    """Resolve *name* to the raw (unwrapped) backend object."""
+    if name is None:
+        return _active
+    if isinstance(name, FftBackend):
+        return name
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown FFT backend {name!r}; "
+            f"available: {available_backends()}"
+        ) from None
 
 
 def set_backend(name: str | FftBackend) -> FftBackend:
     """Set the process-wide active backend; returns it."""
     global _active
-    _active = get_backend(name)
+    _active = _resolve(name)
     return _active
 
 
@@ -116,11 +151,52 @@ def use_backend(name: str | FftBackend):
     """Context manager that temporarily switches the active backend."""
     global _active
     previous = _active
-    _active = get_backend(name)
+    _active = _resolve(name)
     try:
         yield _active
     finally:
         _active = previous
+
+
+# -- guarded error propagation -----------------------------------------------
+
+
+def _propagating(backend_name: str, op: str, fn):
+    def wrapped(x, n=None):
+        try:
+            if _faults._STACK:
+                # Fault-injection hook: an armed ``backend_error`` raises
+                # here, exactly where a real accelerator failure would
+                # surface — and is wrapped like one.
+                _faults.check_backend_fault(backend_name, op, n)
+            return fn(x, n)
+        except ValueError:
+            raise  # the call was malformed, not the backend broken
+        except Exception as exc:
+            raise BackendExecutionError(backend_name, op, n, exc) from exc
+    return wrapped
+
+
+_PROPAGATED: dict[str, tuple] = {}
+
+
+def _propagated(backend: "FftBackend") -> "FftBackend":
+    """Error-propagating view of *backend* (memoized per name)."""
+    if getattr(backend.fft, "__propagated_from__", None) is not None:
+        return backend  # already a propagating view
+    cached = _PROPAGATED.get(backend.name)
+    if cached is not None and cached[0] is backend:
+        return cached[1]
+    wrapped = FftBackend(
+        name=backend.name,
+        fft=_propagating(backend.name, "fft", backend.fft),
+        ifft=_propagating(backend.name, "ifft", backend.ifft),
+        rfft=_propagating(backend.name, "rfft", backend.rfft),
+        irfft=_propagating(backend.name, "irfft", backend.irfft),
+    )
+    wrapped.fft.__propagated_from__ = backend
+    _PROPAGATED[backend.name] = (backend, wrapped)
+    return wrapped
 
 
 # -- instrumentation ---------------------------------------------------------

@@ -38,6 +38,8 @@ def _bluestein(x: np.ndarray, sign: float) -> np.ndarray:
 def fft_bluestein(x: np.ndarray) -> np.ndarray:
     """Forward DFT of arbitrary length along the last axis."""
     x = np.asarray(x, dtype=complex)
+    if x.ndim == 0:
+        raise ValueError("fft requires at least one axis, got a 0-d array")
     if x.shape[-1] == 0:
         raise ValueError("cannot transform an empty axis")
     if x.shape[-1] == 1:
@@ -48,6 +50,8 @@ def fft_bluestein(x: np.ndarray) -> np.ndarray:
 def ifft_bluestein(x: np.ndarray) -> np.ndarray:
     """Inverse DFT of arbitrary length along the last axis."""
     x = np.asarray(x, dtype=complex)
+    if x.ndim == 0:
+        raise ValueError("ifft requires at least one axis, got a 0-d array")
     n = x.shape[-1]
     if n == 0:
         raise ValueError("cannot transform an empty axis")

@@ -61,6 +61,8 @@ def _fft_mixed(x: np.ndarray, sign: float,
 def fft(x: np.ndarray) -> np.ndarray:
     """Forward DFT along the last axis; any positive length."""
     x = np.asarray(x, dtype=complex)
+    if x.ndim == 0:
+        raise ValueError("fft requires at least one axis, got a 0-d array")
     n = x.shape[-1]
     if n == 0:
         raise ValueError("cannot transform an empty axis")
@@ -70,6 +72,8 @@ def fft(x: np.ndarray) -> np.ndarray:
 def ifft(x: np.ndarray) -> np.ndarray:
     """Inverse DFT along the last axis; any positive length."""
     x = np.asarray(x, dtype=complex)
+    if x.ndim == 0:
+        raise ValueError("ifft requires at least one axis, got a 0-d array")
     n = x.shape[-1]
     if n == 0:
         raise ValueError("cannot transform an empty axis")

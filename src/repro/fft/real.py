@@ -25,6 +25,8 @@ def rfft(x: np.ndarray, n: int | None = None) -> np.ndarray:
     *n* zero-pads or truncates the axis, matching ``numpy.fft.rfft``.
     """
     x = np.asarray(x, dtype=float)
+    if x.ndim == 0:
+        raise ValueError("rfft requires at least one axis, got a 0-d array")
     if n is None:
         n = x.shape[-1]
     if n < 1:
@@ -65,6 +67,8 @@ def irfft(x: np.ndarray, n: int | None = None) -> np.ndarray:
     As with ``numpy.fft.irfft``, *n* defaults to ``2 * (bins - 1)``.
     """
     x = np.asarray(x, dtype=complex)
+    if x.ndim == 0:
+        raise ValueError("irfft requires at least one axis, got a 0-d array")
     bins = x.shape[-1]
     if bins < 1:
         raise ValueError("spectrum must have at least one bin")
@@ -73,7 +77,7 @@ def irfft(x: np.ndarray, n: int | None = None) -> np.ndarray:
     if n < 1:
         raise ValueError("output length must be >= 1")
     if n == 1:
-        return x[..., 0].real[..., None] if x.ndim else x.real
+        return x[..., 0].real[..., None]
     expected_bins = n // 2 + 1
     if bins < expected_bins:
         pad = [(0, 0)] * (x.ndim - 1) + [(0, expected_bins - bins)]

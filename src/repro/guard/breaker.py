@@ -1,0 +1,84 @@
+"""Per-(algorithm, shape, dtype) circuit breaker with TTL.
+
+A path that fails once may have been unlucky (a transient backend error);
+a path that fails on every call of one shape is chronically broken for
+that shape — re-attempting it on every request just adds its failure
+latency in front of the fallback that actually serves the answer.  The
+breaker remembers consecutive failures per key and, past a threshold,
+*opens*: the chain routes around the path without trying it until the TTL
+expires, after which one retry is allowed (half-open semantics fall out of
+the consecutive-failure counter being retained while open).
+
+The clock is injectable so tests can drive TTL expiry deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+BreakerKey = tuple
+
+
+class CircuitBreaker:
+    """Thread-safe consecutive-failure memory keyed by hashable tuples."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures: dict[BreakerKey, int] = {}
+        self._open_until: dict[BreakerKey, float] = {}
+
+    def is_open(self, key: BreakerKey) -> bool:
+        """Whether *key* is currently routed around (expired opens clear)."""
+        with self._lock:
+            deadline = self._open_until.get(key)
+            if deadline is None:
+                return False
+            if self._clock() >= deadline:
+                # TTL expired: allow one retry.  The failure count is kept,
+                # so another failure re-opens immediately (half-open).
+                del self._open_until[key]
+                return False
+            return True
+
+    def record_failure(self, key: BreakerKey, threshold: int,
+                       ttl_s: float) -> bool:
+        """Count one failure; returns True when this opens the breaker."""
+        with self._lock:
+            count = self._failures.get(key, 0) + 1
+            self._failures[key] = count
+            already_open = key in self._open_until
+            if count >= threshold and not already_open:
+                self._open_until[key] = self._clock() + ttl_s
+                return True
+            if already_open:
+                # Re-failure during half-open retry: extend the window.
+                self._open_until[key] = self._clock() + ttl_s
+        return False
+
+    def record_success(self, key: BreakerKey) -> None:
+        """A healthy result fully resets the key."""
+        with self._lock:
+            self._failures.pop(key, None)
+            self._open_until.pop(key, None)
+
+    def open_keys(self) -> list[BreakerKey]:
+        """Keys currently open (pruning expired entries)."""
+        now = self._clock()
+        with self._lock:
+            expired = [k for k, t in self._open_until.items() if now >= t]
+            for k in expired:
+                del self._open_until[k]
+            return sorted(self._open_until)
+
+    def failure_count(self, key: BreakerKey) -> int:
+        with self._lock:
+            return self._failures.get(key, 0)
+
+    def reset(self) -> None:
+        """Forget everything (tests, process-level recovery)."""
+        with self._lock:
+            self._failures.clear()
+            self._open_until.clear()

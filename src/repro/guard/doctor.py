@@ -1,0 +1,206 @@
+"""``repro doctor``: self-diagnosis of the guarded execution machinery.
+
+A guard that itself rotted is worse than no guard — it converts silent
+wrong answers into confidently-served wrong answers.  The doctor runs the
+protection machinery against ground truth on a representative problem and
+reports a health table; any failed check makes the CLI exit nonzero, so a
+broken install cannot masquerade as a healthy one in CI or a deploy gate.
+
+Checks:
+
+- **fft-parity** — measures the FFT ulp-growth constant against the exact
+  O(n^2) DFT reference and verifies the shipped sentinel constant keeps
+  real headroom above it (a too-tight constant would flag healthy
+  forwards; a measured blowup means the FFT stack itself is broken).
+- **cache-integrity** — round-trips a weight spectrum through the plan
+  cache, verifies its content checksum, and confirms a deliberate
+  mutation *is* caught (the detector must detect).
+- **chain-reachability** — walks the fallback chain for a representative
+  shape and checks every entry independently reproduces the naive
+  reference, and that the chain terminates in ``naive``.
+- **sentinel-classify** — the sentinel calls a healthy forward healthy, a
+  magnitude blowup suspect, and a NaN output failed.
+- **guarded-recovery** — injects a NaN fault into the PolyHankel pipeline
+  and verifies the guarded forward still returns the reference answer,
+  with the recovery visible in the ``guard.fallback`` counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one doctor check."""
+
+    name: str
+    ok: bool
+    detail: str
+
+
+def _reference_problem(seed: int = 0):
+    """A representative multi-channel conv problem plus its naive answer."""
+    from repro.baselines.registry import ConvAlgorithm, convolve
+
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((2, 3, 12, 12))
+    w = rng.standard_normal((4, 3, 3, 3))
+    ref = convolve(x, w, algorithm=ConvAlgorithm.NAIVE, padding=1)
+    return x, w, ref
+
+
+def check_fft_parity() -> CheckResult:
+    from repro.guard.sentinel import calibrate_ulp_constant
+    from repro.guard.state import current_config
+
+    configured = current_config().ulp_constant
+    measured = calibrate_ulp_constant()
+    ok = 0.0 < measured <= configured / 2.0
+    return CheckResult(
+        "fft-parity", ok,
+        f"measured ulp constant {measured:.2f} vs configured {configured:.2f}"
+        + ("" if ok else " — need measured <= configured/2"),
+    )
+
+
+def check_cache_integrity() -> CheckResult:
+    from repro.core.multichannel import get_plan
+    from repro.guard.checksum import array_checksum, verify_checksum
+    from repro.utils.shapes import ConvShape
+
+    rng = np.random.default_rng(1)
+    w = rng.standard_normal((2, 3, 3, 3))
+    shape = ConvShape.from_tensors((1, 3, 8, 8), w.shape, 0, 1, 1, 1)
+    plan = get_plan(shape)
+    spectrum = plan.weight_spectrum(w)
+    again = plan.weight_spectrum(w)
+    stamp = array_checksum(spectrum)
+    intact = verify_checksum(again, stamp)
+    doctored = np.array(spectrum, copy=True)
+    doctored.flat[0] += 1.0
+    caught = not verify_checksum(doctored, stamp)
+    ok = intact and caught
+    return CheckResult(
+        "cache-integrity", ok,
+        "spectrum checksum stable across cache hits; mutation detected"
+        if ok else f"intact={intact} mutation_caught={caught}",
+    )
+
+
+def check_chain_reachability() -> CheckResult:
+    from repro.baselines.registry import ConvAlgorithm, convolve, fallback_chain
+    from repro.utils.shapes import ConvShape
+
+    x, w, ref = _reference_problem()
+    shape = ConvShape.from_tensors(x.shape, w.shape, 1, 1, 1, 1)
+    chain = fallback_chain(shape)
+    if not chain or chain[-1] is not ConvAlgorithm.NAIVE:
+        return CheckResult(
+            "chain-reachability", False,
+            f"chain {[a.value for a in chain]} does not terminate in naive",
+        )
+    tol = 1e-8 * max(float(np.max(np.abs(ref))), 1.0)
+    bad = []
+    for algo in chain:
+        try:
+            out = convolve(x, w, algorithm=algo, padding=1)
+        except Exception as exc:
+            bad.append(f"{algo.value}: {type(exc).__name__}: {exc}")
+            continue
+        err = float(np.max(np.abs(out - ref)))
+        if err > tol:
+            bad.append(f"{algo.value}: max err {err:.3e} > {tol:.3e}")
+    ok = not bad
+    return CheckResult(
+        "chain-reachability", ok,
+        f"all {len(chain)} chain entries match the naive reference"
+        if ok else "; ".join(bad),
+    )
+
+
+def check_sentinel_classify() -> CheckResult:
+    from repro.guard import sentinel
+
+    x, w, ref = _reference_problem()
+    plen = ref.shape[-1] * ref.shape[-2] * 4  # generous product length
+    healthy = sentinel.classify(ref, x, w, plen)
+    suspect = sentinel.classify(ref * 1e12, x, w, plen)
+    nan_out = np.array(ref, copy=True)
+    nan_out.flat[0] = np.nan
+    failed = sentinel.classify(nan_out, x, w, plen)
+    ok = (healthy.status == sentinel.HEALTHY
+          and suspect.status == sentinel.SUSPECT
+          and failed.status == sentinel.FAILED)
+    return CheckResult(
+        "sentinel-classify", ok,
+        "healthy/suspect/failed verdicts all correct" if ok else
+        f"got {healthy.status}/{suspect.status}/{failed.status}, "
+        "want healthy/suspect/failed",
+    )
+
+
+def check_guarded_recovery() -> CheckResult:
+    from repro.guard import faults
+    from repro.guard.chain import guarded_conv2d, reset_guard
+    from repro.guard.state import guarded
+    from repro.observe.registry import counters
+
+    x, w, ref = _reference_problem()
+    reset_guard()
+    try:
+        with guarded(), faults.inject("nan_input", seed=7):
+            out = guarded_conv2d(x, w, padding=1)
+        fallbacks = int(counters.total("guard.fallback"))
+        err = float(np.max(np.abs(out - ref)))
+        tol = 1e-8 * max(float(np.max(np.abs(ref))), 1.0)
+        ok = err <= tol and fallbacks > 0
+        return CheckResult(
+            "guarded-recovery", ok,
+            f"recovered reference answer via {fallbacks} fallback(s), "
+            f"max err {err:.3e}" if ok else
+            f"max err {err:.3e} (tol {tol:.3e}), fallbacks={fallbacks}",
+        )
+    except Exception as exc:
+        return CheckResult("guarded-recovery", False,
+                           f"{type(exc).__name__}: {exc}")
+    finally:
+        reset_guard()
+
+
+CHECKS = (
+    check_fft_parity,
+    check_cache_integrity,
+    check_chain_reachability,
+    check_sentinel_classify,
+    check_guarded_recovery,
+)
+
+
+def run_doctor() -> list[CheckResult]:
+    """Run every check; never raises — failures become failed results."""
+    results = []
+    for check in CHECKS:
+        try:
+            results.append(check())
+        except Exception as exc:
+            name = check.__name__.removeprefix("check_").replace("_", "-")
+            results.append(CheckResult(name, False,
+                                       f"{type(exc).__name__}: {exc}"))
+    return results
+
+
+def format_report(results: list[CheckResult]) -> str:
+    """Render the health table the CLI prints."""
+    lines = []
+    for r in results:
+        mark = "ok" if r.ok else "FAIL"
+        lines.append(f"[{mark:>4}] {r.name:<20} {r.detail}")
+    failed = sum(1 for r in results if not r.ok)
+    lines.append(
+        f"{len(results) - failed}/{len(results)} checks passed"
+        + ("" if not failed else f" — {failed} FAILED")
+    )
+    return "\n".join(lines)

@@ -1,0 +1,176 @@
+"""Deterministic, seedable fault injection for the guard machinery.
+
+The fallback chain, sentinels and cache checksums only earn trust if they
+can be *watched* recovering.  This module plants faults at the real hook
+points of the engine — not mocks — so the recovery path exercised in tests
+and ``repro bench --inject`` is the one production traffic would take:
+
+- ``nan_input`` / ``inf_input`` — poison the padded-input intermediate of
+  :meth:`repro.core.multichannel.PolyHankelPlan.execute`, simulating an
+  upstream buffer gone bad.  Only the PolyHankel pipeline sees the poison,
+  so the chain's non-FFT fallbacks can still recover the clean answer.
+- ``accuracy_blowup`` — scale the PolyHankel output by a large factor,
+  simulating catastrophic round-off; trips the magnitude sentinel.
+- ``spectrum_corruption`` — doctor cached weight-spectrum entries in
+  place on their next cache hit, simulating in-memory rot; detected by the
+  content checksums of :mod:`repro.guard.checksum`.
+- ``backend_error`` — raise from inside the FFT backend dispatch,
+  simulating a failing accelerator library; surfaces as
+  :class:`repro.fft.backend.BackendExecutionError`.
+
+Injection is scoped by a context manager (:func:`inject`) and driven by a
+seeded generator, so every run is reproducible.  The hook sites guard
+themselves behind ``if faults._STACK:`` — one truth test when idle.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+FAULT_KINDS = (
+    "nan_input",
+    "inf_input",
+    "spectrum_corruption",
+    "backend_error",
+    "accuracy_blowup",
+)
+
+#: Scale factor applied by the ``accuracy_blowup`` injector — far beyond
+#: any slack the magnitude sentinel allows.
+BLOWUP_FACTOR = 1e12
+
+
+class InjectedFaultError(RuntimeError):
+    """Raised by the ``backend_error`` injector inside FFT dispatch."""
+
+
+@dataclass
+class FaultState:
+    """One active injection scope: which faults, how often, how seeded."""
+
+    kinds: frozenset[str]
+    seed: int = 0
+    rate: float = 1.0
+    rng: np.random.Generator = field(init=False)
+    #: Injections actually performed, by kind (for reports and tests).
+    counts: dict[str, int] = field(default_factory=dict)
+    _doctored: set[int] = field(default_factory=set)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def __post_init__(self) -> None:
+        unknown = self.kinds - set(FAULT_KINDS)
+        if unknown:
+            raise ValueError(
+                f"unknown fault kind(s) {sorted(unknown)}; "
+                f"known: {list(FAULT_KINDS)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        self.rng = np.random.default_rng(self.seed)
+
+    def _fires(self, kind: str) -> bool:
+        """Whether *kind* is armed and this opportunity draws an injection."""
+        if kind not in self.kinds:
+            return False
+        with self._lock:
+            if self.rate < 1.0 and self.rng.random() >= self.rate:
+                return False
+            self.counts[kind] = self.counts.get(kind, 0) + 1
+        return True
+
+
+#: Active injection scopes, innermost last.  Hook sites check truthiness
+#: before calling anything in this module.
+_STACK: list[FaultState] = []
+_stack_lock = threading.Lock()
+
+
+def faults_active() -> bool:
+    """Whether any injection scope is currently open."""
+    return bool(_STACK)
+
+
+def _top() -> FaultState | None:
+    return _STACK[-1] if _STACK else None
+
+
+@contextmanager
+def inject(*kinds: str, seed: int = 0, rate: float = 1.0):
+    """Open an injection scope arming *kinds*; yields its :class:`FaultState`.
+
+    Deterministic: the same seed and the same call sequence inject at the
+    same sites.  Scopes nest; the innermost wins.
+    """
+    state = FaultState(kinds=frozenset(kinds), seed=seed, rate=rate)
+    with _stack_lock:
+        _STACK.append(state)
+    try:
+        yield state
+    finally:
+        with _stack_lock:
+            _STACK.remove(state)
+
+
+# -- hook points (call only when faults_active()) ----------------------------
+
+
+def poison_intermediate(xp: np.ndarray) -> np.ndarray:
+    """NaN/Inf-poison a pipeline intermediate (returns a doctored copy).
+
+    The copy matters: the caller may hand us a reused scratch buffer whose
+    zero border is never rewritten, and a persistent NaN there would leak
+    into every later call — the injector simulates one corrupted request,
+    not a broken process.
+    """
+    state = _top()
+    if state is None or xp.size == 0:
+        return xp
+    value = None
+    if state._fires("nan_input"):
+        value = np.nan
+    elif state._fires("inf_input"):
+        value = np.inf
+    if value is None:
+        return xp
+    xp = np.array(xp, dtype=float, copy=True)
+    with state._lock:
+        pos = int(state.rng.integers(xp.size))
+    xp.flat[pos] = value
+    return xp
+
+
+def maybe_blowup(out: np.ndarray) -> np.ndarray:
+    """Scale a pipeline output to simulate an accuracy blowup."""
+    state = _top()
+    if state is None or not state._fires("accuracy_blowup"):
+        return out
+    return out * BLOWUP_FACTOR
+
+
+def maybe_corrupt_spectrum(spectrum: np.ndarray) -> None:
+    """Doctor a cached spectrum entry in place (once per entry per scope)."""
+    state = _top()
+    if state is None or spectrum.size == 0:
+        return
+    with state._lock:
+        if id(spectrum) in state._doctored:
+            return
+    if not state._fires("spectrum_corruption"):
+        return
+    with state._lock:
+        state._doctored.add(id(spectrum))
+        pos = int(state.rng.integers(spectrum.size))
+    spectrum.flat[pos] = np.nan
+
+
+def check_backend_fault(backend: str, op: str, n: int | None) -> None:
+    """Raise :class:`InjectedFaultError` when a backend fault is armed."""
+    state = _top()
+    if state is not None and state._fires("backend_error"):
+        raise InjectedFaultError(
+            f"injected backend fault in {backend}.{op}(n={n})"
+        )

@@ -1,0 +1,151 @@
+"""Numerical sentinels: cheap a-priori error bounds, a-posteriori checks.
+
+The PolyHankel path trades direct convolution's exactness for FFT round-off
+that grows with transform size and the input/kernel dynamic range.  The
+sentinel classifies every forward result without a reference computation:
+
+**A-priori model.**  Each output element is a dot product of at most
+``C/g * Kh * Kw`` terms, so exact arithmetic obeys the hard bound
+``|y| <= B`` with ``B = max|x| * max_f ||w_f||_1``.  The FFT pipeline's
+absolute error follows the classic ulp-growth law
+``E ~ ulp_constant * eps * log2(nfft) * B`` — the constant is calibrated
+against the exact O(n^2) DFT reference
+(:func:`calibrate_ulp_constant`), and the shipped default in
+:class:`repro.guard.state.GuardConfig` sits several times above the worst
+measured ratio.
+
+**A-posteriori checks.**  A finished output is classified:
+
+- ``failed``  — contains NaN/Inf the (finite) inputs cannot explain;
+- ``suspect`` — finite, but its peak magnitude exceeds
+  ``B * (1 + slack) + E``, which exact arithmetic forbids: the numerics
+  blew up even though nothing overflowed;
+- ``healthy`` — within bounds.
+
+Non-finite *inputs* are passed through as ``degraded``: garbage-in is not
+an engine fault, and re-running the chain on the same poisoned input could
+never recover, so the guard does not try.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.guard.state import GuardConfig, current_config
+
+HEALTHY = "healthy"
+SUSPECT = "suspect"
+FAILED = "failed"
+DEGRADED = "degraded"
+
+_EPS = float(np.finfo(np.float64).eps)
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Sentinel classification of one forward result."""
+
+    status: str
+    reason: str | None = None
+    #: Hard magnitude bound B of exact arithmetic (None when skipped).
+    bound: float | None = None
+    #: Predicted absolute FFT error E of the a-priori model.
+    predicted_error: float | None = None
+    #: Observed peak |output|.
+    observed_peak: float | None = None
+
+    @property
+    def healthy(self) -> bool:
+        return self.status == HEALTHY
+
+    @property
+    def ok(self) -> bool:
+        """Whether the result should be served (healthy or degraded)."""
+        return self.status in (HEALTHY, DEGRADED)
+
+
+def output_magnitude_bound(x: np.ndarray, weight: np.ndarray) -> float:
+    """Hard bound ``B = max|x| * max_f ||w_f||_1`` on any output element."""
+    if x.size == 0 or weight.size == 0:
+        return 0.0
+    x_peak = float(np.max(np.abs(x)))
+    w_l1 = float(np.max(np.sum(np.abs(weight), axis=(1, 2, 3))))
+    return x_peak * w_l1
+
+
+def predicted_error_bound(product_len: int, bound: float,
+                          ulp_constant: float | None = None) -> float:
+    """A-priori absolute error ``E = c * eps * log2(nfft) * max(B, 1)``.
+
+    *product_len* is the linear-convolution length the FFT evaluates
+    (``ConvShape.poly_product_len`` for PolyHankel); the ``max(B, 1)``
+    floor keeps the threshold meaningful for all-zero inputs, where tiny
+    nonzero round-off is still healthy.
+    """
+    if ulp_constant is None:
+        ulp_constant = current_config().ulp_constant
+    log_n = math.log2(max(product_len, 2))
+    return ulp_constant * _EPS * log_n * max(bound, 1.0)
+
+
+def classify(out: np.ndarray, x: np.ndarray, weight: np.ndarray,
+             product_len: int | None = None,
+             config: GuardConfig | None = None) -> Verdict:
+    """Classify a forward result as healthy / suspect / failed / degraded."""
+    config = config or current_config()
+    out = np.asarray(out)
+    x = np.asarray(x, dtype=float)
+    weight = np.asarray(weight, dtype=float)
+    if not (np.isfinite(x).all() and np.isfinite(weight).all()):
+        return Verdict(DEGRADED, "non-finite input: passing result through")
+    if not np.isfinite(out).all():
+        return Verdict(FAILED, "non-finite output from finite inputs")
+    bound = output_magnitude_bound(x, weight)
+    if product_len is None:
+        product_len = max(int(np.asarray(out).shape[-1]) if out.ndim else 1,
+                          x.shape[-1] if x.ndim else 1)
+    error = predicted_error_bound(product_len, bound, config.ulp_constant)
+    peak = float(np.max(np.abs(out))) if out.size else 0.0
+    threshold = bound * (1.0 + config.magnitude_slack) + error
+    if peak > threshold:
+        return Verdict(
+            SUSPECT,
+            f"peak |out| = {peak:.3e} exceeds exact-arithmetic bound "
+            f"{bound:.3e} (+ predicted error {error:.3e})",
+            bound=bound, predicted_error=error, observed_peak=peak,
+        )
+    return Verdict(HEALTHY, bound=bound, predicted_error=error,
+                   observed_peak=peak)
+
+
+def calibrate_ulp_constant(sizes: tuple[int, ...] = (8, 16, 64, 128, 256),
+                           trials: int = 4, seed: int = 0,
+                           backend: str = "builtin") -> float:
+    """Measure the FFT ulp-growth constant against the exact DFT reference.
+
+    For each size, transforms random vectors through the named backend's
+    ``rfft`` and compares against the O(n^2) DFT ground truth
+    (:mod:`repro.fft.dft`); returns the worst observed
+    ``err / (eps * log2(n) * ||a||_1)`` ratio.  The shipped
+    ``GuardConfig.ulp_constant`` default must sit comfortably above this —
+    ``repro doctor`` re-checks that on every run.
+    """
+    from repro.fft import get_backend
+    from repro.fft.dft import dft
+
+    fft = get_backend(backend)
+    rng = np.random.default_rng(seed)
+    worst = 0.0
+    for n in sizes:
+        for _ in range(trials):
+            a = rng.standard_normal(n)
+            got = fft.rfft(a, n)
+            want = dft(a)[: n // 2 + 1]
+            err = float(np.max(np.abs(got - want)))
+            scale = _EPS * math.log2(max(n, 2)) * float(np.sum(np.abs(a)))
+            if scale > 0:
+                worst = max(worst, err / scale)
+    return worst

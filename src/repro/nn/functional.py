@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.registry import ConvAlgorithm, convolve
+from repro.guard.state import guard_enabled
 from repro.utils.validation import ensure_array
 
 
@@ -35,6 +36,12 @@ def conv2d(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None,
 
     ``workers=N`` chunks the batch across a thread pool (currently
     supported by the PolyHankel engine; other algorithms reject it).
+
+    While the guard is enabled (:func:`repro.guard.enable_guard` or the
+    :func:`repro.guard.guarded` scope), the call routes through the
+    supervised fallback chain: the requested algorithm still runs first,
+    but a tripped sentinel or a raised backend error degrades to a slower
+    exact algorithm instead of propagating garbage.
     """
     if workers is not None:
         kwargs["workers"] = workers
@@ -47,6 +54,12 @@ def conv2d(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None,
         algorithm = select_algorithm_rules(ConvShape.from_tensors(
             x.shape, weight.shape, padding, stride, dilation, groups
         ))
+    if guard_enabled():
+        from repro.guard.chain import guarded_conv2d
+
+        return guarded_conv2d(x, weight, bias=bias, padding=padding,
+                              stride=stride, dilation=dilation,
+                              groups=groups, algorithm=algorithm, **kwargs)
     out = convolve(x, weight, algorithm=algorithm, padding=padding,
                    stride=stride, dilation=dilation, groups=groups, **kwargs)
     if bias is not None:

@@ -10,8 +10,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.registry import ConvAlgorithm
+from repro.guard import faults as _faults
+from repro.guard.checksum import array_checksum, verify_checksum
+from repro.guard.state import guard_enabled
 from repro.nn import functional as F
 from repro.observe import record_cache_event, span
+from repro.observe.registry import counters
 from repro.perfmodel.counters import count
 from repro.perfmodel.device import GpuDevice
 from repro.perfmodel.timing import simulate
@@ -141,7 +145,13 @@ class Conv2d(Layer):
         """Plan-cached PolyHankel forward: the weight is transformed once
         per plan and reused until the weight changes.  The plan key embeds
         stride/dilation/groups/padding, so the same weight convolved under
-        different parameters never aliases a cached spectrum."""
+        different parameters never aliases a cached spectrum.
+
+        While the guard is enabled, cached spectra are checksum-verified on
+        every hit (a corrupted entry is recomputed, never served) and the
+        result is sentinel-classified before the bias is applied; a tripped
+        sentinel or a raised engine error re-executes the forward through
+        the supervised fallback chain."""
         from repro.core.multichannel import get_plan
         from repro.utils.validation import check_conv_inputs
 
@@ -151,20 +161,51 @@ class Conv2d(Layer):
         plan = get_plan(self.conv_shape(x.shape))
         key = plan.cache_key
         entry = self._spectrum_cache.get(key)
-        if entry is not None and np.array_equal(entry[0], self._weight):
+        hit = entry is not None and np.array_equal(entry[0], self._weight)
+        if hit:
+            w_hat = entry[1]
+            if _faults._STACK:
+                _faults.maybe_corrupt_spectrum(w_hat)
+            if guard_enabled() and not verify_checksum(w_hat, entry[2]):
+                counters.add("guard.cache_corrupt", cache="layer_spectrum")
+                hit = False
+        if hit:
             self._cache_hits += 1
             record_cache_event("layer_spectrum", hit=True)
-            w_hat = entry[1]
         else:
             self._cache_misses += 1
             record_cache_event("layer_spectrum", hit=False)
             w_hat = plan.transform_weight(self._weight)
+            stamp = array_checksum(w_hat)
             self._spectrum_cache[key] = (
-                np.array(self._weight, dtype=float, copy=True), w_hat)
-        out = plan.execute(x, w_hat, workers=self.workers)
+                np.array(self._weight, dtype=float, copy=True), w_hat, stamp)
+        try:
+            out = plan.execute(x, w_hat, workers=self.workers)
+        except Exception:
+            if not guard_enabled():
+                raise
+            return self._forward_guarded(x)
+        if guard_enabled():
+            from repro.guard.sentinel import classify
+
+            verdict = classify(out, x, self._weight,
+                               plan.shape.poly_product_len)
+            if not verdict.ok:
+                counters.add("guard.sentinel_trip", algorithm="polyhankel",
+                             status=verdict.status, site="layer")
+                return self._forward_guarded(x)
         if self.bias is not None:
             out = out + self.bias[None, :, None, None]
         return out
+
+    def _forward_guarded(self, x: np.ndarray) -> np.ndarray:
+        """Re-execute this forward through the supervised fallback chain."""
+        from repro.guard.chain import guarded_conv2d
+
+        return guarded_conv2d(x, self._weight, bias=self.bias,
+                              padding=self.padding, stride=self.stride,
+                              dilation=self.dilation, groups=self.groups,
+                              algorithm=self.algorithm)
 
     def output_shape(self, input_shape: tuple) -> tuple:
         return self.conv_shape(input_shape).output_shape()

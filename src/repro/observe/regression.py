@@ -14,6 +14,10 @@ baseline JSON and decides pass/fail:
   adds FFT invocations to the steady-state path fails the gate even when
   the machine is fast enough to hide it — exactly the regression the
   2-3x warm-call speedups of PR 1 are made of.
+- **Guard counters** (``guard_fallbacks``): zero tolerance.  A healthy
+  install never falls back, so the baseline records 0 and *any* fallback
+  on a clean run means the primary engine silently broke — a correctness
+  regression, not a performance one.
 
 Baselines are ordinary ``repro bench`` JSON reports; cases are matched by
 name, and cases present on only one side are ignored (suites may grow).
@@ -26,6 +30,7 @@ from dataclasses import dataclass
 
 WALL_METRICS = ("cached_ms", "uncached_ms")
 COUNTER_METRICS = ("fft_calls", "fft_rows")
+GUARD_METRICS = ("guard_fallbacks",)
 
 DEFAULT_TOLERANCE = 0.5
 DEFAULT_COUNTER_TOLERANCE = 0.1
@@ -49,6 +54,9 @@ class Regression:
 
     def describe(self) -> str:
         unit = " ms" if self.kind == "wall" else ""
+        if not self.baseline:
+            return (f"{self.case}: {self.metric} {self.baseline:g}{unit} -> "
+                    f"{self.current:g}{unit} (must not grow)")
         return (f"{self.case}: {self.metric} {self.baseline:g}{unit} -> "
                 f"{self.current:g}{unit} ({self.ratio:.2f}x, "
                 f"limit {self.limit:.2f}x)")
@@ -83,6 +91,15 @@ def compare_reports(current: dict, baseline: dict,
             if c / b > limit:
                 regressions.append(Regression(
                     cur["name"], metric, "counter", b, c, limit))
+        for metric in GUARD_METRICS:
+            # Zero tolerance, and a baseline of 0 is the expected healthy
+            # value — unlike the loop above, b == 0 must not be skipped.
+            b, c = base_counters.get(metric), cur_counters.get(metric)
+            if b is None or c is None:
+                continue
+            if c > b:
+                regressions.append(Regression(
+                    cur["name"], metric, "counter", b, c, 1.0))
     return regressions
 
 

@@ -24,7 +24,23 @@ always hash to the same plan-cache key regardless of how they were spelled.
 
 from __future__ import annotations
 
+import numbers
 from dataclasses import dataclass, replace
+
+
+def ensure_int(value, name: str) -> int:
+    """Coerce *value* to a plain int, rejecting non-integral values.
+
+    ``int(1.9)`` silently truncates — a stride of 1.9 would run as stride 1
+    and return an answer for a different problem.  Integral values of any
+    type (numpy ints included) pass; everything else raises ``ValueError``.
+    """
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    raise ValueError(
+        f"{name} must be an integer, got {value!r} of type "
+        f"{type(value).__name__}"
+    )
 
 
 def normalize_pair(value: int | tuple, name: str) -> tuple[int, int]:
@@ -34,8 +50,9 @@ def normalize_pair(value: int | tuple, name: str) -> tuple[int, int]:
             raise ValueError(
                 f"{name} must be an int or an (h, w) pair, got {value!r}"
             )
-        return int(value[0]), int(value[1])
-    return int(value), int(value)
+        return ensure_int(value[0], name), ensure_int(value[1], name)
+    v = ensure_int(value, name)
+    return v, v
 
 
 def same_padding_1d(input_size: int, kernel_size: int, stride: int = 1,
@@ -72,7 +89,7 @@ def normalize_padding(padding, ih: int, iw: int, kh: int, kw: int,
         pl, pr = same_padding_1d(iw, kw, sw, dw)
         return pt, pb, pl, pr
     if isinstance(padding, (tuple, list)):
-        vals = tuple(int(p) for p in padding)
+        vals = tuple(ensure_int(p, "padding") for p in padding)
         if len(vals) == 2:
             return vals[0], vals[0], vals[1], vals[1]
         if len(vals) == 4:
@@ -81,7 +98,7 @@ def normalize_padding(padding, ih: int, iw: int, kh: int, kw: int,
             "padding must be an int, (ph, pw), (pt, pb, pl, pr) or 'same'; "
             f"got {padding!r}"
         )
-    p = int(padding)
+    p = ensure_int(padding, "padding")
     return p, p, p, p
 
 
@@ -176,6 +193,7 @@ class ConvShape:
         object.__setattr__(self, "stride", _canonical_pair((sh, sw)))
         object.__setattr__(self, "dilation", _canonical_pair((dh, dw)))
         object.__setattr__(self, "padding", _canonical_padding(tblr))
+        object.__setattr__(self, "groups", ensure_int(self.groups, "groups"))
         if self.groups < 1:
             raise ValueError(f"groups must be positive, got {self.groups}")
         if self.c % self.groups or self.f % self.groups:
@@ -350,6 +368,7 @@ class ConvShape:
             )
         n, c, ih, iw = x_shape
         f, wc, kh, kw = w_shape
+        groups = ensure_int(groups, "groups")
         if groups < 1:
             raise ValueError(f"groups must be positive, got {groups}")
         if c % groups:

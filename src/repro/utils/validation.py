@@ -31,12 +31,14 @@ def check_conv_inputs(x: np.ndarray, w: np.ndarray, padding, stride,
     *dilation* an int or ``(h, w)`` pair.  Every rejection carries an
     actionable message naming the offending value.
     """
-    from repro.utils.shapes import normalize_padding, normalize_pair
+    from repro.utils.shapes import ensure_int, normalize_padding, \
+        normalize_pair
 
     if x.ndim != 4:
         raise ValueError(f"input must be 4D NCHW, got {x.ndim}D")
     if w.ndim != 4:
         raise ValueError(f"weight must be 4D FCKhKw, got {w.ndim}D")
+    groups = ensure_int(groups, "groups")
     if groups < 1:
         raise ValueError(f"groups must be positive, got {groups}")
     c, f = x.shape[1], w.shape[0]

@@ -71,3 +71,52 @@ def test_top_level_functions_use_active_backend(rng):
     x = rng.standard_normal(12)
     with F.use_backend("builtin"):
         np.testing.assert_allclose(F.irfft(F.rfft(x), 12), x, atol=1e-9)
+
+
+class TestErrorPropagation:
+    """Backend failures must surface as BackendExecutionError carrying the
+    failing backend, operation and transform size; malformed calls keep
+    raising plain ValueError."""
+
+    def test_malformed_call_stays_valueerror(self):
+        with pytest.raises(ValueError, match="transform length"):
+            get_backend("builtin").rfft(np.zeros(4), 0)
+
+    def test_backend_failure_carries_context(self):
+        from repro.fft.backend import BackendExecutionError
+        from repro.guard import faults
+
+        backend = get_backend("numpy")
+        with faults.inject("backend_error"):
+            with pytest.raises(BackendExecutionError) as excinfo:
+                backend.rfft(np.zeros(16), 16)
+        err = excinfo.value
+        assert err.backend == "numpy"
+        assert err.op == "rfft"
+        assert err.n == 16
+        assert isinstance(err.__cause__, faults.InjectedFaultError)
+        assert "numpy" in str(err) and "rfft" in str(err)
+
+    def test_exported_from_fft_package(self):
+        from repro.fft import BackendExecutionError
+        assert issubclass(BackendExecutionError, RuntimeError)
+
+    def test_set_backend_not_double_wrapped(self):
+        # set_backend stores the raw backend; get_backend wraps exactly
+        # once, so an injected fault fires once, not per wrapper layer.
+        from repro.guard import faults
+
+        original = F.get_backend()
+        try:
+            F.set_backend("builtin")
+            active = F.get_backend()
+            assert getattr(active.fft, "__propagated_from__", None) \
+                is not None
+            inner = active.fft.__propagated_from__
+            assert getattr(inner.fft, "__propagated_from__", None) is None
+            with faults.inject("backend_error") as state:
+                with pytest.raises(Exception):
+                    active.rfft(np.zeros(8), 8)
+            assert state.counts.get("backend_error") == 1
+        finally:
+            F.set_backend(original)

@@ -34,3 +34,22 @@ def test_empty_raises():
         fft_bluestein(np.zeros(0))
     with pytest.raises(ValueError):
         ifft_bluestein(np.zeros(0))
+
+
+def test_zero_d_rejected_with_clear_message():
+    with pytest.raises(ValueError, match="0-d array"):
+        fft_bluestein(np.array(1.0))
+    with pytest.raises(ValueError, match="0-d array"):
+        ifft_bluestein(np.array(1 + 0j))
+
+
+def test_size_one_is_identity_copy():
+    x = np.array([2.5 + 0.5j])
+    for fn in (fft_bluestein, ifft_bluestein):
+        out = fn(x)
+        np.testing.assert_allclose(out, x)
+        assert out is not x
+
+
+def test_empty_batch_rows():
+    assert fft_bluestein(np.zeros((0, 7))).shape == (0, 7)

@@ -46,3 +46,20 @@ def test_linearity(rng):
     b = rng.standard_normal(24) + 0j
     np.testing.assert_allclose(fft(2 * a + 3 * b), 2 * fft(a) + 3 * fft(b),
                                atol=1e-8)
+
+
+def test_zero_d_rejected_with_clear_message():
+    with pytest.raises(ValueError, match="0-d array"):
+        fft(np.array(1.0))
+    with pytest.raises(ValueError, match="0-d array"):
+        ifft(np.array(1 + 0j))
+
+
+def test_size_one_is_identity():
+    x = np.array([1.5 - 2j])
+    np.testing.assert_allclose(fft(x), x)
+    np.testing.assert_allclose(ifft(x), x)
+
+
+def test_empty_batch_rows():
+    assert fft(np.zeros((0, 6))).shape == (0, 6)

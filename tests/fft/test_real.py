@@ -64,3 +64,26 @@ def test_errors():
         rfft(np.zeros(4), 0)
     with pytest.raises(ValueError):
         irfft(np.zeros(0, dtype=complex))
+
+
+class TestDegenerateShapes:
+    """0-d and size-1 edge cases: clear rejection or exact handling, never
+    an IndexError from deep inside the packing arithmetic."""
+
+    def test_zero_d_rejected_with_clear_message(self):
+        with pytest.raises(ValueError, match="0-d array"):
+            rfft(np.array(2.0))
+        with pytest.raises(ValueError, match="0-d array"):
+            irfft(np.array(1 + 0j))
+
+    def test_size_one_axis(self):
+        x = np.arange(3.0)[:, None]
+        np.testing.assert_allclose(rfft(x), x.astype(complex))
+        np.testing.assert_allclose(irfft(rfft(x), 1), x)
+
+    def test_irfft_single_bin(self):
+        np.testing.assert_allclose(irfft(np.array([3 + 4j])), [[3.0]][0])
+
+    def test_empty_batch_rows(self):
+        assert rfft(np.zeros((0, 8))).shape == (0, 5)
+        assert irfft(np.zeros((0, 5), dtype=complex), 8).shape == (0, 8)

@@ -1,0 +1,96 @@
+"""Tests for repro.guard.breaker: TTL circuit breaker with a fake clock."""
+
+from repro.guard.breaker import CircuitBreaker
+
+KEY = ("polyhankel", "shape-a", "float64")
+OTHER = ("gemm", "shape-a", "float64")
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make():
+    clock = FakeClock()
+    return CircuitBreaker(clock=clock), clock
+
+
+class TestOpening:
+    def test_closed_by_default(self):
+        breaker, _ = make()
+        assert not breaker.is_open(KEY)
+
+    def test_opens_only_at_threshold(self):
+        breaker, _ = make()
+        assert not breaker.record_failure(KEY, threshold=3, ttl_s=10)
+        assert not breaker.record_failure(KEY, threshold=3, ttl_s=10)
+        assert not breaker.is_open(KEY)
+        assert breaker.record_failure(KEY, threshold=3, ttl_s=10)
+        assert breaker.is_open(KEY)
+
+    def test_transition_reported_once(self):
+        breaker, _ = make()
+        breaker.record_failure(KEY, threshold=1, ttl_s=10)
+        # Already open: further failures extend the window, not re-report.
+        assert not breaker.record_failure(KEY, threshold=1, ttl_s=10)
+
+    def test_keys_are_independent(self):
+        breaker, _ = make()
+        breaker.record_failure(KEY, threshold=1, ttl_s=10)
+        assert breaker.is_open(KEY)
+        assert not breaker.is_open(OTHER)
+
+
+class TestTtlAndHalfOpen:
+    def test_expiry_allows_one_retry(self):
+        breaker, clock = make()
+        breaker.record_failure(KEY, threshold=1, ttl_s=10)
+        clock.advance(9.99)
+        assert breaker.is_open(KEY)
+        clock.advance(0.02)
+        assert not breaker.is_open(KEY)
+
+    def test_refailure_after_expiry_reopens_immediately(self):
+        # Half-open semantics: the consecutive-failure count survives the
+        # TTL, so one more failure re-opens without counting to threshold.
+        breaker, clock = make()
+        breaker.record_failure(KEY, threshold=3, ttl_s=10)
+        breaker.record_failure(KEY, threshold=3, ttl_s=10)
+        breaker.record_failure(KEY, threshold=3, ttl_s=10)
+        clock.advance(11)
+        assert not breaker.is_open(KEY)
+        breaker.record_failure(KEY, threshold=3, ttl_s=10)
+        assert breaker.is_open(KEY)
+
+    def test_success_fully_resets(self):
+        breaker, clock = make()
+        breaker.record_failure(KEY, threshold=1, ttl_s=10)
+        clock.advance(11)
+        breaker.record_success(KEY)
+        assert breaker.failure_count(KEY) == 0
+        # A fresh failure must count from zero again.
+        assert not breaker.record_failure(KEY, threshold=2, ttl_s=10)
+
+
+class TestIntrospection:
+    def test_open_keys_prunes_expired(self):
+        breaker, clock = make()
+        breaker.record_failure(KEY, threshold=1, ttl_s=10)
+        breaker.record_failure(OTHER, threshold=1, ttl_s=30)
+        assert breaker.open_keys() == sorted([KEY, OTHER])
+        clock.advance(15)
+        assert breaker.open_keys() == [OTHER]
+
+    def test_reset(self):
+        breaker, _ = make()
+        breaker.record_failure(KEY, threshold=1, ttl_s=10)
+        breaker.reset()
+        assert not breaker.is_open(KEY)
+        assert breaker.failure_count(KEY) == 0

@@ -1,0 +1,79 @@
+"""Tests for repro.guard.doctor: the install health report."""
+
+from repro.guard import doctor
+from repro.guard.doctor import CheckResult, format_report, run_doctor
+
+
+class TestRunDoctor:
+    def test_healthy_install_passes_every_check(self):
+        results = run_doctor()
+        assert len(results) == len(doctor.CHECKS)
+        failing = [r for r in results if not r.ok]
+        assert not failing, f"unexpected failures: {failing}"
+
+    def test_check_names_are_kebab_case(self):
+        for result in run_doctor():
+            assert " " not in result.name and "_" not in result.name
+
+    def test_raising_check_becomes_failure(self, monkeypatch):
+        def check_explodes():
+            raise RuntimeError("simulated broken install")
+
+        monkeypatch.setattr(doctor, "CHECKS", (check_explodes,))
+        results = run_doctor()
+        assert len(results) == 1
+        assert not results[0].ok
+        assert "simulated broken install" in results[0].detail
+
+
+class TestFormatReport:
+    def test_renders_verdicts_and_summary(self):
+        results = [
+            CheckResult("fft-parity", True, "fine"),
+            CheckResult("cache-integrity", False, "rotten"),
+        ]
+        text = format_report(results)
+        assert "[  ok] fft-parity" in text
+        assert "[FAIL] cache-integrity" in text
+        assert "1/2 checks passed" in text
+
+
+class TestIndividualChecks:
+    def test_fft_parity_detail_quotes_both_constants(self):
+        result = doctor.check_fft_parity()
+        assert result.ok
+        assert "measured" in result.detail and "configured" in result.detail
+
+    def test_cache_integrity_detects_planted_mutation(self):
+        # The check itself plants a mutation and must report catching it.
+        result = doctor.check_cache_integrity()
+        assert result.ok
+        assert "mutation detected" in result.detail
+
+    def test_chain_reachability_covers_whole_chain(self):
+        result = doctor.check_chain_reachability()
+        assert result.ok
+        assert "naive reference" in result.detail
+
+    def test_guarded_recovery_reports_fallbacks(self):
+        result = doctor.check_guarded_recovery()
+        assert result.ok
+        assert "fallback" in result.detail
+
+
+class TestCliDoctor:
+    def test_exit_zero_on_healthy_install(self, capsys):
+        from repro.cli import main
+        assert main(["doctor"]) == 0
+        out = capsys.readouterr().out
+        assert "checks passed" in out
+
+    def test_exit_nonzero_on_broken_install(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        def check_broken():
+            return CheckResult("broken", False, "simulated")
+
+        monkeypatch.setattr(doctor, "CHECKS", (check_broken,))
+        assert main(["doctor"]) == 1
+        assert "[FAIL]" in capsys.readouterr().out

@@ -1,0 +1,120 @@
+"""Tests for repro.guard.faults: deterministic, scoped fault injectors."""
+
+import numpy as np
+import pytest
+
+from repro.guard import faults
+from repro.guard.faults import (
+    BLOWUP_FACTOR, InjectedFaultError, check_backend_fault, faults_active,
+    inject, maybe_blowup, maybe_corrupt_spectrum, poison_intermediate,
+)
+
+
+class TestScope:
+    def test_inactive_by_default(self):
+        assert not faults_active()
+        assert not faults._STACK
+
+    def test_scope_arms_and_disarms(self):
+        with inject("nan_input") as state:
+            assert faults_active()
+            assert faults._STACK[-1] is state
+        assert not faults_active()
+
+    def test_scope_disarms_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with inject("nan_input"):
+                raise RuntimeError("boom")
+        assert not faults_active()
+
+    def test_nested_innermost_wins(self):
+        with inject("nan_input"):
+            with inject("inf_input") as inner:
+                assert faults._STACK[-1] is inner
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            with inject("cosmic_ray"):
+                pass
+
+    def test_rate_validated(self):
+        with pytest.raises(ValueError, match="rate"):
+            with inject("nan_input", rate=1.5):
+                pass
+
+
+class TestPoisonIntermediate:
+    def test_returns_copy_with_exactly_one_nan(self):
+        x = np.ones((4, 8))
+        with inject("nan_input") as state:
+            poisoned = poison_intermediate(x)
+        assert poisoned is not x
+        assert np.isfinite(x).all(), "original buffer must stay clean"
+        assert int(np.isnan(poisoned).sum()) == 1
+        assert state.counts == {"nan_input": 1}
+
+    def test_inf_variant(self):
+        x = np.ones((4, 8))
+        with inject("inf_input"):
+            poisoned = poison_intermediate(x)
+        assert int(np.isinf(poisoned).sum()) == 1
+
+    def test_unarmed_kind_is_identity(self):
+        x = np.ones((4, 8))
+        with inject("backend_error") as state:
+            assert poison_intermediate(x) is x
+        assert "nan_input" not in state.counts
+
+    def test_deterministic_position_per_seed(self):
+        x = np.ones(64)
+        def poisoned_pos(seed):
+            with inject("nan_input", seed=seed):
+                return int(np.flatnonzero(np.isnan(poison_intermediate(x)))[0])
+        assert poisoned_pos(3) == poisoned_pos(3)
+
+    def test_rate_zero_never_fires(self):
+        x = np.ones(8)
+        with inject("nan_input", rate=0.0) as state:
+            for _ in range(20):
+                assert np.isfinite(poison_intermediate(x)).all()
+        assert state.counts.get("nan_input", 0) == 0
+
+
+class TestBlowupAndBackend:
+    def test_blowup_scales_output(self):
+        out = np.ones(4)
+        with inject("accuracy_blowup"):
+            assert np.allclose(maybe_blowup(out), BLOWUP_FACTOR)
+
+    def test_blowup_unarmed_is_identity(self):
+        out = np.ones(4)
+        with inject("nan_input"):
+            assert maybe_blowup(out) is out
+
+    def test_backend_fault_raises(self):
+        with inject("backend_error"):
+            with pytest.raises(InjectedFaultError, match=r"numpy\.rfft"):
+                check_backend_fault("numpy", "rfft", 64)
+
+    def test_backend_fault_silent_when_unarmed(self):
+        with inject("nan_input"):
+            check_backend_fault("numpy", "rfft", 64)
+
+
+class TestSpectrumCorruption:
+    def test_doctors_in_place_once_per_array(self):
+        spec = np.ones(32, dtype=complex)
+        with inject("spectrum_corruption") as state:
+            maybe_corrupt_spectrum(spec)
+            assert int(np.isnan(spec).sum()) == 1
+            maybe_corrupt_spectrum(spec)  # same entry: no second hit
+            assert int(np.isnan(spec).sum()) == 1
+        assert state.counts == {"spectrum_corruption": 1}
+
+    def test_fresh_scope_can_doctor_again(self):
+        spec = np.ones(32, dtype=complex)
+        with inject("spectrum_corruption"):
+            maybe_corrupt_spectrum(spec)
+        with inject("spectrum_corruption"):
+            maybe_corrupt_spectrum(spec)
+        assert int(np.isnan(spec).sum()) >= 1

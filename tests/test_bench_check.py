@@ -16,12 +16,14 @@ def _report(cases):
     return {"schema_version": 2, "results": cases}
 
 
-def _case(name, cached=1.0, uncached=2.0, fft_calls=10, fft_rows=80):
+def _case(name, cached=1.0, uncached=2.0, fft_calls=10, fft_rows=80,
+          guard_fallbacks=0):
     return {
         "name": name,
         "cached_ms": cached,
         "uncached_ms": uncached,
-        "counters": {"fft_calls": fft_calls, "fft_rows": fft_rows},
+        "counters": {"fft_calls": fft_calls, "fft_rows": fft_rows,
+                     "guard_fallbacks": guard_fallbacks},
     }
 
 
@@ -75,6 +77,27 @@ class TestCompareReports:
     def test_cases_only_in_one_report_are_ignored(self):
         base = _report([_case("a"), _case("gone")])
         cur = _report([_case("a"), _case("new")])
+        assert compare_reports(cur, base) == []
+
+    def test_guard_fallbacks_zero_tolerance(self):
+        """The healthy baseline records 0 fallbacks; the usual counter
+        loop skips zero baselines, so the guard metric must have its own
+        comparison that does not."""
+        base = _report([_case("a", guard_fallbacks=0)])
+        cur = _report([_case("a", guard_fallbacks=1)])
+        regressions = compare_reports(cur, base)
+        assert [(r.metric, r.kind) for r in regressions] == [
+            ("guard_fallbacks", "counter")]
+        assert "must not grow" in regressions[0].describe()
+
+    def test_guard_fallbacks_equal_passes(self):
+        base = _report([_case("a", guard_fallbacks=0)])
+        assert compare_reports(_report([_case("a")]), base) == []
+
+    def test_guard_fallbacks_absent_in_old_baseline_ignored(self):
+        base = _report([_case("a")])
+        del base["results"][0]["counters"]["guard_fallbacks"]
+        cur = _report([_case("a", guard_fallbacks=3)])
         assert compare_reports(cur, base) == []
 
     def test_regression_describe_mentions_limit(self):

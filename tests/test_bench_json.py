@@ -16,10 +16,12 @@ pytestmark = pytest.mark.slow
 
 def test_smoke_suite_schema(tmp_path):
     report = bench.run_suite(smoke=True, repeats=1, workers=2)
-    # v2 added the per-case deterministic FFT counters (see --check gate).
-    assert report["schema"] == bench.SCHEMA_VERSION == 2
+    # v2 added the per-case deterministic FFT counters (see --check gate);
+    # v3 added the guard_fallbacks counter (zero on a healthy install).
+    assert report["schema"] == bench.SCHEMA_VERSION == 3
     for row in report["results"]:
         assert row["counters"]["fft_calls"] >= 2
+        assert row["counters"]["guard_fallbacks"] == 0
     assert report["results"], "smoke suite must run at least one case"
     extended_seen = 0
     for row in report["results"]:
@@ -57,3 +59,23 @@ def test_smoke_cli_entry(tmp_path, capsys):
     assert code == 0
     assert out.exists()
     assert "speedup" in capsys.readouterr().out
+
+
+def test_inject_drill_recovers_everywhere(capsys):
+    """The recovery drill: one fault kind across the smoke suite must
+    recover the naive reference on every case and exit clean."""
+    report = bench.run_inject_drill(kinds=("backend_error",), smoke=True)
+    assert report["failures"] == 0
+    assert report["rows"], "drill must cover the smoke cases"
+    for row in report["rows"]:
+        assert row["recovered"]
+        assert row["injected"] >= 1
+        assert row["fallbacks"] >= 1
+    text = bench.format_inject_report(report)
+    assert "drill passed" in text
+
+
+def test_inject_drill_cli_entry(capsys):
+    code = bench.main(["--quick", "--inject", "nan_input", "--no-json"])
+    assert code == 0
+    assert "recovered" in capsys.readouterr().out

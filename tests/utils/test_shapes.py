@@ -108,3 +108,27 @@ class TestConvShape:
     def test_hashable_for_caching(self):
         s = ConvShape(ih=8, iw=8, kh=3, kw=3)
         assert {s: 1}[ConvShape(ih=8, iw=8, kh=3, kw=3)] == 1
+
+
+class TestEnsureInt:
+    def test_plain_and_numpy_ints_pass(self):
+        import numpy as np
+
+        from repro.utils.shapes import ensure_int
+        assert ensure_int(3, "stride") == 3
+        got = ensure_int(np.int32(5), "stride")
+        assert got == 5 and type(got) is int
+
+    @pytest.mark.parametrize("bad", [1.0, 1.9, "2", None, (1,)])
+    def test_non_integral_rejected(self, bad):
+        from repro.utils.shapes import ensure_int
+        with pytest.raises(ValueError, match="stride must be an integer"):
+            ensure_int(bad, "stride")
+
+    def test_conv_shape_rejects_float_groups(self):
+        with pytest.raises(ValueError, match="groups must be an integer"):
+            ConvShape(ih=8, iw=8, kh=3, kw=3, n=1, c=4, f=4, groups=2.5)
+
+    def test_from_tensors_rejects_float_groups(self):
+        with pytest.raises(ValueError, match="groups must be an integer"):
+            ConvShape.from_tensors((1, 4, 8, 8), (4, 4, 3, 3), 0, 1, 1, 2.0)

@@ -142,3 +142,44 @@ class TestCheckConvInputsExtended:
         x, w = self._xw()
         with pytest.raises(ValueError, match="padding"):
             check_conv_inputs(x, w, bad, 1)
+
+
+class TestIntegralityRejection:
+    """Non-integer stride/dilation/groups must raise, not silently truncate.
+
+    ``int(1.9) == 1`` answers a different problem than the caller posed;
+    every non-integral spelling has to fail loudly with the offending value
+    in the message.
+    """
+
+    def _xw(self):
+        return np.zeros((1, 4, 8, 8)), np.zeros((4, 4, 3, 3))
+
+    @pytest.mark.parametrize("stride", [1.9, 2.0, (1, 1.5), "2"])
+    def test_non_integral_stride(self, stride):
+        x, w = self._xw()
+        with pytest.raises(ValueError, match="stride must be an integer"):
+            check_conv_inputs(x, w, 1, stride)
+
+    @pytest.mark.parametrize("dilation", [0.5, (2, 2.5)])
+    def test_non_integral_dilation(self, dilation):
+        x, w = self._xw()
+        with pytest.raises(ValueError, match="dilation must be an integer"):
+            check_conv_inputs(x, w, 1, 1, dilation=dilation)
+
+    @pytest.mark.parametrize("groups", [2.5, 2.0, "4"])
+    def test_non_integral_groups(self, groups):
+        x, w = self._xw()
+        with pytest.raises(ValueError, match="groups must be an integer"):
+            check_conv_inputs(x, w, 1, 1, groups=groups)
+
+    def test_message_names_value_and_type(self):
+        x, w = self._xw()
+        with pytest.raises(ValueError, match=r"got 1\.9 of type float"):
+            check_conv_inputs(x, w, 1, 1.9)
+
+    def test_numpy_integers_accepted(self):
+        x = np.zeros((1, 4, 8, 8))
+        w = np.zeros((4, 2, 3, 3))  # C/groups = 2 channel taps
+        check_conv_inputs(x, w, 1, np.int64(2), dilation=np.int32(1),
+                          groups=np.int64(2))
