@@ -97,6 +97,137 @@ SUITE: tuple[BenchCase, ...] = (
 )
 
 
+@dataclass(frozen=True)
+class ServePreset:
+    """One serving-throughput scenario (``repro serve-bench``).
+
+    Measures requests/sec of a burst of *requests* independent
+    ``submit``s through a :class:`~repro.serve.ConvServer` against the
+    same burst as a sequential ``conv2d`` loop — the workload dynamic
+    batching exists for.  ``min_speedup`` is the sustained floor the
+    regression gate enforces (None records without gating).
+    """
+
+    name: str
+    size: int
+    kernel: int
+    channels: int
+    filters: int
+    padding: int
+    requests: int = 48
+    request_batch: int = 1
+    groups: int = 1
+    max_batch: int = 8
+    max_wait_ms: float = 5.0
+    workers: int = 1
+    mode: str = "thread"
+    min_speedup: float | None = None
+    heavy: bool = False  # skipped in --smoke runs
+
+
+SERVE_PRESETS: tuple[ServePreset, ...] = (
+    # Small per-request work is exactly where coalescing pays: the
+    # per-call fixed cost (validation, dispatch, plan/spectrum lookups,
+    # FFT call overhead) dominates single-image latency, and one stacked
+    # batch-8 call amortizes it 8 ways.  The >= 2x floor is sustained
+    # throughput, gated by `repro bench --check`.
+    ServePreset("serve_batch8", size=8, kernel=3, channels=3, filters=8,
+                padding=1, requests=48, max_batch=8, min_speedup=2.0),
+    # Compute-bound shape: per-row FFT/einsum work dwarfs the fixed cost,
+    # so coalescing buys little — recorded ungated as the honest contrast.
+    ServePreset("serve_batch8_c16", size=16, kernel=3, channels=16,
+                filters=16, padding=1, requests=24, heavy=True),
+    # Oversized requests (batch 16 > max_batch 8) bypass the queue and
+    # shard across the worker pool along batch and group axes.
+    ServePreset("serve_shard_oversized", size=16, kernel=3, channels=8,
+                filters=8, padding=1, requests=6, request_batch=16,
+                groups=2, workers=2, heavy=True),
+)
+
+
+def run_serve_case(preset: ServePreset, repeats: int = 5) -> dict:
+    """Sequential-loop vs served-burst throughput for one preset.
+
+    Every served result is compared bit-exactly (``np.array_equal``)
+    against the sequential reference — a throughput win that changed the
+    numbers would be a correctness bug, so parity failure raises.
+    """
+    from repro.nn import functional as F
+    from repro.observe.registry import counters as _counters
+    from repro.serve import ConvServer
+
+    rng = np.random.default_rng(0)
+    c, f, k = preset.channels, preset.filters, preset.kernel
+    weight = rng.standard_normal((f, c // preset.groups, k, k))
+    bias = rng.standard_normal(f)
+    xs = [rng.standard_normal((preset.request_batch, c, preset.size,
+                               preset.size))
+          for _ in range(preset.requests)]
+
+    def sequential():
+        return [F.conv2d(x, weight, bias, padding=preset.padding,
+                         groups=preset.groups) for x in xs]
+
+    refs = sequential()  # warm plan/spectrum caches + reference outputs
+    seq_s = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        sequential()
+        seq_s = min(seq_s, time.perf_counter() - start)
+
+    with ConvServer(max_batch=preset.max_batch,
+                    max_wait_ms=preset.max_wait_ms,
+                    workers=preset.workers, mode=preset.mode) as server:
+        server.conv2d(xs[0], weight, bias, padding=preset.padding,
+                      groups=preset.groups, timeout=30)
+        served_s = float("inf")
+        for _ in range(repeats):
+            _counters.clear("serve.")
+            start = time.perf_counter()
+            futures = [server.submit(x, weight, bias,
+                                     padding=preset.padding,
+                                     groups=preset.groups) for x in xs]
+            outs = [future.result(30) for future in futures]
+            served_s = min(served_s, time.perf_counter() - start)
+        snapshot = {
+            "requests": int(_counters.total("serve.requests")),
+            "batches": int(_counters.total("serve.batches")),
+            "coalesced": int(_counters.total("serve.coalesced")),
+            "shards": int(_counters.total("serve.shards")),
+            "batch_rows": int(_counters.total("serve.batch_size")),
+            "queue_wait_ms": round(
+                _counters.total("serve.queue_wait_ms"), 3),
+        }
+        _counters.clear("serve.")
+
+    for out, ref in zip(outs, refs):
+        if not np.array_equal(out, ref):
+            raise AssertionError(
+                f"served result diverged from sequential conv2d on "
+                f"{preset.name}")
+
+    return {
+        "name": preset.name,
+        "shape": {"size": preset.size, "kernel": preset.kernel,
+                  "channels": preset.channels, "filters": preset.filters,
+                  "padding": preset.padding, "groups": preset.groups},
+        "requests": preset.requests,
+        "request_batch": preset.request_batch,
+        "max_batch": preset.max_batch,
+        "max_wait_ms": preset.max_wait_ms,
+        "workers": preset.workers,
+        "mode": preset.mode,
+        "sequential_ms": round(seq_s * 1e3, 4),
+        "served_ms": round(served_s * 1e3, 4),
+        "sequential_rps": round(preset.requests / seq_s, 1),
+        "served_rps": round(preset.requests / served_s, 1),
+        "speedup": round(seq_s / served_s, 3),
+        "min_speedup": preset.min_speedup,
+        "exact": True,
+        "counters": snapshot,
+    }
+
+
 def _seed_fft_pow2(x, sign):
     """The seed's radix-2 kernel: per-stage temporaries + copy-back
     (since rewritten with in-place ufuncs)."""
@@ -377,8 +508,20 @@ def run_case(case: BenchCase, repeats: int = 5,
     }
 
 
+#: Environment pins recorded with every report: on CI these are set
+#: explicitly (see .github/workflows/ci.yml) so successive runs measure
+#: the engine, not whatever thread count the runner woke up with.
+ENV_PINS = ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS",
+            "REPRO_SERVE_WORKERS")
+
+
+def env_pins() -> dict[str, str | None]:
+    """Current values of the determinism-relevant environment pins."""
+    return {name: os.environ.get(name) for name in ENV_PINS}
+
+
 def run_suite(smoke: bool = False, repeats: int = 5,
-              workers: int | None = 2) -> dict:
+              workers: int | None = 2, serve: bool = True) -> dict:
     """Run the whole suite; ``smoke=True`` trims repeats and heavy cases."""
     from repro.core.multichannel import plan_cache_info, spectrum_cache_info
     from repro.fft.plan import fft_plan_cache_info
@@ -387,6 +530,14 @@ def run_suite(smoke: bool = False, repeats: int = 5,
         repeats = min(repeats, 2)
     cases = [c for c in SUITE if not (smoke and c.heavy)]
     results = [run_case(c, repeats=repeats, workers=workers) for c in cases]
+    serve_results = []
+    if serve:
+        # Serve presets cost milliseconds per repeat, so even smoke runs
+        # afford a deeper best-of floor — and the throughput gate is a
+        # floor contract, which thin sampling would trip on noise alone.
+        presets = [p for p in SERVE_PRESETS if not (smoke and p.heavy)]
+        serve_results = [run_serve_case(p, repeats=max(repeats, 5))
+                         for p in presets]
     return {
         "schema": SCHEMA_VERSION,
         "date": datetime.date.today().isoformat(),
@@ -398,8 +549,10 @@ def run_suite(smoke: bool = False, repeats: int = 5,
             "python": platform.python_version(),
             "numpy": np.__version__,
             "cpu_count": os.cpu_count(),
+            "env_pins": env_pins(),
         },
         "results": results,
+        "serve": serve_results,
         "caches": {
             "plan": plan_cache_info()._asdict(),
             "spectrum": spectrum_cache_info()._asdict(),
@@ -525,6 +678,26 @@ def format_report(report: dict) -> str:
             f"{sd} "
             f"{r['uncached_ms']:9.3f} {r['cached_ms']:9.3f} "
             f"{ly} {wk} {sp}")
+    if report.get("serve"):
+        lines.append("")
+        lines.append(format_serve_report(report["serve"]))
+    return "\n".join(lines)
+
+
+def format_serve_report(entries: list[dict]) -> str:
+    """Human-readable table for serve-throughput entries."""
+    lines = [f"{'preset':<24} {'seq rps':>9} {'served':>9} {'speedup':>8} "
+             f"{'floor':>6} {'batches':>8} {'shards':>7} {'wait ms':>8}"]
+    for r in entries:
+        floor = f"{r['min_speedup']:5.1f}x" if r.get("min_speedup") \
+            else f"{'-':>6}"
+        counters = r.get("counters") or {}
+        lines.append(
+            f"{r['name']:<24} {r['sequential_rps']:>9.0f} "
+            f"{r['served_rps']:>9.0f} {r['speedup']:>7.2f}x {floor} "
+            f"{counters.get('batches', 0):>8} "
+            f"{counters.get('shards', 0):>7} "
+            f"{counters.get('queue_wait_ms', 0.0):>8.2f}")
     return "\n".join(lines)
 
 
@@ -556,6 +729,22 @@ def _remeasure_flagged(report: dict, flagged: set[str], repeats: int,
                 entry[metric] = min(old, new)
 
 
+def _remeasure_serve_flagged(report: dict, flagged: set[str],
+                             repeats: int) -> None:
+    """Confirmation pass for throughput-flagged serve presets: re-run with
+    more repeats and keep the better measurement per metric."""
+    by_name = {p.name: p for p in SERVE_PRESETS}
+    for entry in report.get("serve", []):
+        preset = by_name.get(entry["name"])
+        if preset is None or entry["name"] not in flagged:
+            continue
+        retry = run_serve_case(preset, repeats=repeats)
+        for metric in ("speedup", "served_rps", "sequential_rps"):
+            entry[metric] = max(entry[metric], retry[metric])
+        for metric in ("served_ms", "sequential_ms"):
+            entry[metric] = min(entry[metric], retry[metric])
+
+
 def run_check(report: dict, baseline_path: str, tolerance: float,
               counter_tolerance: float, repeats: int,
               workers: int | None) -> int:
@@ -568,11 +757,16 @@ def run_check(report: dict, baseline_path: str, tolerance: float,
     regressions = compare_reports(report, baseline, tolerance=tolerance,
                                   counter_tolerance=counter_tolerance)
     wall_flagged = {r.case for r in regressions if r.kind == "wall"}
-    if wall_flagged:
-        print(f"[re-measuring {len(wall_flagged)} flagged case(s) "
-              f"with {2 * repeats} repeats]")
-        _remeasure_flagged(report, wall_flagged, repeats=2 * repeats,
-                           workers=workers)
+    serve_flagged = {r.case for r in regressions if r.kind == "throughput"}
+    if wall_flagged or serve_flagged:
+        print(f"[re-measuring {len(wall_flagged | serve_flagged)} flagged "
+              f"case(s) with {2 * repeats} repeats]")
+        if wall_flagged:
+            _remeasure_flagged(report, wall_flagged, repeats=2 * repeats,
+                               workers=workers)
+        if serve_flagged:
+            _remeasure_serve_flagged(report, serve_flagged,
+                                     repeats=2 * repeats)
         regressions = compare_reports(report, baseline, tolerance=tolerance,
                                       counter_tolerance=counter_tolerance)
     print(format_check(regressions, baseline_path, tolerance,

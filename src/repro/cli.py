@@ -10,6 +10,10 @@ Commands:
 - ``bench``      — execution-engine wall-clock suite, written as JSON;
   ``--check BASELINE.json`` turns it into the CI regression gate;
   ``--inject`` runs the guard recovery drill instead of the timings;
+- ``serve-bench``— serving-layer throughput presets (dynamic batching
+  vs a sequential request loop); ``--list`` shows the presets;
+- ``serve-stats``— serving counters of this process (requests, batches,
+  coalesce rate, queue wait);
 - ``doctor``     — install health report (FFT parity, cache integrity,
   fallback-chain reachability, sentinel, guarded recovery); exits
   nonzero when any check fails;
@@ -240,6 +244,52 @@ def cmd_bench(args) -> int:
     return code
 
 
+def cmd_serve_bench(args) -> int:
+    import datetime
+    import json as _json
+
+    from repro.bench import (
+        SCHEMA_VERSION, SERVE_PRESETS, env_pins, format_serve_report,
+        run_serve_case,
+    )
+
+    if args.list:
+        for preset in SERVE_PRESETS:
+            floor = (f"floor {preset.min_speedup:g}x"
+                     if preset.min_speedup else "ungated")
+            print(f"{preset.name:<24} {preset.requests}x"
+                  f"[{preset.request_batch},{preset.channels},"
+                  f"{preset.size},{preset.size}] k={preset.kernel} "
+                  f"f={preset.filters} max_batch={preset.max_batch} "
+                  f"workers={preset.workers} ({floor})")
+        return 0
+    presets = list(SERVE_PRESETS)
+    if args.preset:
+        presets = [p for p in presets if p.name == args.preset]
+        if not presets:
+            names = ", ".join(p.name for p in SERVE_PRESETS)
+            print(f"unknown preset {args.preset!r}; one of: {names}")
+            return 2
+    entries = [run_serve_case(p, repeats=args.repeats) for p in presets]
+    print(format_serve_report(entries))
+    if args.out:
+        report = {"schema": SCHEMA_VERSION,
+                  "date": datetime.date.today().isoformat(),
+                  "env_pins": env_pins(), "serve": entries}
+        with open(args.out, "w") as fh:
+            _json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"[written to {args.out}]")
+    return 0
+
+
+def cmd_serve_stats(args) -> int:
+    from repro.observe.registry import format_serve_stats
+
+    print(format_serve_stats())
+    return 0
+
+
 def cmd_doctor(args) -> int:
     from repro.guard.doctor import format_report, run_doctor
 
@@ -363,6 +413,25 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=0,
                        help="fault-injection seed (with --inject)")
     bench.set_defaults(fn=cmd_bench)
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="serving-layer throughput presets (dynamic batching vs a "
+             "sequential request loop)")
+    serve_bench.add_argument("preset", nargs="?", default=None,
+                             help="preset name (default: all presets)")
+    serve_bench.add_argument("--repeats", type=int, default=5)
+    serve_bench.add_argument("--list", action="store_true",
+                             help="list the presets and exit")
+    serve_bench.add_argument("--out", metavar="PATH", default=None,
+                             help="also write the results as JSON")
+    serve_bench.set_defaults(fn=cmd_serve_bench)
+
+    sub.add_parser(
+        "serve-stats",
+        help="serving counters of this process (requests, batches, "
+             "coalesce rate, queue wait)"
+    ).set_defaults(fn=cmd_serve_stats)
 
     sub.add_parser(
         "doctor",

@@ -41,7 +41,12 @@ from repro.core.construction import (
     output_gather_indices,
     polynomial_lengths,
 )
-from repro.core.planning import FftPolicy, plan_fft_size, resolve_fft_policy
+from repro.core.planning import (
+    FftPolicy,
+    PlanSpec,
+    plan_fft_size,
+    resolve_fft_policy,
+)
 from repro.fft.plan import CacheInfo
 from repro.guard import faults as _faults
 from repro.guard.checksum import array_checksum, verify_checksum
@@ -135,6 +140,21 @@ class PolyHankelPlan:
         """Identity of this plan's numerical configuration."""
         backend_name = _fft.get_backend(self.backend).name
         return (self.shape, self.fft_policy, self.strategy, backend_name)
+
+    @property
+    def spec(self) -> PlanSpec:
+        """The pickle-safe :class:`PlanSpec` identifying this plan."""
+        return PlanSpec(self.shape, self.fft_policy, self.strategy,
+                        _fft.get_backend(self.backend).name)
+
+    def __reduce__(self):
+        # Plans hold locks and scratch buffers, so they pickle as their
+        # spec and re-resolve against the destination process's warm plan
+        # cache (serving-layer process workers depend on this: plans
+        # travel as cache keys, never as payloads).
+        return (_plan_from_spec, (self.shape, self.fft_policy,
+                                  self.strategy,
+                                  _fft.get_backend(self.backend).name))
 
     # -- weight handling -----------------------------------------------------
 
@@ -389,6 +409,14 @@ def get_plan(shape: ConvShape, fft_policy: FftPolicy = "auto",
         while len(_PLAN_CACHE) > _PLAN_LIMIT[0]:
             _PLAN_CACHE.popitem(last=False)
     return plan
+
+
+def _plan_from_spec(shape: ConvShape, fft_policy: FftPolicy,
+                    strategy: ChannelStrategy,
+                    backend: str | None) -> PolyHankelPlan:
+    """Unpickling target for :meth:`PolyHankelPlan.__reduce__`: resolve a
+    plan spec against *this* process's warm plan cache."""
+    return get_plan(shape, fft_policy, strategy, backend)
 
 
 def plan_cache_info() -> CacheInfo:

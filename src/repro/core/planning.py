@@ -20,6 +20,7 @@ nearest multiple of 2".  We expose that choice as a policy:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Literal
 
 from repro import fft as _fft
@@ -28,6 +29,32 @@ from repro.utils.validation import require
 FftPolicy = Literal["pow2", "smooth7", "even", "exact", "auto"]
 
 POLICIES: tuple[str, ...] = ("pow2", "smooth7", "even", "exact")
+
+
+@dataclass(frozen=True)
+class PlanSpec:
+    """Pickle-safe identity of one execution plan.
+
+    A :class:`~repro.core.multichannel.PolyHankelPlan` owns locks and
+    scratch buffers, so it cannot (and should not) cross a process
+    boundary by value.  Its *spec* — shape, resolved FFT policy, channel
+    strategy, backend name — is a plain frozen value that pickles in a
+    few bytes and re-resolves against the receiving process's warm plan
+    cache, which is exactly what the serving layer's process workers
+    need: plans travel as cache keys, never as payloads.
+    """
+
+    shape: object  # ConvShape (kept untyped to stay import-light)
+    fft_policy: FftPolicy
+    strategy: str
+    backend: str | None
+
+    def resolve(self):
+        """The (cached) live plan for this spec in *this* process."""
+        from repro.core.multichannel import get_plan
+
+        return get_plan(self.shape, self.fft_policy, self.strategy,
+                        self.backend)
 
 
 def resolve_fft_policy(policy: FftPolicy,

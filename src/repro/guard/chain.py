@@ -72,6 +72,7 @@ def guarded_conv2d(x: np.ndarray, weight: np.ndarray,
                    dilation: int | tuple = 1, groups: int = 1,
                    algorithm: ConvAlgorithm | str = ConvAlgorithm.POLYHANKEL,
                    config: GuardConfig | None = None,
+                   breaker_key=None,
                    **kwargs) -> np.ndarray:
     """2D convolution through the supervised fallback chain.
 
@@ -81,6 +82,11 @@ def guarded_conv2d(x: np.ndarray, weight: np.ndarray,
     lowered alternatives — called bare, since engine-specific knobs like
     ``strategy`` or ``workers`` do not transfer — until one produces a
     healthy result.  Raises :class:`GuardExhaustedError` if none does.
+
+    *breaker_key* overrides the breaker's shape scope: the serving layer
+    passes a request family's coalescing key so shards of one family —
+    whose per-shard shapes differ only in batch size — trip and share a
+    single breaker instead of one breaker per batch-axis cut.
 
     Non-finite *inputs* are served from the first attempt that completes
     (classified ``degraded``): garbage-in is not an engine fault, and no
@@ -96,10 +102,11 @@ def guarded_conv2d(x: np.ndarray, weight: np.ndarray,
     if not chain:  # pragma: no cover - naive supports every shape
         raise GuardExhaustedError([("-", "empty", "no supported algorithm")])
     dtype_tag = str(x.dtype)
+    scope = breaker_key if breaker_key is not None else shape
     attempts: list[tuple[str, str, str | None]] = []
     last_exc: Exception | None = None
     for index, algo in enumerate(chain):
-        key = (algo.value, shape, dtype_tag)
+        key = (algo.value, scope, dtype_tag)
         if _BREAKER.is_open(key):
             counters.add("guard.fallback", algorithm=algo.value,
                          cause="breaker_open")

@@ -68,6 +68,29 @@ def conv2d(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None,
     return out
 
 
+def conv2d_async(x: np.ndarray, weight: np.ndarray,
+                 bias: np.ndarray | None = None,
+                 padding: int | tuple | str = 0, stride: int | tuple = 1,
+                 dilation: int | tuple[int, int] = 1, groups: int = 1,
+                 algorithm: ConvAlgorithm | str = ConvAlgorithm.POLYHANKEL,
+                 strategy: str = "sum", backend: str | None = None,
+                 server=None):
+    """Submit a convolution to the serving layer; returns a ``Future``.
+
+    Requests submitted concurrently with the same weight array, geometry
+    and parameters coalesce into one stacked engine call (dynamic
+    batching); oversized requests shard across the server's worker pool.
+    Uses the process-wide default :class:`~repro.serve.ConvServer` unless
+    *server* is given.  ``future.result()`` is bit-exact with
+    :func:`conv2d` on the same arguments.
+    """
+    from repro import serve
+
+    server = server if server is not None else serve.get_server()
+    return server.submit(x, weight, bias, padding, stride, dilation,
+                         groups, algorithm, strategy, backend)
+
+
 def conv_transpose2d(x: np.ndarray, weight: np.ndarray,
                      bias: np.ndarray | None = None, padding: int = 0,
                      stride: int = 1, output_padding: int = 0,

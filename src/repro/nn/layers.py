@@ -198,6 +198,22 @@ class Conv2d(Layer):
             out = out + self.bias[None, :, None, None]
         return out
 
+    def submit(self, x: np.ndarray, server=None):
+        """Submit this layer's forward to the serving layer; returns a
+        ``Future``.
+
+        Concurrent submissions against the same layer instance coalesce
+        into one stacked engine call (the layer's weight array is the
+        coalescing identity), so a burst of single-image requests runs at
+        batched throughput.  The serving path applies the weight and bias
+        directly — the per-layer spectrum cache is bypassed in favour of
+        the engine's plan-level spectrum cache, which the stacked call
+        warms once per geometry.
+        """
+        return F.conv2d_async(x, self._weight, self.bias, self.padding,
+                              self.stride, self.dilation, self.groups,
+                              algorithm=self.algorithm, server=server)
+
     def _forward_guarded(self, x: np.ndarray) -> np.ndarray:
         """Re-execute this forward through the supervised fallback chain."""
         from repro.guard.chain import guarded_conv2d

@@ -166,6 +166,49 @@ def format_cache_stats(rows: list[dict] | None = None) -> str:
     return "\n".join(lines)
 
 
+def serve_stats() -> dict:
+    """Consolidated serving-layer metrics from the unified registry.
+
+    Raw counters are additive (``serve.batch_size`` is the *sum* of
+    stacked rows); derived ratios — mean batch size, mean queue wait,
+    coalesce rate — are computed here so every consumer (CLI, bench
+    harness, ``ConvServer.stats``) agrees on the arithmetic.
+    """
+    requests = counters.total("serve.requests")
+    batches = counters.total("serve.batches")
+    batch_rows = counters.total("serve.batch_size")
+    wait_ms = counters.total("serve.queue_wait_ms")
+    coalesced = counters.total("serve.coalesced")
+    return {
+        "requests": int(requests),
+        "batches": int(batches),
+        "coalesced": int(coalesced),
+        "shards": int(counters.total("serve.shards")),
+        "mean_batch_size": batch_rows / batches if batches else None,
+        "mean_queue_wait_ms": wait_ms / batches if batches else None,
+        "coalesce_rate": coalesced / requests if requests else None,
+    }
+
+
+def format_serve_stats(stats: dict | None = None) -> str:
+    """Render :func:`serve_stats` for the CLI."""
+    if stats is None:
+        stats = serve_stats()
+
+    def fmt(value, spec):
+        return format(value, spec) if value is not None else "-"
+    lines = [
+        f"requests        {stats['requests']:>10}",
+        f"batches         {stats['batches']:>10}",
+        f"coalesced       {stats['coalesced']:>10}",
+        f"shards          {stats['shards']:>10}",
+        f"mean batch size {fmt(stats['mean_batch_size'], '10.2f')}",
+        f"mean wait (ms)  {fmt(stats['mean_queue_wait_ms'], '10.3f')}",
+        f"coalesce rate   {fmt(stats['coalesce_rate'], '10.1%')}",
+    ]
+    return "\n".join(lines)
+
+
 def fft_call_totals() -> dict[str, dict]:
     """Per-kind FFT invocation totals recorded while tracing was enabled.
 

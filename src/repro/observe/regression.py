@@ -18,6 +18,13 @@ baseline JSON and decides pass/fail:
   install never falls back, so the baseline records 0 and *any* fallback
   on a clean run means the primary engine silently broke — a correctness
   regression, not a performance one.
+- **Serving throughput** (the report's ``serve`` section): a preset with
+  a ``min_speedup`` floor fails when its measured coalescing speedup
+  drops below the floor — an absolute contract, not a relative one, so
+  the gate holds even if a slow baseline run recorded a low speedup.
+  ``served_rps`` additionally must not *decrease* by more than the wall
+  tolerance against the baseline.  Like wall-clock cases, flagged serve
+  presets are re-measured once before the verdict.
 
 Baselines are ordinary ``repro bench`` JSON reports; cases are matched by
 name, and cases present on only one side are ignored (suites may grow).
@@ -43,7 +50,7 @@ class Regression:
 
     case: str
     metric: str
-    kind: str  # 'wall' | 'counter'
+    kind: str  # 'wall' | 'counter' | 'throughput'
     baseline: float
     current: float
     limit: float
@@ -53,6 +60,11 @@ class Regression:
         return self.current / self.baseline if self.baseline else float("inf")
 
     def describe(self) -> str:
+        if self.kind == "throughput":
+            # Throughput regresses downward: the limit is a floor.
+            return (f"{self.case}: {self.metric} {self.current:g} fell "
+                    f"below its floor {self.limit:g} "
+                    f"(baseline {self.baseline:g})")
         unit = " ms" if self.kind == "wall" else ""
         if not self.baseline:
             return (f"{self.case}: {self.metric} {self.baseline:g}{unit} -> "
@@ -100,6 +112,36 @@ def compare_reports(current: dict, baseline: dict,
             if c > b:
                 regressions.append(Regression(
                     cur["name"], metric, "counter", b, c, 1.0))
+    regressions += _compare_serve(current, baseline, tolerance)
+    return regressions
+
+
+def _compare_serve(current: dict, baseline: dict,
+                   tolerance: float) -> list[Regression]:
+    """Throughput regressions of the reports' ``serve`` sections."""
+    regressions = []
+    base_by_name = {r["name"]: r for r in baseline.get("serve", [])}
+    for cur in current.get("serve", []):
+        base = base_by_name.get(cur["name"])
+        if base is None:
+            continue
+        # Absolute floor: the speedup contract travels with the baseline
+        # (the preset's min_speedup at baseline-recording time).
+        floor = base.get("min_speedup")
+        speedup = cur.get("speedup")
+        if floor and speedup is not None and speedup < floor:
+            regressions.append(Regression(
+                cur["name"], "speedup", "throughput",
+                base.get("speedup") or 0.0, speedup, floor))
+        # Relative guard: served requests/sec must not collapse even on
+        # presets without a speedup floor.
+        b, c = base.get("served_rps"), cur.get("served_rps")
+        if b and c is not None:
+            floor_rps = b * max(1.0 - tolerance, 0.0)
+            if c < floor_rps:
+                regressions.append(Regression(
+                    cur["name"], "served_rps", "throughput", b, c,
+                    floor_rps))
     return regressions
 
 

@@ -1,0 +1,69 @@
+"""Async dynamic-batching serving layer in front of the PolyHankel engine.
+
+Every entry point before this package executed one request at a time on
+one thread: the plan cache, spectrum cache and guard chain were warm and
+ready, but nothing amortized them across *concurrent* requests.  This
+package closes that gap with the standard serving architecture:
+
+- :mod:`repro.serve.coalescer` — the coalescing key: which requests may
+  legally ride one stacked batch (same geometry, same weight array, same
+  conv parameters, same algorithm/strategy/backend), plus the pure
+  stack/split helpers.  Stacking along the batch axis is **bit-exact**:
+  every engine stage (row FFTs, the channel einsum, the inverse FFT, the
+  gather) is row-independent, so a coalesced answer equals the answer
+  each request would have gotten alone.
+- :mod:`repro.serve.queue` — :class:`BatchingQueue`: requests wait at
+  most ``max_wait_ms`` for compatible companions; a group is dispatched
+  the moment it holds ``max_batch`` stacked rows or its oldest request's
+  deadline expires.
+- :mod:`repro.serve.pool` — the persistent :class:`WorkerPool` (threads
+  by default, a ``ProcessPoolExecutor`` with per-worker warm plan and
+  spectrum caches as an opt-in) and the batch/group shard splitter for
+  oversized requests.
+- :mod:`repro.serve.api` — :class:`ConvServer`, the user-facing object,
+  and the process-wide default server used by
+  :func:`repro.nn.functional.conv2d_async` and ``Conv2d.submit``.
+
+Everything is observable through the unified counter registry
+(``serve.requests``, ``serve.coalesced``, ``serve.batches``,
+``serve.batch_size``, ``serve.queue_wait_ms``, ``serve.shards``) and runs
+under the guard chain when supervision is enabled, with the circuit
+breaker scoped by coalescing key so every shard of one request family
+shares breaker state.
+"""
+
+from repro.serve.api import (
+    ConvServer,
+    configure_server,
+    get_server,
+    set_server,
+    shutdown_server,
+)
+from repro.serve.coalescer import (
+    CoalesceKey,
+    ConvRequest,
+    coalesce_key,
+    make_request,
+    split_result,
+    stack_requests,
+)
+from repro.serve.pool import WorkerPool, execute_conv, shard_splits
+from repro.serve.queue import BatchingQueue
+
+__all__ = [
+    "BatchingQueue",
+    "CoalesceKey",
+    "ConvRequest",
+    "ConvServer",
+    "WorkerPool",
+    "coalesce_key",
+    "configure_server",
+    "execute_conv",
+    "get_server",
+    "make_request",
+    "set_server",
+    "shard_splits",
+    "shutdown_server",
+    "split_result",
+    "stack_requests",
+]

@@ -1,0 +1,192 @@
+"""The user-facing serving object and the process-wide default server.
+
+:class:`ConvServer` composes the batching queue and the worker pool into
+one front door:
+
+- ``submit(...)`` returns a ``concurrent.futures.Future`` immediately;
+- requests whose own batch fits under ``max_batch`` wait (at most
+  ``max_wait_ms``) in the :class:`~repro.serve.queue.BatchingQueue` for
+  compatible companions and ride one stacked engine call;
+- oversized requests bypass the queue entirely and are sharded across
+  the persistent :class:`~repro.serve.pool.WorkerPool` along the batch
+  and group axes;
+- ``conv2d(...)`` is the synchronous convenience wrapper.
+
+A lazily created default server backs
+:func:`repro.nn.functional.conv2d_async` and ``Conv2d.submit``; its knobs
+come from ``REPRO_SERVE_WORKERS``, ``REPRO_SERVE_MAX_BATCH`` and
+``REPRO_SERVE_MAX_WAIT_MS``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import Future
+
+import numpy as np
+
+from repro.observe.registry import counters
+from repro.serve.coalescer import (
+    ConvRequest,
+    make_request,
+    split_result,
+    stack_requests,
+)
+from repro.serve.pool import WorkerPool, execute_conv
+from repro.serve.queue import BatchingQueue
+
+DEFAULT_MAX_BATCH = 8
+DEFAULT_MAX_WAIT_MS = 2.0
+
+
+class ConvServer:
+    """Async dynamic-batching front door to the convolution engine."""
+
+    def __init__(self, max_batch: int = DEFAULT_MAX_BATCH,
+                 max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+                 workers: int | None = None, mode: str = "thread"):
+        self.max_batch = int(max_batch)
+        self._pool = WorkerPool(workers=workers, mode=mode)
+        self._queue = BatchingQueue(self._execute_batch,
+                                    max_batch=max_batch,
+                                    max_wait_ms=max_wait_ms)
+        self._closed = False
+
+    # -- request intake ------------------------------------------------------
+
+    def submit(self, x: np.ndarray, weight: np.ndarray,
+               bias: np.ndarray | None = None,
+               padding: int | tuple | str = 0, stride: int | tuple = 1,
+               dilation: int | tuple = 1, groups: int = 1,
+               algorithm: str = "polyhankel", strategy: str = "sum",
+               backend: str | None = None) -> Future:
+        """Enqueue one convolution; returns its future immediately.
+
+        A 3-D input is treated as a single CHW image (batch of one).
+        """
+        if self._closed:
+            raise RuntimeError("server is closed")
+        if getattr(x, "ndim", None) == 3:
+            x = np.asarray(x, dtype=float)[None]
+        request = make_request(x, weight, bias, padding, stride, dilation,
+                               groups, algorithm, strategy, backend)
+        counters.add("serve.requests")
+        if request.batch > self.max_batch:
+            # Oversized: no companion could ride along anyway — shard it
+            # across the pool instead of clogging the queue.
+            self._pool.resolve(request)
+        else:
+            self._queue.submit(request)
+        return request.future
+
+    def conv2d(self, x: np.ndarray, weight: np.ndarray,
+               bias: np.ndarray | None = None,
+               padding: int | tuple | str = 0, stride: int | tuple = 1,
+               dilation: int | tuple = 1, groups: int = 1,
+               algorithm: str = "polyhankel", strategy: str = "sum",
+               backend: str | None = None,
+               timeout: float | None = None) -> np.ndarray:
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return self.submit(x, weight, bias, padding, stride, dilation,
+                           groups, algorithm, strategy,
+                           backend).result(timeout)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _execute_batch(self, batch: list[ConvRequest]) -> None:
+        """Run one coalesced batch and resolve every rider's future."""
+        first = batch[0]
+        key = first.key
+        if len(batch) == 1 and self._pool.workers > 1:
+            # Nothing to split off the stacked call; let the pool decide
+            # whether shards help this lone request.
+            self._pool.resolve(first)
+            return
+        stacked = stack_requests(batch)
+        out = execute_conv(
+            stacked, first.weight, first.bias, padding=key.padding,
+            stride=key.stride, dilation=key.dilation, groups=key.groups,
+            algorithm=key.algorithm, strategy=key.strategy,
+            backend=key.backend, breaker_key=key)
+        for request, result in zip(batch, split_result(out, batch)):
+            request.future.set_result(result)
+
+    # -- introspection and lifecycle ----------------------------------------
+
+    def stats(self) -> dict:
+        """Serving counters from the unified registry (process-wide)."""
+        from repro.observe.registry import serve_stats
+
+        return serve_stats()
+
+    def pending_count(self) -> int:
+        return self._queue.pending_count()
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Drain the queue, stop the dispatcher, shut the pool down."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.close(timeout)
+        self._pool.close()
+
+    def __enter__(self) -> "ConvServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Process-wide default server.
+# ---------------------------------------------------------------------------
+
+_default_lock = threading.Lock()
+_DEFAULT: list[ConvServer | None] = [None]
+
+
+def _env_float(name: str, fallback: float) -> float:
+    value = os.environ.get(name)
+    try:
+        return float(value) if value else fallback
+    except ValueError:
+        return fallback
+
+
+def get_server() -> ConvServer:
+    """The lazily created process-wide default server."""
+    with _default_lock:
+        server = _DEFAULT[0]
+        if server is None or server._closed:
+            server = ConvServer(
+                max_batch=int(_env_float("REPRO_SERVE_MAX_BATCH",
+                                         DEFAULT_MAX_BATCH)),
+                max_wait_ms=_env_float("REPRO_SERVE_MAX_WAIT_MS",
+                                       DEFAULT_MAX_WAIT_MS),
+            )
+            _DEFAULT[0] = server
+        return server
+
+
+def set_server(server: ConvServer | None) -> ConvServer | None:
+    """Swap the default server; returns the previous one (not closed)."""
+    with _default_lock:
+        previous, _DEFAULT[0] = _DEFAULT[0], server
+    return previous
+
+
+def configure_server(**kwargs) -> ConvServer:
+    """Replace the default server with a freshly configured one."""
+    server = ConvServer(**kwargs)
+    previous = set_server(server)
+    if previous is not None:
+        previous.close()
+    return server
+
+
+def shutdown_server() -> None:
+    """Close and drop the default server (tests, clean interpreter exit)."""
+    previous = set_server(None)
+    if previous is not None:
+        previous.close()

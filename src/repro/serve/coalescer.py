@@ -1,0 +1,165 @@
+"""Coalescing: deciding which requests may legally share one batch.
+
+Two requests may be stacked along the batch axis if and only if a single
+``conv2d`` call over the concatenated input would compute exactly what two
+separate calls would: same per-image geometry, the *same weight array*
+(identity, not just equal values — the stacked call consults the spectrum
+cache once, so entries must alias the same kernel), the same bias object,
+and the same convolution parameters, algorithm, channel strategy and FFT
+backend.  All of that is captured by :class:`CoalesceKey`.
+
+The key is also the guard scope under concurrency: shards of one request
+family pass the key to :func:`repro.guard.chain.guarded_conv2d` as
+``breaker_key``, so a chronically failing family opens *one* breaker no
+matter how the batch axis was split (per-shard shapes differ only in
+``n``, which the key deliberately excludes).
+
+Parameter spellings are canonicalized the same way :class:`~repro.utils.
+shapes.ConvShape` does (``(1, 1)`` collapses to ``1``, an ``(ph, pw)``
+pair expands to the 4-tuple before collapsing) so equivalent spellings
+coalesce — without paying ConvShape construction per request.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+import numpy as np
+
+
+def _canonical_pair(value) -> int | tuple:
+    """Collapse a uniform stride/dilation pair to an int (cheap, no
+    validation — the engine validates on execution)."""
+    if isinstance(value, (tuple, list)):
+        value = tuple(value)
+        if len(value) == 2 and value[0] == value[1]:
+            return value[0]
+        return value
+    return value
+
+
+def _canonical_padding(value) -> int | tuple | str:
+    """Collapse any padding spelling to its canonical hashable form."""
+    if isinstance(value, (tuple, list)):
+        value = tuple(value)
+        if len(value) == 2:
+            value = (value[0], value[0], value[1], value[1])
+        if len(set(value)) == 1:
+            return value[0]
+        return value
+    return value
+
+
+class CoalesceKey(NamedTuple):
+    """Everything that must match for requests to share a stacked batch.
+
+    A ``NamedTuple`` rather than a frozen dataclass: the key is built on
+    every ``submit`` and a frozen dataclass pays one ``object.__setattr__``
+    per field, which at twelve fields is measurable on the hot path.
+    """
+
+    input_chw: tuple[int, int, int]
+    weight_id: int
+    weight_shape: tuple[int, int, int, int]
+    bias_id: int | None
+    dtype: str
+    padding: int | tuple | str
+    stride: int | tuple
+    dilation: int | tuple
+    groups: int
+    algorithm: str
+    strategy: str
+    backend: str | None
+
+
+def coalesce_key(x: np.ndarray, weight: np.ndarray,
+                 bias: np.ndarray | None = None,
+                 padding: int | tuple | str = 0, stride: int | tuple = 1,
+                 dilation: int | tuple = 1, groups: int = 1,
+                 algorithm: str = "polyhankel", strategy: str = "sum",
+                 backend: str | None = None) -> CoalesceKey:
+    """The :class:`CoalesceKey` of one request (arrays keyed by identity)."""
+    algorithm = getattr(algorithm, "value", algorithm)
+    return CoalesceKey(
+        input_chw=tuple(x.shape[1:]),
+        weight_id=id(weight),
+        weight_shape=tuple(weight.shape),
+        bias_id=None if bias is None else id(bias),
+        dtype=x.dtype.char,  # .char, not str(): dtype.__str__ costs ~8us
+        padding=_canonical_padding(padding),
+        stride=_canonical_pair(stride),
+        dilation=_canonical_pair(dilation),
+        groups=int(groups),
+        algorithm=str(algorithm),
+        strategy=str(strategy),
+        backend=backend,
+    )
+
+
+@dataclass
+class ConvRequest:
+    """One in-flight convolution request with its result future.
+
+    The request pins strong references to its arrays, so the ``id``-based
+    key fields of :attr:`key` stay valid for the request's lifetime.
+    """
+
+    x: np.ndarray
+    weight: np.ndarray
+    bias: np.ndarray | None
+    key: CoalesceKey
+    #: Stacked rows this request contributes (its own batch size); a plain
+    #: field so the queue's row accounting never re-derives it per scan.
+    batch: int = 0
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+    def __post_init__(self) -> None:
+        if not self.batch:
+            self.batch = int(self.x.shape[0])
+
+
+def make_request(x: np.ndarray, weight: np.ndarray,
+                 bias: np.ndarray | None = None,
+                 padding: int | tuple | str = 0, stride: int | tuple = 1,
+                 dilation: int | tuple = 1, groups: int = 1,
+                 algorithm: str = "polyhankel", strategy: str = "sum",
+                 backend: str | None = None) -> ConvRequest:
+    """Validate lightly and wrap one call's arguments as a request."""
+    x = np.asarray(x, dtype=float)
+    weight = np.asarray(weight, dtype=float)
+    if x.ndim != 4:
+        raise ValueError(f"input must be NCHW, got shape {x.shape}")
+    if weight.ndim != 4:
+        raise ValueError(f"weight must be FCKhKw, got shape {weight.shape}")
+    key = coalesce_key(x, weight, bias, padding, stride, dilation, groups,
+                       algorithm, strategy, backend)
+    return ConvRequest(x=x, weight=weight, bias=bias, key=key)
+
+
+def stack_requests(requests: list[ConvRequest]) -> np.ndarray:
+    """Concatenate compatible requests along the batch axis (bit-exact:
+    every engine stage is row-independent)."""
+    if len(requests) == 1:
+        return requests[0].x
+    return np.concatenate([r.x for r in requests], axis=0)
+
+
+def split_result(out: np.ndarray,
+                 requests: list[ConvRequest]) -> list[np.ndarray]:
+    """Slice a stacked result back into per-request outputs.
+
+    Returns contiguous copies so no request's result pins the whole
+    stacked array alive (requests outlive the batch independently).
+    """
+    if len(requests) == 1:
+        return [out]
+    results = []
+    row = 0
+    for request in requests:
+        results.append(np.ascontiguousarray(out[row:row + request.batch]))
+        row += request.batch
+    return results

@@ -17,11 +17,19 @@ import numpy as np
 import pytest
 from hypothesis import HealthCheck, settings
 
-# One global hypothesis profile: small example counts keep the suite fast on
-# a single core while still exercising the shape space.
+# Two hypothesis profiles.  "repro" (the default) keeps example counts
+# small so the tier-1 suite stays fast on a single core; "nightly" raises
+# the budget 12x for the scheduled deep fuzz (.github/workflows/
+# nightly.yml selects it with pytest's --hypothesis-profile flag).
 settings.register_profile(
     "repro",
     max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "nightly",
+    max_examples=300,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )

@@ -1,0 +1,129 @@
+"""Unit tests for the figure generators over reduced sweeps.
+
+Each generator is exercised with a scaled-down config (few x points,
+two or three methods) so the tests check panel structure, capability
+gating and metric wiring without paying for the paper-size sweeps.
+"""
+
+import pytest
+
+from repro.baselines.registry import ConvAlgorithm as A
+from repro.experiments.config import (
+    DEVICES,
+    Fig3Config,
+    Fig4Config,
+    Fig5Config,
+    Fig6Config,
+    Fig7Config,
+)
+from repro.experiments.figures import (
+    fig3_input_sweep,
+    fig4_kernel_sweep,
+    fig5_channel_sweep,
+    fig6_network_sweep,
+    fig7_counters,
+)
+
+
+class TestFig3:
+    def test_panel_structure(self):
+        config = Fig3Config(input_sizes=(16, 32),
+                            methods=(A.GEMM, A.POLYHANKEL))
+        result = fig3_input_sweep("3090ti", config)
+        assert result.x_values == (16, 32)
+        assert result.metric == "time_ms"
+        assert "Fig. 3" in result.title
+        for size in (16, 32):
+            for method in (A.GEMM, A.POLYHANKEL):
+                assert result.value(size, method) > 0
+
+    def test_default_config(self):
+        # The stated-parameter defaults must produce a full panel.
+        result = fig3_input_sweep("a10g",
+                                  Fig3Config(input_sizes=(16,),
+                                             methods=(A.POLYHANKEL,)))
+        assert result.winner(16) is A.POLYHANKEL
+
+
+class TestFig4:
+    def test_winograd_contributes_single_point(self):
+        config = Fig4Config(kernel_sizes=(3, 5),
+                            methods=(A.GEMM, A.POLYHANKEL))
+        result = fig4_kernel_sweep("3090ti", config)
+        assert A.WINOGRAD in result.methods
+        assert (3, A.WINOGRAD) in result.values
+        assert (5, A.WINOGRAD) not in result.values
+
+    def test_no_winograd_point_outside_sweep(self):
+        config = Fig4Config(kernel_sizes=(5, 7),
+                            methods=(A.GEMM, A.POLYHANKEL))
+        result = fig4_kernel_sweep("3090ti", config)
+        assert not any(m is A.WINOGRAD for (_, m) in result.values)
+
+
+class TestFig5:
+    def test_all_cudnn_variants_present(self):
+        config = Fig5Config(channel_counts=(4,))
+        result = fig5_channel_sweep(config)
+        present = {m for (_, m) in result.values}
+        assert A.IMPLICIT_GEMM in present
+        assert A.POLYHANKEL in present
+        assert result.x_name == "channels"
+
+
+class TestFig6:
+    def test_accumulated_network_time(self):
+        config = Fig6Config(input_sizes=(16,), seeds=(0,), iterations=2,
+                            methods=(A.GEMM, A.POLYHANKEL))
+        result = fig6_network_sweep("v100", config)
+        assert result.value(16, A.GEMM) > 0
+        assert result.value(16, A.POLYHANKEL) > 0
+
+    def test_seed_averaging(self):
+        one = Fig6Config(input_sizes=(16,), seeds=(0,), iterations=2,
+                         methods=(A.POLYHANKEL,))
+        two = Fig6Config(input_sizes=(16,), seeds=(0, 1), iterations=2,
+                         methods=(A.POLYHANKEL,))
+        v1 = fig6_network_sweep("v100", one).value(16, A.POLYHANKEL)
+        v2 = fig6_network_sweep("v100", two).value(16, A.POLYHANKEL)
+        assert v1 > 0 and v2 > 0  # both averages well-defined
+
+
+class TestFig7:
+    def test_two_counter_panels(self):
+        config = Fig7Config(input_sizes=(16, 32),
+                            methods=(A.GEMM, A.POLYHANKEL))
+        flops, transactions = fig7_counters(config)
+        assert flops.metric == "flops"
+        assert transactions.metric == "transactions"
+        for size in (16, 32):
+            assert flops.value(size, A.POLYHANKEL) > 0
+            assert transactions.value(size, A.POLYHANKEL) > 0
+
+    def test_flops_grow_with_input(self):
+        config = Fig7Config(input_sizes=(16, 64),
+                            methods=(A.POLYHANKEL,))
+        flops, _ = fig7_counters(config)
+        assert (flops.value(64, A.POLYHANKEL)
+                > flops.value(16, A.POLYHANKEL))
+
+
+class TestConfigs:
+    def test_devices_registered(self):
+        from repro.perfmodel.device import get_device
+
+        for device in DEVICES:
+            assert get_device(device).name
+
+    def test_paper_stated_parameters(self):
+        assert Fig3Config().kernel == 5
+        assert Fig3Config().batch == 128
+        assert Fig5Config().input_size == 112
+        assert Fig5Config().kernel == 3
+        assert Fig5Config().device == "3090ti"
+        assert Fig7Config().device == "a10g"
+
+    def test_configs_frozen(self):
+        config = Fig3Config()
+        with pytest.raises(AttributeError):
+            config.kernel = 7

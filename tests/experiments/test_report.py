@@ -1,0 +1,117 @@
+"""Unit tests for SweepResult analytics and the text renderers."""
+
+import pytest
+
+from repro.baselines.registry import ConvAlgorithm as A
+from repro.experiments.report import SweepResult, format_table, summarize
+
+
+@pytest.fixture
+def sweep():
+    """Hand-built panel: POLYHANKEL wins at 16 and 32, GEMM wins at 8.
+
+    Winograd is missing the x=32 point, mirroring how capability-gated
+    methods leave holes in real sweeps.
+    """
+    methods = (A.GEMM, A.FFT, A.POLYHANKEL, A.WINOGRAD)
+    values = {
+        (8, A.GEMM): 1.0, (8, A.FFT): 4.0, (8, A.POLYHANKEL): 2.0,
+        (8, A.WINOGRAD): 3.0,
+        (16, A.GEMM): 4.0, (16, A.FFT): 3.0, (16, A.POLYHANKEL): 2.0,
+        (16, A.WINOGRAD): 5.0,
+        (32, A.GEMM): 9.0, (32, A.FFT): 6.0, (32, A.POLYHANKEL): 3.0,
+    }
+    return SweepResult(title="test panel", x_name="input_size",
+                       x_values=(8, 16, 32), methods=methods,
+                       values=values)
+
+
+class TestSweepResult:
+    def test_value(self, sweep):
+        assert sweep.value(8, A.GEMM) == 1.0
+
+    def test_winner_per_point(self, sweep):
+        assert sweep.winner(8) is A.GEMM
+        assert sweep.winner(16) is A.POLYHANKEL
+        assert sweep.winner(32) is A.POLYHANKEL
+
+    def test_winner_ignores_missing_methods(self, sweep):
+        # Winograd has no x=32 entry; winner() must not KeyError.
+        assert sweep.winner(32) is A.POLYHANKEL
+
+    def test_winners_covers_all_x(self, sweep):
+        winners = sweep.winners()
+        assert set(winners) == {8, 16, 32}
+        assert winners[16] is A.POLYHANKEL
+
+    def test_win_count(self, sweep):
+        assert sweep.win_count(A.POLYHANKEL) == 2
+        assert sweep.win_count(A.GEMM) == 1
+        assert sweep.win_count(A.FFT) == 0
+
+    def test_speedup_over_next_best(self, sweep):
+        # At 16: winner 2.0, next best 3.0 -> 50% faster than next best.
+        assert sweep.speedup_over_next_best(16) == pytest.approx(0.5)
+        assert sweep.speedup_over_next_best(32) == pytest.approx(1.0)
+
+    def test_speedup_degenerate_cases(self):
+        lone = SweepResult(title="t", x_name="x", x_values=(1,),
+                           methods=(A.GEMM,), values={(1, A.GEMM): 2.0})
+        assert lone.speedup_over_next_best(1) == 0.0
+        zero = SweepResult(title="t", x_name="x", x_values=(1,),
+                           methods=(A.GEMM, A.FFT),
+                           values={(1, A.GEMM): 0.0, (1, A.FFT): 1.0})
+        assert zero.speedup_over_next_best(1) == 0.0
+
+    def test_max_speedup_for(self, sweep):
+        # POLYHANKEL's best winning margin is at 32 (6/3 - 1 = 100%).
+        assert sweep.max_speedup_for(A.POLYHANKEL) == pytest.approx(1.0)
+        # FFT never wins, so its max speedup is zero.
+        assert sweep.max_speedup_for(A.FFT) == 0.0
+
+    def test_average_speedup_for(self, sweep):
+        # Per point: best-other/mine = 1/2, 3/2, 6/3 -> mean 4/3.
+        expected = (0.5 + 1.5 + 2.0) / 3
+        assert (sweep.average_speedup_for(A.POLYHANKEL)
+                == pytest.approx(expected))
+
+    def test_average_speedup_empty(self):
+        empty = SweepResult(title="t", x_name="x", x_values=(),
+                            methods=(A.GEMM,), values={})
+        assert empty.average_speedup_for(A.GEMM) == 0.0
+
+
+class TestFormatTable:
+    def test_contains_title_headers_and_winner(self, sweep):
+        text = format_table(sweep)
+        lines = text.splitlines()
+        assert lines[0] == "test panel"
+        assert "input_size" in lines[1]
+        assert "winner" in lines[1]
+        for method in sweep.methods:
+            assert method.value in lines[1]
+
+    def test_missing_points_render_as_dash(self, sweep):
+        row_32 = next(line for line in format_table(sweep).splitlines()
+                      if line.startswith("32"))
+        assert "-" in row_32.split()
+
+    def test_one_row_per_x_value(self, sweep):
+        lines = format_table(sweep).splitlines()
+        # title + header + rule + one row per x value
+        assert len(lines) == 3 + len(sweep.x_values)
+
+    def test_precision(self, sweep):
+        assert "1.0" in format_table(sweep, precision=1)
+        assert "1.00000" in format_table(sweep, precision=5)
+
+
+class TestSummarize:
+    def test_default_hero(self, sweep):
+        line = summarize(sweep)
+        assert "polyhankel wins 2 of 3 input_size points" in line
+        assert "100.0%" in line
+
+    def test_custom_hero(self, sweep):
+        line = summarize(sweep, hero=A.GEMM)
+        assert "gemm wins 1 of 3" in line

@@ -131,6 +131,31 @@ class TestBreaker:
         assert_conv_close(out, ref)
         assert counters.total("guard.fallback", cause="breaker_open") >= 1
 
+    def test_breaker_key_overrides_shape_scope(self, problem):
+        """Shards of one request family share a single breaker: two
+        calls with different batch sizes but the same breaker_key trip
+        one key, where shape scoping would have kept two half-tripped
+        breakers."""
+        x, w, _ = problem
+        cfg = GuardConfig(breaker_threshold=2)
+        family = ("serve", "family-key")
+        with faults.inject("backend_error"):
+            guarded_conv2d(x, w, padding=1, config=cfg,
+                           breaker_key=family)
+            guarded_conv2d(x[:1], w, padding=1, config=cfg,
+                           breaker_key=family)
+        open_keys = breaker().open_keys()
+        assert any(key[1] == family for key in open_keys)
+
+    def test_breaker_shape_scope_keeps_batches_separate(self, problem):
+        x, w, _ = problem
+        cfg = GuardConfig(breaker_threshold=2)
+        with faults.inject("backend_error"):
+            guarded_conv2d(x, w, padding=1, config=cfg)
+            guarded_conv2d(x[:1], w, padding=1, config=cfg)
+        # One failure per distinct shape: neither breaker reached 2.
+        assert breaker().open_keys() == []
+
     def test_reset_guard_clears_breaker_and_counters(self, problem):
         x, w, _ = problem
         cfg = GuardConfig(breaker_threshold=1)

@@ -68,6 +68,26 @@ class TestCache:
         assert tuner.best_algorithm(SMALL) is tuner.tune(SMALL).best
 
 
+class TestMeasurement:
+    def test_warmup_pass_runs(self):
+        # warmup=True exercises the pre-measurement call path; restrict
+        # to one cheap candidate so the double execution stays fast.
+        tuner = ConvTuner(candidates=(ConvAlgorithm.GEMM,), repeats=1,
+                          warmup=True)
+        result = tuner.tune(SMALL)
+        assert result.timings_s[ConvAlgorithm.GEMM] > 0
+
+    def test_repeats_keep_the_minimum(self):
+        tuner = ConvTuner(candidates=(ConvAlgorithm.GEMM,), repeats=3,
+                          warmup=False)
+        result = tuner.tune(SMALL)
+        assert result.best_seconds > 0
+
+    def test_default_candidates_exclude_naive(self):
+        assert ConvAlgorithm.NAIVE not in DEFAULT_CANDIDATES
+        assert ConvAlgorithm.POLYHANKEL in DEFAULT_CANDIDATES
+
+
 class TestValidation:
     def test_invalid_repeats(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,253 @@
+"""Unit tests for the dynamic-batching queue's triggers and lifecycle."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import BatchingQueue, make_request
+
+
+def _resolve_all(batches):
+    """Executor callback that records batches and resolves futures."""
+    def execute(batch):
+        batches.append(batch)
+        for request in batch:
+            request.future.set_result(request.x)
+    return execute
+
+
+@pytest.fixture
+def weight(rng):
+    return rng.standard_normal((2, 3, 3, 3))
+
+
+def request_of(rng, weight, n=1):
+    return make_request(rng.standard_normal((n, 3, 8, 8)), weight)
+
+
+class TestSizeTrigger:
+    def test_full_group_dispatches_inline(self, rng, weight):
+        batches = []
+        seen_threads = []
+        resolve = _resolve_all(batches)
+
+        def execute(batch):
+            seen_threads.append(threading.get_ident())
+            resolve(batch)
+        queue = BatchingQueue(execute, max_batch=3, max_wait_ms=10_000)
+        try:
+            submitter = threading.get_ident()
+            requests = [request_of(rng, weight) for _ in range(3)]
+            for r in requests:
+                queue.submit(r)
+            # Full batch resolved synchronously, long before any deadline.
+            assert all(r.future.done() for r in requests)
+            assert len(batches) == 1 and len(batches[0]) == 3
+            assert seen_threads == [submitter]
+        finally:
+            queue.close()
+
+    def test_burst_drains_as_full_batches(self, rng, weight):
+        batches = []
+        queue = BatchingQueue(_resolve_all(batches), max_batch=4,
+                              max_wait_ms=50)
+        try:
+            requests = [request_of(rng, weight) for _ in range(10)]
+            for r in requests:
+                queue.submit(r)
+            for r in requests:
+                r.future.result(timeout=5)
+            assert sorted(len(b) for b in batches) == [2, 4, 4]
+        finally:
+            queue.close()
+
+    def test_row_bound_counts_stacked_rows_not_requests(self, rng, weight):
+        batches = []
+        queue = BatchingQueue(_resolve_all(batches), max_batch=4,
+                              max_wait_ms=10_000)
+        try:
+            # Two 2-row requests fill a 4-row batch.
+            a = request_of(rng, weight, n=2)
+            b = request_of(rng, weight, n=2)
+            queue.submit(a)
+            assert not a.future.done()
+            queue.submit(b)
+            assert a.future.done() and b.future.done()
+            assert len(batches) == 1
+        finally:
+            queue.close()
+
+    def test_oversized_rider_dispatches_alone(self, rng, weight):
+        # A 3-row rider cannot join a group holding 2 rows under
+        # max_batch=4 without overflowing; FIFO pops the 2-row slice
+        # first, then the rider rides its own batch.
+        batches = []
+        queue = BatchingQueue(_resolve_all(batches), max_batch=4,
+                              max_wait_ms=20)
+        try:
+            first = request_of(rng, weight, n=2)
+            rider = request_of(rng, weight, n=3)
+            queue.submit(first)
+            queue.submit(rider)
+            first.future.result(timeout=5)
+            rider.future.result(timeout=5)
+            assert sorted(len(b) for b in batches) == [1, 1]
+        finally:
+            queue.close()
+
+
+class TestDeadlineTrigger:
+    def test_lone_request_dispatches_at_deadline(self, rng, weight):
+        batches = []
+        queue = BatchingQueue(_resolve_all(batches), max_batch=8,
+                              max_wait_ms=20)
+        try:
+            request = request_of(rng, weight)
+            start = time.monotonic()
+            queue.submit(request)
+            request.future.result(timeout=5)
+            waited_ms = (time.monotonic() - start) * 1e3
+            assert waited_ms >= 15  # honoured (most of) the deadline
+            assert len(batches) == 1 and len(batches[0]) == 1
+        finally:
+            queue.close()
+
+    def test_incompatible_keys_never_share_a_batch(self, rng, weight):
+        batches = []
+        queue = BatchingQueue(_resolve_all(batches), max_batch=8,
+                              max_wait_ms=10)
+        try:
+            a = request_of(rng, weight)
+            b = make_request(rng.standard_normal((1, 3, 8, 8)),
+                             weight.copy())  # different weight identity
+            queue.submit(a)
+            queue.submit(b)
+            a.future.result(timeout=5)
+            b.future.result(timeout=5)
+            assert len(batches) == 2
+            assert all(len(b) == 1 for b in batches)
+        finally:
+            queue.close()
+
+
+class TestLifecycle:
+    def test_close_drains_pending(self, rng, weight):
+        batches = []
+        queue = BatchingQueue(_resolve_all(batches), max_batch=8,
+                              max_wait_ms=60_000)
+        request = request_of(rng, weight)
+        queue.submit(request)
+        queue.close()
+        assert request.future.done()
+
+    def test_submit_after_close_raises(self, rng, weight):
+        queue = BatchingQueue(_resolve_all([]), max_batch=8)
+        queue.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            queue.submit(request_of(rng, weight))
+
+    def test_close_is_idempotent(self):
+        queue = BatchingQueue(_resolve_all([]), max_batch=8)
+        queue.close()
+        queue.close()
+
+    def test_pending_count(self, rng, weight):
+        queue = BatchingQueue(_resolve_all([]), max_batch=8,
+                              max_wait_ms=60_000)
+        try:
+            assert queue.pending_count() == 0
+            queue.submit(request_of(rng, weight))
+            assert queue.pending_count() == 1
+        finally:
+            queue.close()
+
+    def test_executor_exception_fails_futures(self, rng, weight):
+        def explode(batch):
+            raise RuntimeError("engine fault")
+        queue = BatchingQueue(explode, max_batch=2, max_wait_ms=10)
+        try:
+            a = request_of(rng, weight)
+            b = request_of(rng, weight)
+            queue.submit(a)
+            queue.submit(b)
+            with pytest.raises(RuntimeError, match="engine fault"):
+                a.future.result(timeout=5)
+            with pytest.raises(RuntimeError, match="engine fault"):
+                b.future.result(timeout=5)
+        finally:
+            queue.close()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            BatchingQueue(_resolve_all([]), max_batch=0)
+        with pytest.raises(ValueError, match="max_wait_ms"):
+            BatchingQueue(_resolve_all([]), max_wait_ms=-1)
+
+
+class TestCounters:
+    def test_dispatch_counters(self, rng, weight):
+        from repro.observe.registry import counters
+
+        counters.clear("serve.")
+        queue = BatchingQueue(_resolve_all([]), max_batch=2,
+                              max_wait_ms=10)
+        try:
+            a = request_of(rng, weight)
+            b = request_of(rng, weight)
+            queue.submit(a)
+            queue.submit(b)
+            a.future.result(timeout=5)
+            assert counters.total("serve.batches") == 1
+            assert counters.total("serve.batch_size") == 2
+            assert counters.total("serve.coalesced") == 2
+            assert counters.total("serve.queue_wait_ms") >= 0
+        finally:
+            queue.close()
+            counters.clear("serve.")
+
+    def test_lone_dispatch_not_counted_coalesced(self, rng, weight):
+        from repro.observe.registry import counters
+
+        counters.clear("serve.")
+        queue = BatchingQueue(_resolve_all([]), max_batch=8,
+                              max_wait_ms=5)
+        try:
+            request = request_of(rng, weight)
+            queue.submit(request)
+            request.future.result(timeout=5)
+            assert counters.total("serve.coalesced") == 0
+        finally:
+            queue.close()
+            counters.clear("serve.")
+
+
+def test_fifo_order_within_key(rng, weight):
+    batches = []
+    queue = BatchingQueue(_resolve_all(batches), max_batch=2,
+                          max_wait_ms=10_000)
+    try:
+        requests = [request_of(rng, weight) for _ in range(4)]
+        for r in requests:
+            queue.submit(r)
+        for r in requests:
+            r.future.result(timeout=5)
+        dispatched = [r for batch in batches for r in batch]
+        assert [id(r) for r in dispatched] == [id(r) for r in requests]
+    finally:
+        queue.close()
+
+
+def test_results_match_inputs(rng, weight):
+    # The echo executor returns each request's own input; futures must
+    # resolve to exactly the array that was submitted with them.
+    queue = BatchingQueue(_resolve_all([]), max_batch=3, max_wait_ms=10)
+    try:
+        requests = [request_of(rng, weight) for _ in range(5)]
+        for r in requests:
+            queue.submit(r)
+        for r in requests:
+            assert np.array_equal(r.future.result(timeout=5), r.x)
+    finally:
+        queue.close()

@@ -1,0 +1,179 @@
+"""Unit tests for ConvServer and the process-wide default server."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.serve import (
+    ConvServer,
+    configure_server,
+    get_server,
+    set_server,
+    shutdown_server,
+)
+
+
+@pytest.fixture
+def problem(rng):
+    x = rng.standard_normal((2, 3, 8, 8))
+    w = rng.standard_normal((4, 3, 3, 3))
+    return x, w
+
+
+class TestConvServer:
+    def test_submit_matches_sequential(self, problem):
+        x, w = problem
+        with ConvServer(max_batch=4, max_wait_ms=5, workers=1) as server:
+            got = server.submit(x, w, padding=1).result(timeout=5)
+        assert np.array_equal(got, F.conv2d(x, w, padding=1))
+
+    def test_sync_wrapper(self, problem):
+        x, w = problem
+        with ConvServer(max_batch=4, max_wait_ms=5, workers=1) as server:
+            got = server.conv2d(x, w, padding=1)
+        assert np.array_equal(got, F.conv2d(x, w, padding=1))
+
+    def test_chw_input_promoted_to_batch_of_one(self, problem):
+        x, w = problem
+        with ConvServer(max_batch=4, max_wait_ms=5, workers=1) as server:
+            got = server.conv2d(x[0], w, padding=1)
+        assert got.shape[0] == 1
+        assert np.array_equal(got, F.conv2d(x[:1], w, padding=1))
+
+    def test_coalesced_burst_bit_exact(self, rng):
+        w = rng.standard_normal((2, 3, 3, 3))
+        images = [rng.standard_normal((1, 3, 8, 8)) for _ in range(6)]
+        with ConvServer(max_batch=3, max_wait_ms=10, workers=1) as server:
+            futures = [server.submit(x, w, padding=1) for x in images]
+            outs = [f.result(timeout=5) for f in futures]
+        for out, x in zip(outs, images):
+            assert np.array_equal(out, F.conv2d(x, w, padding=1))
+
+    def test_oversized_request_bypasses_queue(self, rng):
+        w = rng.standard_normal((2, 3, 3, 3))
+        x = rng.standard_normal((9, 3, 8, 8))  # > max_batch
+        with ConvServer(max_batch=4, max_wait_ms=60_000,
+                        workers=2) as server:
+            future = server.submit(x, w, padding=1)
+            # Pool path resolves synchronously inside submit: the future
+            # is already done even though the queue deadline is a minute.
+            assert future.done()
+            assert server.pending_count() == 0
+            assert np.array_equal(future.result(),
+                                  F.conv2d(x, w, padding=1))
+
+    def test_mixed_shapes_route_correctly(self, rng):
+        w = rng.standard_normal((2, 3, 3, 3))
+        small = rng.standard_normal((2, 3, 8, 8))
+        large = rng.standard_normal((2, 3, 12, 12))
+        with ConvServer(max_batch=4, max_wait_ms=10, workers=1) as server:
+            fs = server.submit(small, w, padding=1)
+            fl = server.submit(large, w, padding=1)
+            assert np.array_equal(fs.result(timeout=5),
+                                  F.conv2d(small, w, padding=1))
+            assert np.array_equal(fl.result(timeout=5),
+                                  F.conv2d(large, w, padding=1))
+
+    def test_guarded_serving_matches(self, problem):
+        from repro.guard.state import guarded
+
+        x, w = problem
+        with guarded(), \
+                ConvServer(max_batch=4, max_wait_ms=5, workers=1) as server:
+            got = server.conv2d(x, w, padding=1)
+        assert np.array_equal(got, F.conv2d(x, w, padding=1))
+
+    def test_submit_after_close_raises(self, problem):
+        x, w = problem
+        server = ConvServer(max_batch=4, max_wait_ms=5, workers=1)
+        server.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            server.submit(x, w)
+
+    def test_close_idempotent(self):
+        server = ConvServer(max_batch=4, max_wait_ms=5, workers=1)
+        server.close()
+        server.close()
+
+    def test_stats_shape(self, problem):
+        from repro.observe.registry import counters
+
+        x, w = problem
+        counters.clear("serve.")
+        try:
+            with ConvServer(max_batch=4, max_wait_ms=5,
+                            workers=1) as server:
+                server.conv2d(x, w, padding=1)
+                stats = server.stats()
+            assert stats["requests"] == 1
+            assert stats["batches"] == 1
+            assert stats["mean_batch_size"] == x.shape[0]
+            assert stats["coalesce_rate"] == 0.0
+        finally:
+            counters.clear("serve.")
+
+
+class TestDefaultServer:
+    def setup_method(self):
+        shutdown_server()
+
+    def teardown_method(self):
+        shutdown_server()
+
+    def test_get_server_lazily_creates_and_caches(self):
+        server = get_server()
+        assert get_server() is server
+
+    def test_get_server_replaces_closed(self):
+        server = get_server()
+        server.close()
+        assert get_server() is not server
+
+    def test_env_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_MAX_BATCH", "16")
+        monkeypatch.setenv("REPRO_SERVE_MAX_WAIT_MS", "1.5")
+        server = get_server()
+        assert server.max_batch == 16
+        assert server._queue.max_wait_s == pytest.approx(1.5e-3)
+
+    def test_invalid_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_MAX_BATCH", "lots")
+        assert get_server().max_batch == 8
+
+    def test_set_server_returns_previous(self):
+        previous = get_server()
+        replacement = ConvServer(max_batch=2, max_wait_ms=1, workers=1)
+        assert set_server(replacement) is previous
+        assert get_server() is replacement
+        previous.close()
+
+    def test_configure_server_closes_previous(self):
+        previous = get_server()
+        server = configure_server(max_batch=2, max_wait_ms=1, workers=1)
+        assert get_server() is server
+        assert previous._closed
+
+    def test_conv2d_async_uses_default_server(self, rng):
+        configure_server(max_batch=4, max_wait_ms=5, workers=1)
+        x = rng.standard_normal((1, 3, 8, 8))
+        w = rng.standard_normal((2, 3, 3, 3))
+        got = F.conv2d_async(x, w, padding=1).result(timeout=5)
+        assert np.array_equal(got, F.conv2d(x, w, padding=1))
+
+    def test_conv2d_async_explicit_server(self, rng):
+        x = rng.standard_normal((1, 3, 8, 8))
+        w = rng.standard_normal((2, 3, 3, 3))
+        with ConvServer(max_batch=4, max_wait_ms=5, workers=1) as server:
+            got = F.conv2d_async(x, w, padding=1,
+                                 server=server).result(timeout=5)
+        assert np.array_equal(got, F.conv2d(x, w, padding=1))
+
+    def test_layer_submit(self, rng):
+        from repro.nn.layers import Conv2d
+
+        layer = Conv2d(3, 2, 3, padding=1,
+                       rng=np.random.default_rng(0))
+        x = rng.standard_normal((1, 3, 8, 8))
+        with ConvServer(max_batch=4, max_wait_ms=5, workers=1) as server:
+            got = layer.submit(x, server=server).result(timeout=5)
+        np.testing.assert_allclose(got, layer(x), atol=1e-10)

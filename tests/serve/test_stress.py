@@ -1,0 +1,148 @@
+"""Concurrency stress test for the serving layer (ISSUE satellite).
+
+Several client threads hammer one server with mixed-shape requests and
+the suite asserts the three serving guarantees at once:
+
+1. **bit-exactness** — every served result equals the sequential
+   ``conv2d`` answer for the same arguments, byte for byte;
+2. **no starvation** — no request waits in the queue longer than
+   ``max_wait_ms`` plus a generous scheduling tolerance;
+3. **accounting** — the observe counters sum to exactly the number of
+   requests submitted (every request counted, none double-counted).
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.observe.registry import counters
+from repro.serve import ConvServer
+
+THREADS = 6
+REQUESTS_PER_THREAD = 20
+MAX_WAIT_MS = 25.0
+# Generous: the deadline only bounds queue wait, and on a busy one-core
+# box a dispatch-ready request can sit behind the GIL and the engine
+# call itself for a while before its future resolves.
+TOLERANCE_MS = 2_000.0
+
+
+@pytest.fixture
+def workload(rng):
+    """Shared weights (so requests can coalesce) and per-shape params."""
+    shapes = [
+        # (CHW, weight FCKK, padding, groups)
+        ((3, 8, 8), (4, 3, 3, 3), 1, 1),
+        ((3, 12, 12), (2, 3, 3, 3), 0, 1),
+        ((4, 8, 8), (4, 2, 3, 3), 1, 2),
+    ]
+    families = []
+    for chw, wshape, padding, groups in shapes:
+        weight = rng.standard_normal(wshape)
+        bias = rng.standard_normal(wshape[0])
+        families.append((chw, weight, bias, padding, groups))
+    return families
+
+
+def test_concurrent_mixed_shapes_bit_exact(rng, workload):
+    total = THREADS * REQUESTS_PER_THREAD
+    counters.clear("serve.")
+    results = [None] * THREADS
+    errors = []
+
+    def client(tid):
+        local = np.random.default_rng(1000 + tid)
+        mine = []
+        try:
+            for i in range(REQUESTS_PER_THREAD):
+                chw, weight, bias, padding, groups = \
+                    workload[(tid + i) % len(workload)]
+                x = local.standard_normal((1,) + chw)
+                submitted = time.monotonic()
+                future = server.submit(x, weight, bias, padding=padding,
+                                       groups=groups)
+                out = future.result(timeout=30)
+                latency_ms = (time.monotonic() - submitted) * 1e3
+                mine.append((x, weight, bias, padding, groups, out,
+                             latency_ms))
+            results[tid] = mine
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append((tid, exc))
+
+    with ConvServer(max_batch=4, max_wait_ms=MAX_WAIT_MS,
+                    workers=1) as server:
+        threads = [threading.Thread(target=client, args=(tid,))
+                   for tid in range(THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not any(t.is_alive() for t in threads), "client hung"
+        snapshot = server.stats()
+
+    assert not errors, f"client failures: {errors}"
+
+    # (1) Bit-exact against the sequential engine, request by request.
+    for mine in results:
+        assert mine is not None
+        for x, weight, bias, padding, groups, out, _ in mine:
+            expected = F.conv2d(x, weight, bias, padding=padding,
+                                groups=groups)
+            assert np.array_equal(out, expected)
+
+    # (2) No request starved past the deadline plus tolerance.
+    worst_ms = max(latency for mine in results
+                   for *_, latency in mine)
+    assert worst_ms <= MAX_WAIT_MS + TOLERANCE_MS, (
+        f"worst request latency {worst_ms:.1f}ms exceeds deadline "
+        f"{MAX_WAIT_MS}ms + tolerance {TOLERANCE_MS}ms")
+
+    # (3) Counters sum to exactly the submitted request count.
+    assert snapshot["requests"] == total
+    assert counters.total("serve.batch_size") == total
+    assert 1 <= snapshot["batches"] <= total
+    assert 0 <= snapshot["coalesced"] <= total
+    # Mean queue wait cannot exceed the deadline by more than scheduling
+    # noise: the dispatcher pops groups as soon as they are due.
+    if snapshot["mean_queue_wait_ms"] is not None:
+        assert snapshot["mean_queue_wait_ms"] < MAX_WAIT_MS + TOLERANCE_MS
+
+    counters.clear("serve.")
+
+
+def test_concurrent_burst_coalesces(rng):
+    """All clients share one family: the server must actually batch."""
+    counters.clear("serve.")
+    weight = rng.standard_normal((2, 3, 3, 3))
+    images = [rng.standard_normal((1, 3, 8, 8)) for _ in range(24)]
+    barrier = threading.Barrier(THREADS)
+    outs = [None] * len(images)
+
+    def client(tid):
+        barrier.wait()
+        for i in range(tid, len(images), THREADS):
+            outs[i] = server.submit(images[i], weight,
+                                    padding=1).result(timeout=30)
+
+    with ConvServer(max_batch=8, max_wait_ms=MAX_WAIT_MS,
+                    workers=1) as server:
+        threads = [threading.Thread(target=client, args=(tid,))
+                   for tid in range(THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        stats = server.stats()
+
+    for out, x in zip(outs, images):
+        assert out is not None
+        assert np.array_equal(out, F.conv2d(x, weight, padding=1))
+    assert stats["requests"] == len(images)
+    # With one key and a simultaneous burst, at least some requests must
+    # have shared a dispatch (24 lone batches would mean no batching).
+    assert stats["batches"] < len(images)
+    assert stats["coalesced"] >= 2
+    counters.clear("serve.")

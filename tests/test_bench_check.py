@@ -106,6 +106,89 @@ class TestCompareReports:
         assert "2.00x" in text and "1.50x" in text and "a" in text
 
 
+def _serve_entry(name, speedup=2.5, min_speedup=2.0, served_rps=1000.0):
+    return {"name": name, "speedup": speedup, "min_speedup": min_speedup,
+            "served_rps": served_rps}
+
+
+class TestCompareServe:
+    def test_healthy_serve_section_passes(self):
+        report = dict(_report([_case("a")]), serve=[_serve_entry("s")])
+        assert compare_reports(report, report) == []
+
+    def test_speedup_below_absolute_floor_fails(self):
+        base = dict(_report([]), serve=[_serve_entry("s", speedup=2.5)])
+        cur = dict(_report([]), serve=[_serve_entry("s", speedup=1.4)])
+        regressions = compare_reports(cur, base)
+        assert [(r.metric, r.kind) for r in regressions] == [
+            ("speedup", "throughput")]
+        assert regressions[0].limit == 2.0
+        assert "fell below its floor" in regressions[0].describe()
+
+    def test_floor_is_absolute_not_tolerance_scaled(self):
+        # Even a sky-high tolerance cannot excuse missing min_speedup.
+        base = dict(_report([]), serve=[_serve_entry("s")])
+        cur = dict(_report([]), serve=[_serve_entry("s", speedup=1.9)])
+        regressions = compare_reports(cur, base, tolerance=10.0)
+        assert [r.metric for r in regressions] == ["speedup"]
+
+    def test_served_rps_collapse_fails(self):
+        base = dict(_report([]), serve=[_serve_entry("s",
+                                                     served_rps=1000.0)])
+        cur = dict(_report([]), serve=[_serve_entry("s",
+                                                    served_rps=100.0)])
+        regressions = compare_reports(cur, base, tolerance=0.5)
+        assert ("served_rps", "throughput") in [
+            (r.metric, r.kind) for r in regressions]
+
+    def test_served_rps_within_tolerance_passes(self):
+        base = dict(_report([]), serve=[_serve_entry("s",
+                                                     served_rps=1000.0)])
+        cur = dict(_report([]), serve=[_serve_entry("s",
+                                                    served_rps=600.0)])
+        assert compare_reports(cur, base, tolerance=0.5) == []
+
+    def test_ungated_preset_skips_speedup_check(self):
+        base = dict(_report([]), serve=[_serve_entry(
+            "s", speedup=2.0, min_speedup=None)])
+        cur = dict(_report([]), serve=[_serve_entry(
+            "s", speedup=0.5, min_speedup=None)])
+        assert compare_reports(cur, base, tolerance=0.5) == []
+
+    def test_serve_entries_only_in_one_report_ignored(self):
+        base = dict(_report([]), serve=[_serve_entry("gone")])
+        cur = dict(_report([]), serve=[_serve_entry("new", speedup=0.1)])
+        assert compare_reports(cur, base) == []
+
+    def test_reports_without_serve_section_pass(self):
+        base = dict(_report([_case("a")]), serve=[_serve_entry("s")])
+        cur = _report([_case("a")])  # e.g. a pre-serve baseline
+        assert compare_reports(cur, base) == []
+        assert compare_reports(base, cur) == []
+
+
+class TestServeBenchCase:
+    """run_serve_case on the cheapest preset (real serving, tiny shapes)."""
+
+    @pytest.mark.slow
+    def test_serve_case_smoke(self):
+        from repro.bench import SERVE_PRESETS, run_serve_case
+
+        preset = next(p for p in SERVE_PRESETS if not p.heavy)
+        result = run_serve_case(preset, repeats=1)
+        assert result["name"] == preset.name
+        assert result["exact"] is True
+        assert result["served_rps"] > 0
+        assert result["sequential_rps"] > 0
+        assert result["counters"]["requests"] == preset.requests
+
+    def test_env_pins_recorded(self):
+        from repro.bench import ENV_PINS, env_pins
+
+        pins = env_pins()
+        assert set(pins) == set(ENV_PINS)
+
+
 class TestFormatAndLoad:
     def test_format_ok(self):
         text = format_check([], "base.json", 0.5, 0.1)

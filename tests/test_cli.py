@@ -102,3 +102,36 @@ class TestObservabilityCommands:
         assert "conv plans" in out
         assert "fft plans" in out
         assert "layer spectra" in out
+
+
+class TestServeCommands:
+    def test_serve_bench_list(self, capsys):
+        assert main(["serve-bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "serve_batch8" in out
+        assert "floor 2x" in out
+        assert "ungated" in out
+
+    def test_serve_bench_unknown_preset(self, capsys):
+        assert main(["serve-bench", "no_such_preset"]) == 2
+        assert "unknown preset" in capsys.readouterr().out
+
+    def test_serve_stats(self, capsys):
+        assert main(["serve-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "requests" in out
+        assert "coalesce rate" in out
+
+    @pytest.mark.slow
+    def test_serve_bench_single_preset_json(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "serve.json"
+        assert main(["serve-bench", "serve_batch8", "--repeats", "1",
+                     "--out", str(out_path)]) == 0
+        text = capsys.readouterr().out
+        assert "serve_batch8" in text
+        report = json.loads(out_path.read_text())
+        assert report["serve"][0]["name"] == "serve_batch8"
+        assert report["serve"][0]["exact"] is True
+        assert "env_pins" in report
