@@ -52,7 +52,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-SCHEMA_VERSION = 3
+# v2 added per-case deterministic FFT counters; v3 guard_fallbacks; v4 the
+# resolved spectrum layout, packed by_kind counters (the interleaved layout
+# runs complex fft/ifft instead of rfft/irfft) and roofline_pct.
+SCHEMA_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -372,9 +375,16 @@ def _time_interleaved(fns: dict[str, object], repeats: int,
     return {name: t * 1e3 for name, t in best.items()}
 
 
-def run_case(case: BenchCase, repeats: int = 5,
+def run_case(case: BenchCase, repeats: int = 25,
              workers: int | None = 2) -> dict:
-    """Measure every engine path for one suite case."""
+    """Measure every engine path for one suite case.
+
+    The default 25 repeats give each path a best-of floor sampled over 5
+    round-robin blocks; the old default of 5 (best-of-3 in one time
+    window each) was thin enough that background-load bursts on a shared
+    box routinely inflated a single path's number by 10-20%.  Smoke runs
+    still clamp to 2 (see :func:`run_suite`).
+    """
     from repro.core import multichannel as mc
     from repro.nn.layers import Conv2d
     from repro.utils.random import random_problem
@@ -483,6 +493,13 @@ def run_case(case: BenchCase, repeats: int = 5,
     workers_ms = times.get("workers")
     layer_cached_ms = times.get("layer")
 
+    # Percent of the CPU roofline lower bound the warm call achieves
+    # (schema v4): predicted from the packed/unpacked cost model for the
+    # plan's resolved spectrum layout.
+    from repro.perfmodel.engine import roofline_pct
+
+    pct = roofline_pct(shape, cached_ms, plan.layout)
+
     return {
         "name": case.name,
         "shape": {"size": case.size, "kernel": case.kernel,
@@ -492,6 +509,7 @@ def run_case(case: BenchCase, repeats: int = 5,
                   "groups": case.groups},
         "strategy": case.strategy,
         "backend": case.backend,
+        "layout": plan.layout,
         "first_call_ms": round(first_call_ms, 4),
         "seed_ms": round(seed_ms, 4) if seed_ms is not None else None,
         "uncached_ms": round(uncached_ms, 4),
@@ -504,6 +522,7 @@ def run_case(case: BenchCase, repeats: int = 5,
         if cached_ms and seed_ms is not None else None,
         "cache_speedup": round(uncached_ms / cached_ms, 3)
         if cached_ms else None,
+        "roofline_pct": round(pct, 2) if pct is not None else None,
         "counters": case_counters,
     }
 
@@ -520,7 +539,7 @@ def env_pins() -> dict[str, str | None]:
     return {name: os.environ.get(name) for name in ENV_PINS}
 
 
-def run_suite(smoke: bool = False, repeats: int = 5,
+def run_suite(smoke: bool = False, repeats: int = 25,
               workers: int | None = 2, serve: bool = True) -> dict:
     """Run the whole suite; ``smoke=True`` trims repeats and heavy cases."""
     from repro.core.multichannel import plan_cache_info, spectrum_cache_info
@@ -661,8 +680,9 @@ def format_report(report: dict) -> str:
     """Human-readable table for one :func:`run_suite` report."""
     lines = [f"bench {report['date']}  (repeats={report['repeats']}, "
              f"smoke={report['smoke']})"]
-    header = (f"{'case':<24} {'first':>9} {'seed':>9} {'uncached':>9} "
-              f"{'cached':>9} {'layer':>9} {'workers':>9} {'speedup':>8}")
+    header = (f"{'case':<24} {'layout':<12} {'first':>9} {'seed':>9} "
+              f"{'uncached':>9} {'cached':>9} {'layer':>9} {'workers':>9} "
+              f"{'speedup':>8} {'roofline':>8}")
     lines.append(header)
     for r in report["results"]:
         wk = f"{r['workers_ms']:9.3f}" if r["workers_ms"] is not None \
@@ -673,11 +693,13 @@ def format_report(report: dict) -> str:
             else f"{'-':>9}"
         sp = f"{r['speedup']:8.2f}x" if r["speedup"] is not None \
             else f"{'-':>9}"
+        rf = f"{r['roofline_pct']:7.1f}%" \
+            if r.get("roofline_pct") is not None else f"{'-':>8}"
         lines.append(
-            f"{r['name']:<24} {r['first_call_ms']:9.3f} "
-            f"{sd} "
+            f"{r['name']:<24} {r.get('layout') or '-':<12} "
+            f"{r['first_call_ms']:9.3f} {sd} "
             f"{r['uncached_ms']:9.3f} {r['cached_ms']:9.3f} "
-            f"{ly} {wk} {sp}")
+            f"{ly} {wk} {sp} {rf}")
     if report.get("serve"):
         lines.append("")
         lines.append(format_serve_report(report["serve"]))
@@ -786,7 +808,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="fast subset (CI-friendly)")
     parser.add_argument("--quick", action="store_true",
                         help="alias for --smoke (the CI gate's spelling)")
-    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--repeats", type=int, default=25)
     parser.add_argument("--workers", type=int, default=2,
                         help="thread count for the workers column")
     parser.add_argument("--out", default=None,

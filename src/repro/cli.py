@@ -389,7 +389,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fast subset (CI-friendly)")
     bench.add_argument("--quick", action="store_true",
                        help="alias for --smoke (the CI gate's spelling)")
-    bench.add_argument("--repeats", type=int, default=5)
+    bench.add_argument("--repeats", type=int, default=25)
     bench.add_argument("--workers", type=int, default=2)
     bench.add_argument("--out", default=None,
                        help="output JSON path (default BENCH_<date>.json)")
@@ -420,7 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
              "sequential request loop)")
     serve_bench.add_argument("preset", nargs="?", default=None,
                              help="preset name (default: all presets)")
-    serve_bench.add_argument("--repeats", type=int, default=5)
+    serve_bench.add_argument("--repeats", type=int, default=25)
     serve_bench.add_argument("--list", action="store_true",
                              help="list the presets and exit")
     serve_bench.add_argument("--out", metavar="PATH", default=None,

@@ -44,9 +44,12 @@ from repro.core.construction import (
 from repro.core.planning import (
     FftPolicy,
     PlanSpec,
+    SpectrumLayout,
     plan_fft_size,
     resolve_fft_policy,
+    select_spectrum_layout,
 )
+from repro.fft import packed as _packed
 from repro.fft.plan import CacheInfo
 from repro.guard import faults as _faults
 from repro.guard.checksum import array_checksum, verify_checksum
@@ -62,6 +65,15 @@ from repro.utils.shapes import ConvShape
 from repro.utils.validation import check_conv_inputs, ensure_array
 
 ChannelStrategy = Literal["sum", "merge"]
+
+#: Per-backend floor on ``n * (c + f) * nfft`` below which ``workers=N``
+#: requests run sequentially anyway: under it, thread wake-up plus the
+#: result concatenation cost more than the chunked transforms save
+#: (BENCH_2026-08-06.json showed every conv16 case *slower* with workers).
+#: pocketfft's batched transforms leave threads far less to win than the
+#: builtin backend's pure-Python kernels, hence the much higher bar.
+_SPLIT_MIN_WORK = {"builtin": 120_000}
+_SPLIT_MIN_WORK_DEFAULT = 1_000_000
 
 
 def _as_grid(gather: np.ndarray) -> tuple[int, int, int] | None:
@@ -97,14 +109,20 @@ class PolyHankelPlan:
 
     ``fft_policy="auto"`` resolves to the concrete policy best for the
     plan's backend (see :func:`repro.core.planning.resolve_fft_policy`);
-    after construction :attr:`fft_policy` is always concrete.
+    after construction :attr:`fft_policy` is always concrete.  The same
+    holds for ``layout="auto"`` — the spectrum layout (planar einsum vs.
+    the fused interleaved matmul pipeline, see
+    :func:`repro.core.planning.select_spectrum_layout`) is fixed at plan
+    time and recorded on the plan's :class:`PlanSpec`.
     """
 
     shape: ConvShape
     fft_policy: FftPolicy = "pow2"
     strategy: ChannelStrategy = "sum"
     backend: str | None = None
+    layout: SpectrumLayout = "auto"
     nfft: int = field(init=False)
+    bins: int = field(init=False)
     gather: np.ndarray = field(init=False)
     gather_grid: tuple[int, int, int] | None = field(init=False)
 
@@ -115,9 +133,17 @@ class PolyHankelPlan:
                 "expected 'sum' or 'merge'"
             )
         self.fft_policy = resolve_fft_policy(self.fft_policy, self.backend)
+        self.layout = select_spectrum_layout(self.shape, self.strategy,
+                                             self.fft_policy, self.layout)
         len_a, len_u, linear_len = polynomial_lengths(self.shape)
         if self.strategy == "sum":
             self.nfft = plan_fft_size(linear_len, self.fft_policy)
+            if self.layout == "interleaved" and self.fft_policy == "smooth7":
+                # The fused path's runtime is dominated by batched *complex*
+                # transforms, where pocketfft's radix-4/8 kernels make
+                # binary-rich sizes faster per point than the minimal
+                # 7-smooth length (e.g. 1280 beats 1250 by ~20%).
+                self.nfft = _fft.next_fast_len_bias2(linear_len)
             self.gather = output_gather_indices(self.shape)
         else:
             # Channels merge *within* a group; each group is an independent
@@ -127,7 +153,16 @@ class PolyHankelPlan:
             merged_linear = c * len_a + c * len_u - 1
             self.nfft = plan_fft_size(merged_linear, self.fft_policy)
             self.gather = merged_output_gather_indices(self.shape)
+        self.bins = self.nfft // 2 + 1
         self.gather_grid = _as_grid(self.gather)
+        # Thread-worker handoff floor (see _SPLIT_MIN_WORK): splitting the
+        # batch only pays once the transform work per call clears it.
+        backend_name = _fft.get_backend(self.backend).name
+        rows = self.shape.c + self.shape.f if self.strategy == "sum" \
+            else self.shape.groups + self.shape.f
+        self._split_work = self.shape.n * rows * self.nfft
+        self._split_min = _SPLIT_MIN_WORK.get(backend_name,
+                                              _SPLIT_MIN_WORK_DEFAULT)
         # Per-plan scratch buffers for the sequential path (padded input,
         # frequency-product target).  Reuse keeps the pages warm across
         # repeated calls; every element is overwritten per call, so the
@@ -139,13 +174,14 @@ class PolyHankelPlan:
     def cache_key(self) -> tuple:
         """Identity of this plan's numerical configuration."""
         backend_name = _fft.get_backend(self.backend).name
-        return (self.shape, self.fft_policy, self.strategy, backend_name)
+        return (self.shape, self.fft_policy, self.strategy, backend_name,
+                self.layout)
 
     @property
     def spec(self) -> PlanSpec:
         """The pickle-safe :class:`PlanSpec` identifying this plan."""
         return PlanSpec(self.shape, self.fft_policy, self.strategy,
-                        _fft.get_backend(self.backend).name)
+                        _fft.get_backend(self.backend).name, self.layout)
 
     def __reduce__(self):
         # Plans hold locks and scratch buffers, so they pickle as their
@@ -154,16 +190,21 @@ class PolyHankelPlan:
         # travel as cache keys, never as payloads).
         return (_plan_from_spec, (self.shape, self.fft_policy,
                                   self.strategy,
-                                  _fft.get_backend(self.backend).name))
+                                  _fft.get_backend(self.backend).name,
+                                  self.layout))
 
     # -- weight handling -----------------------------------------------------
 
     def transform_weight(self, weight: np.ndarray) -> np.ndarray:
         """Kernel polynomial spectra for *weight* (``(f, c, kh, kw)``).
 
-        Returns ``(f, c, nfft//2 + 1)`` for the ``sum`` strategy and
-        ``(f, nfft//2 + 1)`` for ``merge``.  Always recomputes; the cached
-        entry point is :meth:`weight_spectrum`.
+        Returns ``(f, c, nfft//2 + 1)`` for the ``sum`` strategy with the
+        planar layout, ``(f, nfft//2 + 1)`` for ``merge``.  The
+        interleaved layout instead returns the bins-major packed operand
+        ``(g, bins, f_per, c_per)`` of
+        :func:`repro.fft.packed.pack_weight_operand`, ready for the fused
+        pointwise matmul.  Always recomputes; the cached entry point is
+        :meth:`weight_spectrum`.
         """
         weight = ensure_array(weight, "weight", ndim=4, dtype=float)
         if weight.shape != self.shape.weight_shape():
@@ -174,11 +215,17 @@ class PolyHankelPlan:
         fft = _fft.get_backend(self.backend)
         dilation = self.shape.dilation_hw
         with span("weight.transform", strategy=self.strategy,
-                  nfft=self.nfft, bytes=weight.nbytes):
+                  nfft=self.nfft, layout=self.layout, bytes=weight.nbytes):
             if self.strategy == "sum":
                 stack = channel_kernel_stack(weight, self.shape.padded_iw,
                                              dilation)
-                return fft.rfft(stack, self.nfft)
+                w_hat = fft.rfft(stack, self.nfft)
+                if self.layout == "interleaved":
+                    shape = self.shape
+                    return _packed.pack_weight_operand(w_hat.reshape(
+                        shape.groups, shape.group_filters,
+                        shape.group_channels, self.bins))
+                return w_hat
             merged = merged_kernel_stack(weight, self.shape.padded_iw,
                                          dilation)
             return fft.rfft(merged, self.nfft)
@@ -235,15 +282,20 @@ class PolyHankelPlan:
                 _SPECTRUM_CACHE.popitem(last=False)
         return spectrum
 
-    # -- execution -------------------------------------------------------------
+    # -- execution ------------------------------------------------------------
 
     def execute(self, x: np.ndarray, weight_hat: np.ndarray,
                 workers: int | None = None, check: bool = True) -> np.ndarray:
         """Run the convolution for input *x* against a transformed weight.
 
-        ``workers=N`` (N > 1) chunks the batch across a thread pool; the
-        result is bit-identical to the sequential path because the FFT,
-        pointwise-multiply and gather stages are all row-independent.
+        ``workers=N`` (N > 1) *requests* batch thread-chunking; the
+        handoff is shape-aware — below the plan's per-backend work floor
+        (see ``_SPLIT_MIN_WORK``) the request runs sequentially anyway,
+        because thread wake-up would cost more than the chunks save.
+        When the batch does split, the result is bit-identical to the
+        sequential path: every pipeline stage is row-independent, and the
+        fused interleaved path pairs channels/filters *within* each image,
+        so batch chunk boundaries never cut through a packed pair.
         ``check=False`` skips input validation for callers (the functional
         wrapper, layers) that have already performed it.
         """
@@ -256,12 +308,21 @@ class PolyHankelPlan:
                 )
         fft = _fft.get_backend(self.backend)
         n = self.shape.n
-        sequential = workers is None or workers <= 1 or n <= 1
+        sequential = workers is None or workers <= 1 or n <= 1 \
+            or self._split_work < self._split_min
         # Scratch reuse only for the sequential path, and only when no
         # other caller holds the buffers (concurrent callers fall back to
         # fresh allocations, so reuse is never a correctness concern).
         reuse = sequential and self._scratch_lock.acquire(blocking=False)
         try:
+            if sequential and self.layout == "interleaved" \
+                    and not _faults._STACK:
+                # The fused path stages the raw input straight into its
+                # packed complex block (the zero padding border lives in
+                # the block's call-invariant zero tail/border), skipping
+                # the separate padded-copy pass entirely.
+                return self._execute_fused(x, weight_hat, fft, reuse,
+                                           raw=True)
             xp = self._pad_input(x, reuse)
             if _faults._STACK:
                 # Fault-injection hook: poisons a *copy*, so reused scratch
@@ -307,6 +368,8 @@ class PolyHankelPlan:
                        fft, reuse: bool = False) -> np.ndarray:
         """The frequency-domain pipeline for one (sub-)batch of padded
         images ``(n_block, c, ph, pw)``."""
+        if self.layout == "interleaved":
+            return self._execute_fused(xp, weight_hat, fft, reuse)
         shape = self.shape
         n = xp.shape[0]
         g, c_per, f_per = shape.groups, shape.group_channels, \
@@ -356,6 +419,142 @@ class PolyHankelPlan:
         with span("stage.inverse_fft", n=self.nfft, rows=n * shape.f,
                   bytes=out_hat.nbytes):
             product = fft.irfft(out_hat, self.nfft)      # (n, f, nfft)
+        return self._gather_output(product)
+
+    def _execute_fused(self, xp: np.ndarray, weight_hat: np.ndarray,
+                       fft, reuse: bool = False,
+                       raw: bool = False) -> np.ndarray:
+        """The interleaved-layout pipeline: packed one-pass transforms and
+        a single bins-major matmul for the pointwise channel sum.
+
+        Stages, for one (sub-)batch of padded images ``(n_block, c, ph,
+        pw)`` against the packed weight operand ``(g, bins, f_per,
+        c_per)`` of :meth:`transform_weight`:
+
+        1. fold channel pairs of every (image, group) into complex rows
+           and run **one** batched complex FFT over all of them (an odd
+           ``c_per`` sends its last channel through one batched rfft);
+        2. stage the packed half-spectra and their conjugate-reversed
+           images as the bins-major column block ``A`` of shape ``(g,
+           bins, c_per, n)`` — with the weight operand's matching slot
+           order, ``W @ A`` *is* the pointwise multiply + cross-channel
+           sum (see :func:`repro.fft.packed.pack_weight_operand`), one
+           BLAS-shaped contraction instead of a multiply-then-reduce pair;
+        3. fold output-filter pairs of the resulting half-spectra and run
+           one batched inverse complex FFT, whose real/imag parts are the
+           two filters' products (odd ``f_per``: one batched irfft).
+
+        Packing pairs rows strictly *within* an (image, group) block, so
+        chunking the batch for ``workers=N`` never splits a pair and the
+        chunked result stays bit-identical.
+
+        With ``raw=True``, *xp* is the **unpadded** input and the padding
+        border is realised inside the packed block itself: the block is
+        allocated zeroed, only the per-image interior windows are
+        rewritten each call, and (like the planar path's ``xp`` scratch)
+        the border and zero-padding tail are never dirtied — so the
+        separate padded-copy pass disappears from the pipeline.  The raw
+        route is bit-identical to the padded one.
+        """
+        shape = self.shape
+        n = xp.shape[0]
+        g, c_per, f_per = shape.groups, shape.group_channels, \
+            shape.group_filters
+        bins, nfft = self.bins, self.nfft
+        c_pairs = c_per // 2
+        f_pairs, f_odd = f_per // 2, f_per % 2
+
+        def buf(name: str, shp: tuple, dtype, zero: bool = False):
+            # Fused-path scratch: like the planar buffers, reuse is safe
+            # because every consumed element is rewritten per call — the
+            # one exception is fused_z's zero padding tail, which is
+            # written once at allocation and never dirtied.
+            if reuse:
+                b = self._scratch.get(name)
+                if b is None or b.shape != shp:
+                    b = (np.zeros if zero else np.empty)(shp, dtype=dtype)
+                    self._scratch[name] = b
+                return b
+            return (np.zeros if zero else np.empty)(shp, dtype=dtype)
+
+        pt, _, pl, _ = shape.pad_tblr
+        ph, pw = shape.padded_ih, shape.padded_iw
+
+        def stage(dest, rows):
+            # Write *rows* (a channel slice of the input) into the length-
+            # ``ph * pw`` head of *dest*'s last axis, viewed as the padded
+            # image plane.  ``raw``: scatter just the interior window (the
+            # padding border is part of dest's call-invariant zero state);
+            # otherwise copy the pre-padded planes wholesale.
+            view = np.lib.stride_tricks.as_strided(
+                dest, dest.shape[:-1] + (ph, pw),
+                dest.strides[:-1] + (pw * dest.strides[-1],
+                                     dest.strides[-1]))
+            if raw:
+                view[..., pt: pt + shape.ih, pl: pl + shape.iw] = rows
+            else:
+                view[:] = rows
+
+        src = xp.reshape(n, g, c_per, *xp.shape[-2:])
+        with span("stage.input_fft", n=nfft, rows=n * shape.c,
+                  layout="interleaved", bytes=xp.nbytes):
+            z_hat = rest_hat = None
+            if c_pairs:
+                z = buf("fused_z", (n, g, c_pairs, nfft), complex,
+                        zero=True)
+                stage(z.real, src[:, :, 0: 2 * c_pairs: 2])
+                stage(z.imag, src[:, :, 1: 2 * c_pairs: 2])
+                z_hat = fft.fft(z)
+            if c_per % 2:
+                rest = buf("fused_rest", (n, g, 1, nfft), float, zero=True)
+                stage(rest, src[:, :, 2 * c_pairs:])
+                rest_hat = fft.rfft(rest, nfft)
+
+        # Bins-major packed column block [Zh | conj-reversed Zh | odd
+        # leftover]: one contiguous buffer so the fused matmul runs on
+        # BLAS-friendly strides.
+        cols = buf("fused_cols", (g, bins, c_per, n), complex)
+        if c_pairs:
+            cols[:, :, :c_pairs] = z_hat[..., :bins].transpose(1, 3, 2, 0)
+            rev = cols[:, :, c_pairs: 2 * c_pairs]
+            np.conjugate(z_hat[..., 0].transpose(1, 2, 0), out=rev[:, 0])
+            np.conjugate(z_hat[..., : nfft - bins: -1].transpose(1, 3, 2, 0),
+                         out=rev[:, 1:])
+        if rest_hat is not None:
+            cols[:, :, -1] = rest_hat[..., 0, :].transpose(1, 2, 0)
+
+        target = buf("fused_out", (g, bins, f_per, n), complex)
+        with span("stage.pointwise", strategy="sum", layout="interleaved",
+                  bytes=cols.nbytes + weight_hat.nbytes):
+            out_hat = np.matmul(weight_hat, cols, out=target)
+
+        with span("stage.inverse_fft", n=nfft, rows=n * shape.f,
+                  layout="interleaved", bytes=out_hat.nbytes):
+            product = buf("fused_prod", (n, g, f_per, nfft), float)
+            if f_pairs:
+                # Inverse pair fold, algebra as repro.fft.packed.
+                # fold_half_spectra but staged through scratch with the
+                # P/Q form: head bins P = E + iO, tail bins conj-reversed
+                # Q = E - iO — one reversal pass instead of two.
+                even = out_hat[:, :, 0: 2 * f_pairs: 2]  # (g, bins, fp, n)
+                odd = out_hat[:, :, 1: 2 * f_pairs: 2]
+                tmp = buf("fused_pq", (g, bins, f_pairs, n), complex)
+                np.multiply(odd, 1j, out=tmp)
+                gbuf = buf("fused_gin", (n, g, f_pairs, nfft), complex)
+                np.add(even, tmp, out=gbuf[..., :bins].transpose(1, 3, 2, 0))
+                np.subtract(even, tmp, out=tmp)          # Q = E - iO
+                np.conjugate(tmp[:, nfft - bins: 0: -1],
+                             out=gbuf[..., bins:].transpose(1, 3, 2, 0))
+                y = fft.ifft(gbuf)
+                product[..., 0: 2 * f_pairs: 2, :] = y.real
+                product[..., 1: 2 * f_pairs: 2, :] = y.imag
+            if f_odd:
+                product[..., -1:, :] = fft.irfft(
+                    out_hat[:, :, -1].transpose(2, 0, 1)[..., None, :], nfft)
+        return self._gather_output(product.reshape(n, shape.f, nfft))
+
+    def _gather_output(self, product: np.ndarray) -> np.ndarray:
+        """The Eq. 12 output gather over ``(n, f, nfft)`` products."""
         with span("stage.gather", bytes=product.nbytes) as gather_span:
             grid = self.gather_grid
             if grid is None:
@@ -389,11 +588,13 @@ _PLAN_LIMIT = [256]
 
 def get_plan(shape: ConvShape, fft_policy: FftPolicy = "auto",
              strategy: ChannelStrategy = "sum",
-             backend: str | None = None) -> PolyHankelPlan:
+             backend: str | None = None,
+             layout: SpectrumLayout = "auto") -> PolyHankelPlan:
     """Fetch (or build and LRU-cache) the plan for *shape* and options."""
     backend_name = _fft.get_backend(backend).name
     policy = resolve_fft_policy(fft_policy, backend_name)
-    key = (shape, policy, strategy, backend_name)
+    layout = select_spectrum_layout(shape, strategy, policy, layout)
+    key = (shape, policy, strategy, backend_name, layout)
     with _plan_lock:
         plan = _PLAN_CACHE.get(key)
         if plan is not None:
@@ -401,8 +602,9 @@ def get_plan(shape: ConvShape, fft_policy: FftPolicy = "auto",
             _PLAN_CACHE.move_to_end(key)
             return plan
     record_cache_event("conv_plan", hit=False)
-    with span("plan.build", strategy=strategy, backend=backend_name):
-        plan = PolyHankelPlan(shape, policy, strategy, backend_name)
+    with span("plan.build", strategy=strategy, backend=backend_name,
+              layout=layout):
+        plan = PolyHankelPlan(shape, policy, strategy, backend_name, layout)
     with _plan_lock:
         _PLAN_CACHE[key] = plan
         _PLAN_CACHE.move_to_end(key)
@@ -412,11 +614,11 @@ def get_plan(shape: ConvShape, fft_policy: FftPolicy = "auto",
 
 
 def _plan_from_spec(shape: ConvShape, fft_policy: FftPolicy,
-                    strategy: ChannelStrategy,
-                    backend: str | None) -> PolyHankelPlan:
+                    strategy: ChannelStrategy, backend: str | None,
+                    layout: SpectrumLayout = "auto") -> PolyHankelPlan:
     """Unpickling target for :meth:`PolyHankelPlan.__reduce__`: resolve a
     plan spec against *this* process's warm plan cache."""
-    return get_plan(shape, fft_policy, strategy, backend)
+    return get_plan(shape, fft_policy, strategy, backend, layout=layout)
 
 
 def plan_cache_info() -> CacheInfo:
@@ -525,9 +727,11 @@ def _hashable(value):
 
 
 def _plan_for_args(x_shape, w_shape, padding, stride, dilation, groups,
-                   fft_policy, strategy, backend) -> PolyHankelPlan:
+                   fft_policy, strategy, backend,
+                   layout="auto") -> PolyHankelPlan:
     key = (x_shape, w_shape, _hashable(padding), _hashable(stride),
-           _hashable(dilation), groups, fft_policy, strategy, backend)
+           _hashable(dilation), groups, fft_policy, strategy, backend,
+           layout)
     with _plan_lock:
         plan = _ARG_MEMO.get(key)
     if plan is not None:
@@ -537,7 +741,7 @@ def _plan_for_args(x_shape, w_shape, padding, stride, dilation, groups,
         return plan
     shape = ConvShape.from_tensors(x_shape, w_shape, padding, stride,
                                    dilation, groups)
-    plan = get_plan(shape, fft_policy, strategy, backend)
+    plan = get_plan(shape, fft_policy, strategy, backend, layout=layout)
     with _plan_lock:
         _ARG_MEMO[key] = plan
         while len(_ARG_MEMO) > _ARG_MEMO_LIMIT:
@@ -553,6 +757,7 @@ def conv2d_polyhankel(x: np.ndarray, weight: np.ndarray,
                       fft_policy: FftPolicy = "auto",
                       strategy: ChannelStrategy = "sum",
                       backend: str | None = None,
+                      layout: SpectrumLayout = "auto",
                       workers: int | None = None) -> np.ndarray:
     """2D convolution of an NCHW batch via the PolyHankel method.
 
@@ -568,7 +773,7 @@ def conv2d_polyhankel(x: np.ndarray, weight: np.ndarray,
     weight = ensure_array(weight, "weight", dtype=float)
     check_conv_inputs(x, weight, padding, stride, dilation, groups)
     plan = _plan_for_args(x.shape, weight.shape, padding, stride, dilation,
-                          groups, fft_policy, strategy, backend)
+                          groups, fft_policy, strategy, backend, layout)
     shape = plan.shape
     out = plan.execute(x, plan.weight_spectrum(weight), workers=workers,
                        check=False)

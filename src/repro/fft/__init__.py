@@ -7,6 +7,8 @@ Public surface:
 - :func:`set_backend` / :func:`use_backend` — choose ``"builtin"`` (this
   package's radix-2 / mixed-radix / Bluestein stack) or ``"numpy"``.
 - :func:`next_fast_len` / :func:`next_pow2` — cuFFT-style size planning.
+- :func:`packed_rfft` / :func:`packed_irfft` — stacked real transforms via
+  real-pair packing (two rows per complex FFT, Hermitian-split unpack).
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from repro.fft.backend import (
     use_backend,
 )
 from repro.fft.dft import dft, idft
+from repro.fft.packed import packed_irfft, packed_rfft
 from repro.fft.plan import (
     FftPlan,
     clear_fft_plan_cache,
@@ -36,11 +39,13 @@ from repro.fft.sizes import (
     is_power_of_two,
     is_smooth,
     next_fast_len,
+    next_fast_len_bias2,
     next_pow2,
 )
 
 __all__ = [
     "fft", "ifft", "rfft", "irfft",
+    "packed_rfft", "packed_irfft",
     "dft", "idft",
     "BackendExecutionError",
     "FftBackend", "available_backends", "get_backend", "set_backend",
@@ -48,7 +53,8 @@ __all__ = [
     "FftCallLog", "record_fft_calls",
     "FftPlan", "get_fft_plan", "fft_plan_cache_info",
     "set_fft_plan_cache_limit", "clear_fft_plan_cache",
-    "next_fast_len", "next_pow2", "is_smooth", "is_power_of_two", "factorize",
+    "next_fast_len", "next_fast_len_bias2", "next_pow2", "is_smooth",
+    "is_power_of_two", "factorize",
 ]
 
 

@@ -28,11 +28,9 @@ import time
 from repro.observe import aggregate_spans, clear_trace, get_trace, tracing
 from repro.observe.registry import counters, fft_call_totals
 
-#: CPU roofline constants for the predicted-share proxy.  Order-of-magnitude
-#: figures for one modern core; only the *ratio* between the compute and
-#: memory walls matters, because drift compares normalized shares.
-CPU_PEAK_FLOPS = 5.0e10
-CPU_PEAK_BW = 2.0e10
+# CPU roofline proxy peaks, shared with the bench's roofline_pct column
+# (re-exported here for callers that import them from this module).
+from repro.perfmodel.device import CPU_PEAK_BW, CPU_PEAK_FLOPS  # noqa: F401
 
 DEFAULT_DRIFT_THRESHOLD = 5.0
 
@@ -90,7 +88,7 @@ def profile_case(case, repeats: int = 10, warmup: int = 2,
     *case* is a :class:`repro.bench.BenchCase` (or anything with the same
     fields plus an ``algorithm`` attribute, see :func:`resolve_preset`).
     """
-    from repro.perfmodel.counters import count
+    from repro.perfmodel.counters import count, count_polyhankel
     from repro.utils.random import random_problem
     from repro.utils.shapes import ConvShape
 
@@ -99,6 +97,14 @@ def profile_case(case, repeats: int = 10, warmup: int = 2,
                       f=case.filters, padding=case.padding,
                       stride=case.stride, dilation=case.dilation,
                       groups=case.groups)
+    layout = None
+    if case.algorithm == "polyhankel":
+        from repro.core.planning import (
+            resolve_fft_policy, select_spectrum_layout,
+        )
+
+        layout = select_spectrum_layout(
+            shape, case.strategy, resolve_fft_policy("auto", case.backend))
     x, w = random_problem(shape)
     call, transform = _runner(case, x, w)
 
@@ -119,8 +125,13 @@ def profile_case(case, repeats: int = 10, warmup: int = 2,
     measured = aggregate_spans(spans)
     fft_calls = fft_call_totals()
 
-    model_algo = {"polyhankel": "polyhankel", "gemm": "gemm"}[case.algorithm]
-    report = count(model_algo, shape)
+    if case.algorithm == "polyhankel":
+        # The packed counter variant mirrors the interleaved layout's
+        # real-pair-packed transforms (same FLOPs, packed rows).
+        report = count_polyhankel(shape, packed=(layout == "interleaved"))
+    else:
+        model_algo = {"gemm": "gemm"}[case.algorithm]
+        report = count(model_algo, shape)
     model_stages = {s.name: s for s in report.stages}
 
     rows = []
@@ -163,22 +174,31 @@ def profile_case(case, repeats: int = 10, warmup: int = 2,
         row["flagged"] = not (1.0 / drift_threshold
                               <= drift <= drift_threshold)
 
+    call_ms = wall_s * 1e3 / repeats
+    # Percent of the CPU roofline lower bound one steady-state call
+    # reaches — predicted_total excludes the amortized weight transform,
+    # matching what a cached call actually runs.
+    roofline_pct = (100.0 * predicted_total / call_ms
+                    if call_ms > 0 else None)
+
     return {
         "name": getattr(case, "name", "custom"),
         "algorithm": case.algorithm,
         "strategy": case.strategy,
         "backend": case.backend,
+        "layout": layout,
         "shape": {"size": case.size, "kernel": case.kernel,
                   "batch": case.batch, "channels": case.channels,
                   "filters": case.filters, "padding": case.padding,
                   "stride": case.stride, "dilation": case.dilation,
                   "groups": case.groups},
         "repeats": repeats,
-        "call_ms": wall_s * 1e3 / repeats,
+        "call_ms": call_ms,
         "drift_threshold": drift_threshold,
         "stages": rows,
         "measured_total_ms": measured_total,
         "predicted_total_ms": predicted_total,
+        "roofline_pct": roofline_pct,
         "fft_calls": {
             kind: {"calls": v["calls"], "rows": v["rows"],
                    "by_n": {str(n): c for n, c in sorted(v["by_n"].items())}}
@@ -231,10 +251,15 @@ def case_for_shape(algorithm: str = "polyhankel", *, size: int = 32,
 
 def format_profile(report: dict) -> str:
     """Human-readable per-stage drift table."""
+    layout = f"  layout={report['layout']}" if report.get("layout") else ""
+    roofline = (f", {report['roofline_pct']:.1f}% of roofline"
+                if report.get("roofline_pct") is not None else "")
     lines = [
         f"profile {report['name']}  algo={report['algorithm']}  "
-        f"strategy={report['strategy']}  backend={report['backend']}  "
-        f"({report['repeats']} calls, {report['call_ms']:.3f} ms/call)",
+        f"strategy={report['strategy']}  backend={report['backend']}"
+        f"{layout}  "
+        f"({report['repeats']} calls, {report['call_ms']:.3f} ms/call"
+        f"{roofline})",
         f"{'stage':<24} {'measured':>11} {'flops':>12} {'bytes':>12} "
         f"{'m-share':>8} {'p-share':>8} {'drift':>7}",
     ]

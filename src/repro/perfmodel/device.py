@@ -53,6 +53,22 @@ class GpuDevice:
         return self.saturation_mflops * 1e6
 
 
+#: CPU roofline proxy for the host the engine actually runs on:
+#: order-of-magnitude figures for one modern core (AVX FP64 FMA
+#: throughput, single-stream DRAM bandwidth).  ``repro profile`` uses
+#: their *ratio* for drift shares; ``repro bench`` divides the resulting
+#: lower-bound time by the measured wall to report ``roofline_pct`` —
+#: the fraction of the memory/compute wall the engine reaches.
+CPU_PEAK_FLOPS = 5.0e10
+CPU_PEAK_BW = 2.0e10
+
+
+def cpu_roofline_seconds(flops: float, bytes_moved: float) -> float:
+    """Lower-bound seconds for one stage on the CPU proxy: the slower of
+    the compute wall and the memory wall."""
+    return max(flops / CPU_PEAK_FLOPS, bytes_moved / CPU_PEAK_BW)
+
+
 # Datasheet values: 3090 Ti (GA102, 40 TFLOPS FP32, 1008 GB/s GDDR6X),
 # A10G (GA102 derivative, 31.2 TFLOPS, 600 GB/s), V100 (GV100, 15.7 TFLOPS,
 # 900 GB/s HBM2).  Launch overheads reflect typical measured values for the

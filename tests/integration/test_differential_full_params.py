@@ -79,6 +79,49 @@ class TestPolyHankelGrid:
             assert_conv_close(got, ref)
 
 
+class TestInterleavedLayoutGrid:
+    """The fused (interleaved) spectrum layout on a diagonal slice of the
+    grid, forced past the auto-selection work threshold.
+
+    Every shape here is far below the layout heuristic's floor, so the
+    forced run is the only coverage these parameter combinations get on
+    the packed/fused pipeline — including odd per-group channel counts
+    (groups=1 with C=4 pairs fully; the g=2 slice leaves odd rows).
+    """
+
+    CASES = [((1, 1), (1, 1), 1, 1),
+             ((2, 2), (2, 2), 2, 0),
+             ((1, 2), (1, 3), 1, "same"),
+             ((2, 1), (1, 1), 2, (1, 2, 0, 1))]
+
+    @pytest.mark.parametrize(
+        "stride,dilation,groups,padding",
+        [pytest.param(*case, id=f"case{i}")
+         for i, case in enumerate(CASES)])
+    def test_matches_reference_and_planar(self, stride, dilation, groups,
+                                          padding):
+        x, w, ref = _problem(stride, dilation, groups, padding)
+        fused = conv2d_polyhankel(x, w, padding=padding, stride=stride,
+                                  dilation=dilation, groups=groups,
+                                  layout="interleaved")
+        assert_conv_close(fused, ref)
+        planar = conv2d_polyhankel(x, w, padding=padding, stride=stride,
+                                   dilation=dilation, groups=groups,
+                                   layout="planar")
+        np.testing.assert_allclose(fused, planar, atol=1e-10)
+
+    def test_odd_channel_slice(self):
+        """Odd channel and filter counts (leftover unpaired rows) across
+        the strided/dilated path."""
+        rng = np.random.default_rng(23)
+        x = rng.standard_normal((N, 5, IH, IW))
+        w = rng.standard_normal((3, 5, K, K))
+        ref = naive_conv2d_reference(x, w, 1, (2, 1), (1, 2), 1)
+        got = conv2d_polyhankel(x, w, padding=1, stride=(2, 1),
+                                dilation=(1, 2), layout="interleaved")
+        assert_conv_close(got, ref)
+
+
 class TestEveryAlgorithmExtended:
     """Each registered algorithm on representative extended shapes.
 

@@ -17,11 +17,14 @@ pytestmark = pytest.mark.slow
 def test_smoke_suite_schema(tmp_path):
     report = bench.run_suite(smoke=True, repeats=1, workers=2)
     # v2 added the per-case deterministic FFT counters (see --check gate);
-    # v3 added the guard_fallbacks counter (zero on a healthy install).
-    assert report["schema"] == bench.SCHEMA_VERSION == 3
+    # v3 added the guard_fallbacks counter (zero on a healthy install);
+    # v4 added the resolved spectrum layout and roofline_pct.
+    assert report["schema"] == bench.SCHEMA_VERSION == 4
     for row in report["results"]:
         assert row["counters"]["fft_calls"] >= 2
         assert row["counters"]["guard_fallbacks"] == 0
+        assert row["layout"] in ("planar", "interleaved")
+        assert row["roofline_pct"] is None or row["roofline_pct"] > 0
     assert report["results"], "smoke suite must run at least one case"
     extended_seen = 0
     for row in report["results"]:
