@@ -54,8 +54,10 @@ import numpy as np
 
 # v2 added per-case deterministic FFT counters; v3 guard_fallbacks; v4 the
 # resolved spectrum layout, packed by_kind counters (the interleaved layout
-# runs complex fft/ifft instead of rfft/irfft) and roofline_pct.
-SCHEMA_VERSION = 4
+# runs complex fft/ifft instead of rfft/irfft) and roofline_pct; v5 the
+# N-dimensional operator presets (conv1d/conv3d/conv_transpose2d rows in
+# ``results``, gated by the same wall/counter/guard metrics).
+SCHEMA_VERSION = 5
 
 
 @dataclass(frozen=True)
@@ -98,6 +100,178 @@ SUITE: tuple[BenchCase, ...] = (
     # Dilated (atrous) context layer, DeepLab-style.
     BenchCase("dilated_d2", 32, 3, 4, 8, 8, 2, dilation=2, heavy=True),
 )
+
+
+@dataclass(frozen=True)
+class NdBenchCase:
+    """One N-dimensional operator preset (conv1d/conv3d/conv_transpose2d).
+
+    Each preset verifies the routed engine against an independent naive
+    reference, records cold/steady wall clock, the deterministic FFT
+    counters of one cached call, one guard-enabled call's fallback count,
+    and the roofline percentage against the operator's cost model.  For
+    ``conv1d`` and ``conv3d`` the measured counters are additionally
+    asserted equal to the closed-form predictor — the 1D op must hit the
+    2D engine's caches (spectrum included), and the 3D plan's call
+    structure is fixed.
+    """
+
+    name: str
+    op: str  # "conv1d" | "conv3d" | "conv_transpose2d"
+    x_shape: tuple
+    w_shape: tuple
+    padding: int | tuple = 0
+    stride: int | tuple = 1
+    dilation: int | tuple = 1
+    groups: int = 1
+    output_padding: int | tuple = 0
+    heavy: bool = False  # skipped in --smoke runs
+
+
+ND_SUITE: tuple[NdBenchCase, ...] = (
+    # Audio-style temporal convolution: rides the cached 2D engine via
+    # the singleton-height lowering, so its counters follow the packed
+    # 2D predictor on the lifted shape.
+    NdBenchCase("audio_1d", "conv1d", (4, 8, 256), (16, 8, 9), padding=4),
+    # Tiny video stack through the rank-generic single-block plan.
+    NdBenchCase("video_3d_tiny", "conv3d", (2, 4, 8, 12, 12),
+                (8, 4, 3, 3, 3), padding=1),
+    # Decoder upsampling stage: stride-2 transposed convolution, run as
+    # the zero-stuffed adjoint of a stride-1 forward conv.
+    NdBenchCase("decoder_tconv", "conv_transpose2d", (2, 8, 12, 12),
+                (8, 4, 4, 4), padding=1, stride=2),
+)
+
+
+def run_nd_case(case: NdBenchCase, repeats: int = 25) -> dict:
+    """Measure one N-dimensional operator preset.
+
+    Returns an entry shaped like :func:`run_case`'s (same gate metrics:
+    ``cached_ms``, ``fft_calls``/``fft_rows``, ``guard_fallbacks``) with
+    the seed/uncached/layer/workers columns absent — those paths only
+    exist for the native 2D engine.
+    """
+    from repro.baselines.ndops import (
+        ConvOp,
+        conv_transpose2d_naive,
+        convolve_nd,
+        lift_1d_shape,
+        transpose_internal_shape,
+    )
+    from repro.core import multichannel as mc
+    from repro.core.ndim import clear_ndplan_cache, convnd_naive
+    from repro.guard.chain import reset_guard
+    from repro.guard.state import guarded
+    from repro.nn import functional as F
+    from repro.observe import tracing
+    from repro.observe.registry import counters as _counters
+    from repro.observe.registry import fft_call_totals
+    from repro.perfmodel.engine import (
+        predict_fft_counters,
+        predict_fft_counters_nd,
+        roofline_pct,
+        roofline_pct_nd,
+    )
+    from repro.utils.shapes import ConvShapeNd
+
+    op = ConvOp(case.op)
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(case.x_shape)
+    w = rng.standard_normal(case.w_shape)
+    params = dict(padding=case.padding, stride=case.stride,
+                  dilation=case.dilation, groups=case.groups)
+
+    def call():
+        return convolve_nd(x, w, op=op, output_padding=case.output_padding,
+                           **params)
+
+    # Cold: every plan/spectrum cache emptied first.
+    mc.clear_plan_cache()
+    mc.clear_spectrum_cache()
+    clear_ndplan_cache()
+    start = time.perf_counter()
+    out = call()
+    first_call_ms = (time.perf_counter() - start) * 1e3
+
+    # Verify against an independent reference before timing anything.
+    if op is ConvOp.CONV_TRANSPOSE2D:
+        want = conv_transpose2d_naive(x, w, output_padding=case.
+                                      output_padding, **params)
+    else:
+        want = convnd_naive(x, w, **params)
+    if not np.allclose(want, out, atol=1e-8):
+        raise AssertionError(f"engine diverged from naive on {case.name}")
+
+    times = _time_interleaved({"cached": call}, repeats)
+    cached_ms = times["cached"]
+
+    # Deterministic counters of one cached steady-state call.
+    _counters.clear("fft.")
+    with tracing():
+        call()
+    totals = fft_call_totals()
+    case_counters = {
+        "fft_calls": sum(v["calls"] for v in totals.values()),
+        "fft_rows": sum(v["rows"] for v in totals.values()),
+        "by_kind": {kind: v["calls"] for kind, v in sorted(totals.items())},
+    }
+
+    # The predictor assertion: the 1D lowering must hit the 2D engine's
+    # caches and the 3D plan's call structure is closed-form.  (The
+    # transposed op's counters depend on the backward-path weight flip,
+    # which defeats the spectrum cache by design; recorded ungated.)
+    layout = None
+    predicted = None
+    if op is ConvOp.CONV1D:
+        lifted = lift_1d_shape(ConvShapeNd.from_tensors(
+            case.x_shape, case.w_shape, **params))
+        layout = mc.get_plan(lifted).layout
+        predicted = predict_fft_counters(lifted, "sum", layout)
+        pct = roofline_pct(lifted, cached_ms, layout)
+    elif op is ConvOp.CONV3D:
+        shape_nd = ConvShapeNd.from_tensors(case.x_shape, case.w_shape,
+                                            **params)
+        predicted = predict_fft_counters_nd(shape_nd)
+        pct = roofline_pct_nd(shape_nd, cached_ms)
+    else:
+        internal = transpose_internal_shape(
+            case.x_shape, case.w_shape,
+            output_padding=case.output_padding, **params)
+        layout = mc.get_plan(internal).layout
+        pct = roofline_pct(internal, cached_ms, layout)
+    if predicted is not None:
+        got = {k: case_counters[k] for k in predicted}
+        if got != predicted:
+            raise AssertionError(
+                f"{case.name}: measured FFT counters {got} diverged from "
+                f"the closed-form prediction {predicted}")
+
+    # One guard-enabled call: the supervised chain must not fall back.
+    reset_guard()
+    op_fn = {ConvOp.CONV1D: F.conv1d, ConvOp.CONV3D: F.conv3d}.get(op)
+    with guarded():
+        if op_fn is not None:
+            op_fn(x, w, **params)
+        else:
+            F.conv_transpose2d(x, w, output_padding=case.output_padding,
+                               **params)
+    case_counters["guard_fallbacks"] = int(_counters.total("guard.fallback"))
+    reset_guard()
+
+    return {
+        "name": case.name,
+        "op": case.op,
+        "shape": {"x": list(case.x_shape), "w": list(case.w_shape),
+                  "padding": case.padding, "stride": case.stride,
+                  "dilation": case.dilation, "groups": case.groups,
+                  "output_padding": case.output_padding},
+        "layout": layout,
+        "first_call_ms": round(first_call_ms, 4),
+        "cached_ms": round(cached_ms, 4),
+        "roofline_pct": round(pct, 2) if pct is not None else None,
+        "predicted_counters": predicted,
+        "counters": case_counters,
+    }
 
 
 @dataclass(frozen=True)
@@ -549,6 +723,8 @@ def run_suite(smoke: bool = False, repeats: int = 25,
         repeats = min(repeats, 2)
     cases = [c for c in SUITE if not (smoke and c.heavy)]
     results = [run_case(c, repeats=repeats, workers=workers) for c in cases]
+    results += [run_nd_case(c, repeats=repeats)
+                for c in ND_SUITE if not (smoke and c.heavy)]
     serve_results = []
     if serve:
         # Serve presets cost milliseconds per repeat, so even smoke runs
@@ -685,21 +861,20 @@ def format_report(report: dict) -> str:
               f"{'speedup':>8} {'roofline':>8}")
     lines.append(header)
     for r in report["results"]:
-        wk = f"{r['workers_ms']:9.3f}" if r["workers_ms"] is not None \
-            else f"{'-':>9}"
-        ly = f"{r['layer_cached_ms']:9.3f}" \
-            if r["layer_cached_ms"] is not None else f"{'-':>9}"
-        sd = f"{r['seed_ms']:9.3f}" if r["seed_ms"] is not None \
-            else f"{'-':>9}"
-        sp = f"{r['speedup']:8.2f}x" if r["speedup"] is not None \
+        def col(value, suffix="", width=9):
+            return f"{value:{width - len(suffix)}.3f}{suffix}" \
+                if value is not None else f"{'-':>{width}}"
+
+        sp = f"{r['speedup']:8.2f}x" if r.get("speedup") is not None \
             else f"{'-':>9}"
         rf = f"{r['roofline_pct']:7.1f}%" \
             if r.get("roofline_pct") is not None else f"{'-':>8}"
         lines.append(
             f"{r['name']:<24} {r.get('layout') or '-':<12} "
-            f"{r['first_call_ms']:9.3f} {sd} "
-            f"{r['uncached_ms']:9.3f} {r['cached_ms']:9.3f} "
-            f"{ly} {wk} {sp} {rf}")
+            f"{r['first_call_ms']:9.3f} {col(r.get('seed_ms'))} "
+            f"{col(r.get('uncached_ms'))} {r['cached_ms']:9.3f} "
+            f"{col(r.get('layer_cached_ms'))} {col(r.get('workers_ms'))} "
+            f"{sp} {rf}")
     if report.get("serve"):
         lines.append("")
         lines.append(format_serve_report(report["serve"]))
@@ -739,11 +914,18 @@ def _remeasure_flagged(report: dict, flagged: set[str], repeats: int,
     per-metric minimum.  A transient background-load spike during the first
     pass then cannot fail the gate; a real regression reproduces."""
     by_name = {c.name: c for c in SUITE}
+    nd_by_name = {c.name: c for c in ND_SUITE}
     for entry in report["results"]:
-        case = by_name.get(entry["name"])
-        if case is None or entry["name"] not in flagged:
+        name = entry["name"]
+        if name not in flagged:
             continue
-        retry = run_case(case, repeats=repeats, workers=workers)
+        if name in by_name:
+            retry = run_case(by_name[name], repeats=repeats,
+                             workers=workers)
+        elif name in nd_by_name:
+            retry = run_nd_case(nd_by_name[name], repeats=repeats)
+        else:
+            continue
         for metric in ("cached_ms", "uncached_ms", "seed_ms",
                        "layer_cached_ms", "workers_ms"):
             old, new = entry.get(metric), retry.get(metric)

@@ -336,11 +336,33 @@ def cmd_cache_stats(args) -> int:
     return 0
 
 
+#: Representative problems probing each operator family's support matrix:
+#: generic enough (channels divisible, kernel fits) that a "no" means the
+#: algorithm genuinely cannot run the op, not that the probe was degenerate.
+_OP_PROBES = {
+    "1d": ("conv1d", (1, 4, 32), (4, 4, 5), {}),
+    "2d": ("conv2d", (1, 4, 16, 16), (4, 4, 3, 3), {}),
+    "3d": ("conv3d", (1, 4, 8, 8, 8), (4, 4, 3, 3, 3), {}),
+    "t2d": ("conv_transpose2d", (1, 4, 8, 8), (4, 4, 3, 3), {"stride": 2}),
+}
+
+
 def cmd_algorithms(args) -> int:
+    from repro.baselines.ndops import op_supports, resolve_op
     from repro.baselines.registry import get_entry, list_algorithms
 
+    cols = list(_OP_PROBES)
+    print(f"{'algorithm':<24} {' '.join(f'{c:>4}' for c in cols)}  "
+          "description")
     for algo in list_algorithms():
-        print(f"{algo.value:<24} {get_entry(algo).description}")
+        marks = []
+        for col in cols:
+            op, x_shape, w_shape, extra = _OP_PROBES[col]
+            ok = op_supports(resolve_op(op), algo, x_shape, w_shape,
+                             **extra)
+            marks.append(f"{'y' if ok else '-':>4}")
+        print(f"{algo.value:<24} {' '.join(marks)}  "
+              f"{get_entry(algo).description}")
     return 0
 
 

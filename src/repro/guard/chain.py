@@ -145,3 +145,105 @@ def guarded_conv2d(x: np.ndarray, weight: np.ndarray,
             counters.add("guard.breaker_open", algorithm=algo.value)
         attempts.append((algo.value, verdict.status, verdict.reason))
     raise GuardExhaustedError(attempts) from last_exc
+
+
+def guarded_convnd(x: np.ndarray, weight: np.ndarray,
+                   op="conv2d",
+                   bias: np.ndarray | None = None,
+                   padding: int | tuple | str = 0,
+                   stride: int | tuple = 1,
+                   dilation: int | tuple = 1, groups: int = 1,
+                   output_padding: int | tuple = 0,
+                   algorithm: ConvAlgorithm | str = ConvAlgorithm.POLYHANKEL,
+                   config: GuardConfig | None = None,
+                   breaker_key=None,
+                   **kwargs) -> np.ndarray:
+    """Any convolution op through the supervised fallback chain.
+
+    The op-level generalization of :func:`guarded_conv2d` — same
+    supervision contract (sentinel classification, breaker memory,
+    counters), dispatched through :func:`repro.baselines.ndops.convolve_nd`
+    so conv1d/conv3d/conv_transpose2d inherit the chain.  The sentinel's
+    B/E model carries over per rank: B is the per-output-channel L1 bound
+    (rank-agnostic), E uses the op's actual FFT product length
+    (``ConvShapeNd.poly_product_len``, or the internal adjoint problem's
+    for transposed conv).
+    """
+    from repro.baselines.ndops import (
+        ConvOp,
+        convolve_nd,
+        fallback_chain_nd,
+        op_shape,
+        resolve_op,
+        transpose_weight_view,
+    )
+
+    op = resolve_op(op)
+    if op is ConvOp.CONV2D:
+        return guarded_conv2d(x, weight, bias=bias, padding=padding,
+                              stride=stride, dilation=dilation,
+                              groups=groups, algorithm=algorithm,
+                              config=config, breaker_key=breaker_key,
+                              **kwargs)
+    config = config or current_config()
+    x = ensure_array(x, "x", dtype=float)
+    weight = ensure_array(weight, "weight", dtype=float)
+    shape = op_shape(op, x.shape, weight.shape, padding, stride, dilation,
+                     groups, output_padding)
+    chain = fallback_chain_nd(op, x.shape, weight.shape, padding, stride,
+                              dilation, groups, output_padding,
+                              primary=algorithm)
+    if not chain:  # pragma: no cover - naive supports every op/shape
+        raise GuardExhaustedError([("-", "empty", "no supported algorithm")])
+    # The sentinel bound wants weight axis 0 to enumerate output channels;
+    # the tconv layout needs the per-group channel transpose first.
+    sentinel_weight = weight
+    if op is ConvOp.CONV_TRANSPOSE2D:
+        sentinel_weight = transpose_weight_view(weight, groups)
+    dtype_tag = str(x.dtype)
+    scope = breaker_key if breaker_key is not None else (op.value, shape)
+    attempts: list[tuple[str, str, str | None]] = []
+    last_exc: Exception | None = None
+    for index, algo in enumerate(chain):
+        key = (algo.value, scope, dtype_tag)
+        if _BREAKER.is_open(key):
+            counters.add("guard.fallback", algorithm=algo.value,
+                         cause="breaker_open")
+            attempts.append((algo.value, "skipped", "breaker open"))
+            continue
+        call_kwargs = kwargs if index == 0 else {}
+        try:
+            with span("guard.attempt", algorithm=algo.value, attempt=index,
+                      op=op.value):
+                out = convolve_nd(x, weight, op, algo, padding=padding,
+                                  stride=stride, dilation=dilation,
+                                  groups=groups,
+                                  output_padding=output_padding,
+                                  **call_kwargs)
+        except Exception as exc:
+            last_exc = exc
+            counters.add("guard.fallback", algorithm=algo.value,
+                         cause="exception")
+            if _BREAKER.record_failure(key, config.breaker_threshold,
+                                       config.breaker_ttl_s):
+                counters.add("guard.breaker_open", algorithm=algo.value)
+            attempts.append((algo.value, "error",
+                             f"{type(exc).__name__}: {exc}"))
+            continue
+        verdict = sentinel.classify(out, x, sentinel_weight,
+                                    shape.poly_product_len, config)
+        if verdict.ok:
+            _BREAKER.record_success(key)
+            if bias is not None:
+                bias = ensure_array(bias, "bias", ndim=1)
+                out = out + bias.reshape((1, -1) + (1,) * (out.ndim - 2))
+            return out
+        counters.add("guard.sentinel_trip", algorithm=algo.value,
+                     status=verdict.status)
+        counters.add("guard.fallback", algorithm=algo.value,
+                     cause=verdict.status)
+        if _BREAKER.record_failure(key, config.breaker_threshold,
+                                   config.breaker_ttl_s):
+            counters.add("guard.breaker_open", algorithm=algo.value)
+        attempts.append((algo.value, verdict.status, verdict.reason))
+    raise GuardExhaustedError(attempts) from last_exc

@@ -68,11 +68,17 @@ class Verdict:
 
 
 def output_magnitude_bound(x: np.ndarray, weight: np.ndarray) -> float:
-    """Hard bound ``B = max|x| * max_f ||w_f||_1`` on any output element."""
+    """Hard bound ``B = max|x| * max_f ||w_f||_1`` on any output element.
+
+    Rank-agnostic: *weight* is ``(f, c/g, *kernel_spatial)`` for any
+    spatial rank (1D/2D/3D share the same per-filter dot-product
+    structure, only the number of summed taps changes).
+    """
     if x.size == 0 or weight.size == 0:
         return 0.0
     x_peak = float(np.max(np.abs(x)))
-    w_l1 = float(np.max(np.sum(np.abs(weight), axis=(1, 2, 3))))
+    w_l1 = float(np.max(np.sum(np.abs(weight),
+                               axis=tuple(range(1, weight.ndim)))))
     return x_peak * w_l1
 
 

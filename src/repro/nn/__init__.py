@@ -10,7 +10,10 @@ from repro.nn import functional
 from repro.nn.layers import (
     AvgPool2d,
     BatchNorm2d,
+    Conv1d,
     Conv2d,
+    Conv3d,
+    ConvTranspose2d,
     Flatten,
     Layer,
     Linear,
@@ -22,8 +25,8 @@ from repro.nn.synthetic import lenet5, synthetic_network
 
 __all__ = [
     "functional",
-    "Layer", "Conv2d", "ReLU", "MaxPool2d", "AvgPool2d", "BatchNorm2d",
-    "Flatten", "Linear",
+    "Layer", "Conv1d", "Conv2d", "Conv3d", "ConvTranspose2d", "ReLU",
+    "MaxPool2d", "AvgPool2d", "BatchNorm2d", "Flatten", "Linear",
     "Sequential", "ConvProfile", "profile_conv_time",
     "synthetic_network", "lenet5",
 ]

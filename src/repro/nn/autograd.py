@@ -23,6 +23,11 @@ from repro.nn.grad import (
     conv2d_backward_bias,
     conv2d_backward_input,
     conv2d_backward_weight,
+    conv_transpose2d_backward_input,
+    conv_transpose2d_backward_weight,
+    convnd_backward_bias,
+    convnd_backward_input,
+    convnd_backward_weight,
 )
 from repro.utils.validation import ensure_array
 
@@ -117,6 +122,85 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
                 algorithm=algorithm))
         if bias is not None and bias.requires_grad:
             bias._accumulate(conv2d_backward_bias(grad))
+
+    return Tensor(out_data, parents, backward_fn)
+
+
+def _convnd(op_fn, x: Tensor, weight: Tensor, bias: Tensor | None,
+            padding, stride, dilation, groups, algorithm) -> Tensor:
+    out_data = op_fn(x.data, weight.data,
+                     None if bias is None else bias.data,
+                     padding, stride, dilation, groups,
+                     algorithm=algorithm)
+    parents = (x, weight) + (() if bias is None else (bias,))
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(convnd_backward_input(
+                grad, weight.data, x.data.shape, padding=padding,
+                stride=stride, dilation=dilation, groups=groups,
+                algorithm=algorithm))
+        if weight.requires_grad:
+            weight._accumulate(convnd_backward_weight(
+                grad, x.data, weight.data.shape[2:], padding=padding,
+                stride=stride, dilation=dilation, groups=groups,
+                algorithm=algorithm))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(convnd_backward_bias(grad))
+
+    return Tensor(out_data, parents, backward_fn)
+
+
+def conv1d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
+           padding: int | tuple | str = 0, stride: int | tuple = 1,
+           dilation: int | tuple = 1, groups: int = 1,
+           algorithm: ConvAlgorithm | str = ConvAlgorithm.POLYHANKEL
+           ) -> Tensor:
+    """Differentiable 1D convolution (full parameter space)."""
+    return _convnd(F.conv1d, x, weight, bias, padding, stride, dilation,
+                   groups, algorithm)
+
+
+def conv3d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
+           padding: int | tuple | str = 0, stride: int | tuple = 1,
+           dilation: int | tuple = 1, groups: int = 1,
+           algorithm: ConvAlgorithm | str = ConvAlgorithm.POLYHANKEL
+           ) -> Tensor:
+    """Differentiable 3D convolution (full parameter space)."""
+    return _convnd(F.conv3d, x, weight, bias, padding, stride, dilation,
+                   groups, algorithm)
+
+
+def conv_transpose2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
+                     padding: int | tuple = 0, stride: int | tuple = 1,
+                     output_padding: int | tuple = 0,
+                     dilation: int | tuple = 1, groups: int = 1,
+                     algorithm: ConvAlgorithm | str =
+                     ConvAlgorithm.POLYHANKEL) -> Tensor:
+    """Differentiable transposed convolution.
+
+    Input gradient is the plain forward conv with the same parameters
+    (the adjoint of an adjoint); weight gradient is the 2D weight
+    backward with input/gradient roles swapped.
+    """
+    out_data = F.conv_transpose2d(x.data, weight.data,
+                                  None if bias is None else bias.data,
+                                  padding, stride, output_padding,
+                                  dilation, groups, algorithm=algorithm)
+    parents = (x, weight) + (() if bias is None else (bias,))
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(conv_transpose2d_backward_input(
+                grad, weight.data, padding=padding, stride=stride,
+                dilation=dilation, groups=groups, algorithm=algorithm))
+        if weight.requires_grad:
+            weight._accumulate(conv_transpose2d_backward_weight(
+                grad, x.data, weight.data.shape[2:], padding=padding,
+                stride=stride, dilation=dilation, groups=groups,
+                algorithm=algorithm))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(convnd_backward_bias(grad))
 
     return Tensor(out_data, parents, backward_fn)
 

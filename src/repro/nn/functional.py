@@ -91,46 +91,97 @@ def conv2d_async(x: np.ndarray, weight: np.ndarray,
                          groups, algorithm, strategy, backend)
 
 
+def conv1d(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None,
+           padding: int | tuple | str = 0, stride: int | tuple = 1,
+           dilation: int | tuple = 1, groups: int = 1,
+           algorithm: ConvAlgorithm | str = ConvAlgorithm.POLYHANKEL,
+           **kwargs) -> np.ndarray:
+    """1D convolution of an ``(n, c, length)`` batch.
+
+    Same parameter space and dispatch rules as :func:`conv2d` (full
+    stride/dilation/groups, ``"same"`` and asymmetric ``(lo, hi)``
+    padding, any registered algorithm, guard-chain routing).  Internally
+    the sequence runs as a ``1 x L`` image through the cached 2D engine,
+    so 1D inherits the packed real-pair FFT pipeline.
+    """
+    return _convnd("conv1d", x, weight, bias, padding, stride, dilation,
+                   groups, algorithm, **kwargs)
+
+
+def conv3d(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None,
+           padding: int | tuple | str = 0, stride: int | tuple = 1,
+           dilation: int | tuple = 1, groups: int = 1,
+           algorithm: ConvAlgorithm | str = ConvAlgorithm.POLYHANKEL,
+           **kwargs) -> np.ndarray:
+    """3D convolution of an ``(n, c, depth, height, width)`` batch.
+
+    The degree map stacks a plane stride on top of the 2D construction
+    (``t^(Iw*Id*k + Iw*i + j)``), so the whole volume still runs as one
+    1D FFT.  Algorithms: ``polyhankel``, ``gemm``, ``naive`` (the 2D-only
+    baselines reject 3D shapes explicitly).
+    """
+    return _convnd("conv3d", x, weight, bias, padding, stride, dilation,
+                   groups, algorithm, **kwargs)
+
+
+def _convnd(op: str, x, weight, bias, padding, stride, dilation, groups,
+            algorithm, **kwargs) -> np.ndarray:
+    from repro.baselines.ndops import convolve_nd
+
+    x = np.asarray(x)
+    weight = np.asarray(weight)
+    if guard_enabled():
+        from repro.guard.chain import guarded_convnd
+
+        return guarded_convnd(x, weight, op=op, bias=bias, padding=padding,
+                              stride=stride, dilation=dilation,
+                              groups=groups, algorithm=algorithm, **kwargs)
+    out = convolve_nd(x, weight, op, algorithm, padding=padding,
+                      stride=stride, dilation=dilation, groups=groups,
+                      **kwargs)
+    if bias is not None:
+        bias = ensure_array(bias, "bias", ndim=1)
+        out = out + bias.reshape((1, -1) + (1,) * (out.ndim - 2))
+    return out
+
+
 def conv_transpose2d(x: np.ndarray, weight: np.ndarray,
-                     bias: np.ndarray | None = None, padding: int = 0,
-                     stride: int = 1, output_padding: int = 0,
+                     bias: np.ndarray | None = None,
+                     padding: int | tuple = 0,
+                     stride: int | tuple = 1,
+                     output_padding: int | tuple = 0,
+                     dilation: int | tuple = 1, groups: int = 1,
                      algorithm: ConvAlgorithm | str =
-                     ConvAlgorithm.POLYHANKEL) -> np.ndarray:
+                     ConvAlgorithm.POLYHANKEL, **kwargs) -> np.ndarray:
     """Transposed (fractionally strided) convolution, a.k.a. deconvolution.
 
-    Follows the PyTorch convention: *weight* is ``(c_in, c_out, kh, kw)``
-    and the output extent is ``(i - 1) * stride - 2 * padding + k +
-    output_padding`` (``output_padding`` resolves the ambiguity a strided
-    forward convolution leaves about its input extent).  The operation is
-    the adjoint of :func:`conv2d`, so it is computed with the
-    convolution-based backward-input machinery — through any registered
-    algorithm.
+    Follows the PyTorch convention: *weight* is ``(c_in, c_out/groups,
+    kh, kw)`` and each output extent is ``(i - 1) * stride - (p_lo +
+    p_hi) + dilation * (k - 1) + 1 + output_padding`` with ``0 <=
+    output_padding < stride`` (it resolves the ambiguity a strided
+    forward convolution leaves about its input extent).  *stride*,
+    *dilation*, *padding* and *output_padding* accept ints or ``(h, w)``
+    pairs (padding also a flat 4-tuple).  The operation is the adjoint of
+    :func:`conv2d`, computed with the convolution-based backward-input
+    machinery — through any registered algorithm — and routes through the
+    guard fallback chain while the guard is enabled.
     """
-    from repro.nn.grad import conv2d_backward_input
+    from repro.baselines.ndops import convolve_nd
 
     x = ensure_array(x, "x", ndim=4, dtype=float)
     weight = ensure_array(weight, "weight", ndim=4, dtype=float)
-    if x.shape[1] != weight.shape[0]:
-        raise ValueError(
-            f"channel mismatch: input C={x.shape[1]}, transposed weight "
-            f"expects C_in={weight.shape[0]}"
-        )
-    if not 0 <= output_padding < stride and output_padding != 0:
-        raise ValueError("output_padding must be in [0, stride)")
-    n, c_in, ih, iw = x.shape
-    _, c_out, kh, kw = weight.shape
-    oh = (ih - 1) * stride - 2 * padding + kh + output_padding
-    ow = (iw - 1) * stride - 2 * padding + kw + output_padding
-    if oh < 1 or ow < 1:
-        raise ValueError(
-            f"transposed output {oh}x{ow} is empty; reduce padding"
-        )
-    # conv_transpose(x, w) is the adjoint of the forward convolution whose
-    # weight maps c_out channels to c_in filters — which is exactly the
-    # (c_in, c_out, kh, kw) layout of *weight* read as (F, C, kh, kw).
-    out = conv2d_backward_input(x, weight, (n, c_out, oh, ow),
-                                padding=padding, stride=stride,
-                                algorithm=algorithm)
+    if guard_enabled():
+        from repro.guard.chain import guarded_convnd
+
+        return guarded_convnd(x, weight, op="conv_transpose2d", bias=bias,
+                              padding=padding, stride=stride,
+                              dilation=dilation, groups=groups,
+                              output_padding=output_padding,
+                              algorithm=algorithm, **kwargs)
+    out = convolve_nd(x, weight, "conv_transpose2d", algorithm,
+                      padding=padding, stride=stride, dilation=dilation,
+                      groups=groups, output_padding=output_padding,
+                      **kwargs)
     if bias is not None:
         bias = ensure_array(bias, "bias", ndim=1)
         out = out + bias[None, :, None, None]

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.baselines.registry import ConvAlgorithm, convolve
 from repro.hankel.im2col_view import pad2d
-from repro.utils.shapes import ConvShape
+from repro.utils.shapes import ConvShape, ConvShapeNd, normalize_tuple
 from repro.utils.validation import ensure_array
 
 
@@ -147,3 +147,167 @@ def conv2d_backward_bias(grad_out: np.ndarray) -> np.ndarray:
     """Gradient w.r.t. the per-filter bias."""
     grad_out = ensure_array(grad_out, "grad_out", ndim=4)
     return grad_out.sum(axis=(0, 2, 3))
+
+
+# ---------------------------------------------------------------------------
+# N-dimensional generalizations
+# ---------------------------------------------------------------------------
+
+def _op_for_ndim(ndim: int) -> str:
+    ops = {1: "conv1d", 2: "conv2d", 3: "conv3d"}
+    if ndim not in ops:
+        raise ValueError(
+            f"backward passes support spatial ranks 1-3, got {ndim}"
+        )
+    return ops[ndim]
+
+
+def dilate_spatial_nd(x: np.ndarray, stride, ndim: int) -> np.ndarray:
+    """Insert zeros between samples of the trailing *ndim* axes."""
+    stride_nd = normalize_tuple(stride, ndim, "stride")
+    if all(s == 1 for s in stride_nd):
+        return x
+    lead, spatial = x.shape[:-ndim], x.shape[-ndim:]
+    out = np.zeros(
+        (*lead, *((e - 1) * s + 1 for e, s in zip(spatial, stride_nd))),
+        dtype=x.dtype)
+    out[(...,) + tuple(slice(None, None, s) for s in stride_nd)] = x
+    return out
+
+
+def convnd_backward_input(grad_out: np.ndarray, weight: np.ndarray,
+                          input_shape: tuple, padding=0,
+                          stride: int | tuple = 1,
+                          dilation: int | tuple = 1, groups: int = 1,
+                          algorithm: ConvAlgorithm | str =
+                          ConvAlgorithm.POLYHANKEL) -> np.ndarray:
+    """Input gradient of a 1D/2D/3D convolution (rank from *input_shape*).
+
+    Same construction as :func:`conv2d_backward_input` with every spatial
+    operation generalized to *ndim* axes; the actual convolution runs
+    through the op-level registry so each rank uses its own fast path.
+    """
+    from repro.baselines.ndops import convolve_nd
+
+    grad_out = ensure_array(grad_out, "grad_out", dtype=float)
+    weight = ensure_array(weight, "weight", dtype=float)
+    shape = ConvShapeNd.from_tensors(input_shape, weight.shape, padding,
+                                     stride, dilation, groups)
+    ndim = shape.ndim
+    op = _op_for_ndim(ndim)
+    if grad_out.shape != shape.output_shape():
+        raise ValueError(
+            f"grad_out shape {grad_out.shape} does not match "
+            f"{shape.output_shape()}"
+        )
+    f_per, c_per = shape.group_filters, shape.group_channels
+    g = dilate_spatial_nd(grad_out, shape.stride_nd, ndim)
+    g = np.pad(g, [(0, 0), (0, 0)]
+               + [(ek - 1, ek - 1) for ek in shape.eff_kernel])
+    flip = (slice(None), slice(None)) + (slice(None, None, -1),) * ndim
+    w_flip = weight[flip]
+    perm = (0, 2, 1) + tuple(range(3, 3 + ndim))
+    w_t = np.ascontiguousarray(
+        w_flip.reshape(shape.groups, f_per, c_per, *shape.kernel)
+        .transpose(perm)
+    ).reshape(shape.c, f_per, *shape.kernel)
+    dx_core = convolve_nd(g, w_t, op, algorithm,
+                          dilation=shape.dilation_nd, groups=shape.groups)
+    padded = shape.padded_extents
+    dx_padded = np.zeros((shape.n, shape.c, *padded), dtype=dx_core.dtype)
+    core = (slice(None), slice(None)) + tuple(
+        slice(None, min(e, p)) for e, p in zip(dx_core.shape[2:], padded))
+    dx_padded[core] = dx_core[(slice(None), slice(None)) + tuple(
+        slice(None, p) for p in padded)]
+    crop = (slice(None), slice(None)) + tuple(
+        slice(lo, lo + e) for (lo, _), e in zip(shape.pad_pairs,
+                                                shape.extents))
+    return dx_padded[crop]
+
+
+def convnd_backward_weight(grad_out: np.ndarray, x: np.ndarray,
+                           kernel_size: tuple, padding=0,
+                           stride: int | tuple = 1,
+                           dilation: int | tuple = 1, groups: int = 1,
+                           algorithm: ConvAlgorithm | str =
+                           ConvAlgorithm.POLYHANKEL) -> np.ndarray:
+    """Weight gradient of a 1D/2D/3D convolution (rank from *x*)."""
+    from repro.baselines.ndops import convolve_nd
+
+    grad_out = ensure_array(grad_out, "grad_out", dtype=float)
+    x = ensure_array(x, "x", dtype=float)
+    ndim = x.ndim - 2
+    op = _op_for_ndim(ndim)
+    kernel_size = tuple(kernel_size)
+    f = grad_out.shape[1]
+    shape = ConvShapeNd(extents=x.shape[2:], kernel=kernel_size,
+                        n=x.shape[0], c=x.shape[1], f=f, padding=padding,
+                        stride=stride, dilation=dilation, groups=groups)
+    f_per, c_per = shape.group_filters, shape.group_channels
+    xp = np.pad(x, [(0, 0), (0, 0)] + list(shape.pad_pairs))
+    g = dilate_spatial_nd(grad_out, shape.stride_nd, ndim)
+    need = tuple(ge + (k - 1) * d for ge, k, d in
+                 zip(g.shape[2:], kernel_size, shape.dilation_nd))
+    xp = xp[(slice(None), slice(None)) + tuple(slice(None, e)
+                                               for e in need)]
+    perm = (1, 0) + tuple(range(2, 2 + ndim))
+    grads = []
+    for gi in range(shape.groups):
+        x_t = xp[:, gi * c_per:(gi + 1) * c_per].transpose(perm)
+        g_t = g[:, gi * f_per:(gi + 1) * f_per].transpose(perm)
+        dw = convolve_nd(x_t, g_t, op, algorithm,
+                         stride=shape.dilation_nd)
+        grads.append(dw.transpose(perm))      # (f_per, c_per, *kernel)
+    return np.concatenate(grads, axis=0)      # (f, c_per, *kernel)
+
+
+def convnd_backward_bias(grad_out: np.ndarray) -> np.ndarray:
+    """Gradient w.r.t. the per-filter bias (any spatial rank)."""
+    grad_out = np.asarray(grad_out)
+    return grad_out.sum(axis=(0,) + tuple(range(2, grad_out.ndim)))
+
+
+# ---------------------------------------------------------------------------
+# Transposed convolution gradients
+# ---------------------------------------------------------------------------
+
+def conv_transpose2d_backward_input(grad_out: np.ndarray,
+                                    weight: np.ndarray, padding=0,
+                                    stride: int | tuple = 1,
+                                    dilation: int | tuple = 1,
+                                    groups: int = 1,
+                                    algorithm: ConvAlgorithm | str =
+                                    ConvAlgorithm.POLYHANKEL) -> np.ndarray:
+    """Input gradient of a transposed convolution.
+
+    ``conv_transpose2d`` is the adjoint ``M^T`` of the forward conv with
+    the same parameters, so its input gradient is that forward conv
+    applied to *grad_out* — no new machinery, just :func:`convolve` with
+    the tconv weight read in its natural ``(F=c_in, C=c_out/g)`` layout.
+    """
+    grad_out = ensure_array(grad_out, "grad_out", ndim=4, dtype=float)
+    weight = ensure_array(weight, "weight", ndim=4, dtype=float)
+    return convolve(grad_out, weight, algorithm=algorithm,
+                    padding=padding, stride=stride, dilation=dilation,
+                    groups=groups)
+
+
+def conv_transpose2d_backward_weight(grad_out: np.ndarray, x: np.ndarray,
+                                     kernel_size: tuple[int, int],
+                                     padding=0, stride: int | tuple = 1,
+                                     dilation: int | tuple = 1,
+                                     groups: int = 1,
+                                     algorithm: ConvAlgorithm | str =
+                                     ConvAlgorithm.POLYHANKEL
+                                     ) -> np.ndarray:
+    """Weight gradient of a transposed convolution.
+
+    In the adjoint's forward-conv view *grad_out* plays the conv input
+    and the tconv input *x* plays the conv output's gradient, so this is
+    :func:`conv2d_backward_weight` with the two roles swapped; the result
+    lands directly in the tconv ``(c_in, c_out/g, kh, kw)`` layout.
+    """
+    return conv2d_backward_weight(x, grad_out, kernel_size,
+                                  padding=padding, stride=stride,
+                                  dilation=dilation, groups=groups,
+                                  algorithm=algorithm)

@@ -353,3 +353,158 @@ class Linear(Layer):
 
     def __repr__(self):
         return f"Linear({self.in_features}, {self.out_features})"
+
+
+class _ConvNdBase(Layer):
+    """Shared parameter handling for the 1D/3D convolution layers."""
+
+    _NDIM = 1
+    _OP = "conv1d"
+
+    def __init__(self, in_channels: int, out_channels: int,
+                 kernel_size: int | tuple,
+                 padding: int | tuple | str = 0, stride: int | tuple = 1,
+                 dilation: int | tuple = 1, groups: int = 1,
+                 bias: bool = True,
+                 algorithm: ConvAlgorithm | str = ConvAlgorithm.POLYHANKEL,
+                 rng: np.random.Generator | None = None):
+        from repro.utils.shapes import normalize_tuple
+
+        require(in_channels > 0 and out_channels > 0,
+                "channel counts must be positive")
+        require(groups >= 1, "groups must be positive")
+        require(in_channels % groups == 0 and out_channels % groups == 0,
+                f"channels ({in_channels}) and filters ({out_channels}) "
+                f"must be divisible by groups ({groups})")
+        kernel = normalize_tuple(kernel_size, self._NDIM, "kernel_size")
+        require(all(k > 0 for k in kernel), "kernel size must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel
+        self.padding = padding
+        self.stride = stride
+        self.dilation = dilation
+        self.groups = groups
+        self.algorithm = (ConvAlgorithm(algorithm)
+                          if isinstance(algorithm, str) else algorithm)
+        fan_in = (in_channels // groups) * int(np.prod(kernel))
+        self.weight = rng.standard_normal(
+            (out_channels, in_channels // groups, *kernel)
+        ) * np.sqrt(2.0 / fan_in)
+        self.bias = np.zeros(out_channels) if bias else None
+
+    def conv_shape(self, input_shape: tuple):
+        from repro.utils.shapes import ConvShapeNd
+
+        return ConvShapeNd.from_tensors(input_shape, self.weight.shape,
+                                        self.padding, self.stride,
+                                        self.dilation, self.groups)
+
+    def forward(self, x):
+        fn = getattr(F, self._OP)
+        with span(f"{self._OP}.forward", algorithm=self.algorithm.value,
+                  out_channels=self.out_channels):
+            return fn(x, self.weight, self.bias, self.padding, self.stride,
+                      self.dilation, self.groups, algorithm=self.algorithm)
+
+    def output_shape(self, input_shape):
+        return self.conv_shape(input_shape).output_shape()
+
+    def param_count(self):
+        n = self.weight.size
+        if self.bias is not None:
+            n += self.bias.size
+        return n
+
+    def __repr__(self):
+        return (f"{type(self).__name__}({self.in_channels}, "
+                f"{self.out_channels}, k={self.kernel_size}, "
+                f"algorithm={self.algorithm.value})")
+
+
+class Conv1d(_ConvNdBase):
+    """1D convolution layer; runs through the 2D engine's packed FFTs."""
+
+    _NDIM = 1
+    _OP = "conv1d"
+
+
+class Conv3d(_ConvNdBase):
+    """3D convolution layer (plane-stacked degree map, one 1D FFT)."""
+
+    _NDIM = 3
+    _OP = "conv3d"
+
+
+class ConvTranspose2d(Layer):
+    """Transposed 2D convolution layer (generative decoder upsampling).
+
+    Weight follows the PyTorch ``(in_channels, out_channels/groups, kh,
+    kw)`` layout; the forward is the adjoint route through the chosen
+    algorithm.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int,
+                 kernel_size: int | tuple,
+                 padding: int | tuple = 0, stride: int | tuple = 1,
+                 output_padding: int | tuple = 0,
+                 dilation: int | tuple = 1, groups: int = 1,
+                 bias: bool = True,
+                 algorithm: ConvAlgorithm | str = ConvAlgorithm.POLYHANKEL,
+                 rng: np.random.Generator | None = None):
+        from repro.utils.shapes import normalize_tuple
+
+        require(in_channels > 0 and out_channels > 0,
+                "channel counts must be positive")
+        require(groups >= 1, "groups must be positive")
+        require(in_channels % groups == 0 and out_channels % groups == 0,
+                f"channels ({in_channels}) and filters ({out_channels}) "
+                f"must be divisible by groups ({groups})")
+        kernel = normalize_tuple(kernel_size, 2, "kernel_size")
+        require(all(k > 0 for k in kernel), "kernel size must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel
+        self.padding = padding
+        self.stride = stride
+        self.output_padding = output_padding
+        self.dilation = dilation
+        self.groups = groups
+        self.algorithm = (ConvAlgorithm(algorithm)
+                          if isinstance(algorithm, str) else algorithm)
+        fan_in = (in_channels // groups) * int(np.prod(kernel))
+        self.weight = rng.standard_normal(
+            (in_channels, out_channels // groups, *kernel)
+        ) * np.sqrt(2.0 / fan_in)
+        self.bias = np.zeros(out_channels) if bias else None
+
+    def forward(self, x):
+        with span("conv_transpose2d.forward",
+                  algorithm=self.algorithm.value,
+                  out_channels=self.out_channels):
+            return F.conv_transpose2d(x, self.weight, self.bias,
+                                      self.padding, self.stride,
+                                      self.output_padding, self.dilation,
+                                      self.groups,
+                                      algorithm=self.algorithm)
+
+    def output_shape(self, input_shape):
+        from repro.baselines.ndops import conv_transpose2d_output_shape
+
+        return conv_transpose2d_output_shape(
+            input_shape, self.weight.shape, self.padding, self.stride,
+            self.dilation, self.groups, self.output_padding)
+
+    def param_count(self):
+        n = self.weight.size
+        if self.bias is not None:
+            n += self.bias.size
+        return n
+
+    def __repr__(self):
+        return (f"ConvTranspose2d({self.in_channels}, "
+                f"{self.out_channels}, k={self.kernel_size}, "
+                f"stride={self.stride}, "
+                f"algorithm={self.algorithm.value})")

@@ -60,17 +60,24 @@ class ConvServer:
                padding: int | tuple | str = 0, stride: int | tuple = 1,
                dilation: int | tuple = 1, groups: int = 1,
                algorithm: str = "polyhankel", strategy: str = "sum",
-               backend: str | None = None) -> Future:
+               backend: str | None = None, op: str = "conv2d",
+               output_padding: int | tuple = 0) -> Future:
         """Enqueue one convolution; returns its future immediately.
 
-        A 3-D input is treated as a single CHW image (batch of one).
+        *op* selects the operator family (``conv1d``/``conv2d``/
+        ``conv3d``/``conv_transpose2d``).  For the 4-D ops a 3-D input is
+        treated as a single CHW image (batch of one); a 1-D op's 3-D
+        input is already the batched NCL layout.
         """
         if self._closed:
             raise RuntimeError("server is closed")
-        if getattr(x, "ndim", None) == 3:
+        op = str(getattr(op, "value", op))
+        if getattr(x, "ndim", None) == 3 and op in ("conv2d",
+                                                    "conv_transpose2d"):
             x = np.asarray(x, dtype=float)[None]
         request = make_request(x, weight, bias, padding, stride, dilation,
-                               groups, algorithm, strategy, backend)
+                               groups, algorithm, strategy, backend,
+                               op, output_padding)
         counters.add("serve.requests")
         if request.batch > self.max_batch:
             # Oversized: no companion could ride along anyway — shard it
@@ -108,7 +115,8 @@ class ConvServer:
             stacked, first.weight, first.bias, padding=key.padding,
             stride=key.stride, dilation=key.dilation, groups=key.groups,
             algorithm=key.algorithm, strategy=key.strategy,
-            backend=key.backend, breaker_key=key)
+            backend=key.backend, op=key.op,
+            output_padding=key.output_padding, breaker_key=key)
         for request, result in zip(batch, split_result(out, batch)):
             request.future.set_result(result)
 

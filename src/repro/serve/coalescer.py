@@ -31,23 +31,29 @@ import numpy as np
 
 
 def _canonical_pair(value) -> int | tuple:
-    """Collapse a uniform stride/dilation pair to an int (cheap, no
-    validation — the engine validates on execution)."""
+    """Collapse a uniform per-axis stride/dilation tuple to an int (cheap,
+    no validation — the engine validates on execution)."""
     if isinstance(value, (tuple, list)):
         value = tuple(value)
-        if len(value) == 2 and value[0] == value[1]:
+        if value and len(set(value)) == 1:
             return value[0]
         return value
     return value
 
 
-def _canonical_padding(value) -> int | tuple | str:
-    """Collapse any padding spelling to its canonical hashable form."""
+def _canonical_padding(value, ndim: int = 2) -> int | tuple | str:
+    """Collapse any padding spelling to its canonical hashable form.
+
+    Mirrors :func:`repro.utils.shapes.normalize_padding_nd`: a per-axis
+    symmetric tuple (one entry per spatial dimension) expands to the flat
+    ``(lo, hi) * ndim`` form before the uniform collapse, so equivalent
+    spellings coalesce regardless of rank.
+    """
     if isinstance(value, (tuple, list)):
         value = tuple(value)
-        if len(value) == 2:
-            value = (value[0], value[0], value[1], value[1])
-        if len(set(value)) == 1:
+        if len(value) == ndim:
+            value = tuple(p for p in value for _ in range(2))
+        if value and len(set(value)) == 1:
             return value[0]
         return value
     return value
@@ -61,9 +67,9 @@ class CoalesceKey(NamedTuple):
     per field, which at twelve fields is measurable on the hot path.
     """
 
-    input_chw: tuple[int, int, int]
+    input_chw: tuple[int, ...]
     weight_id: int
-    weight_shape: tuple[int, int, int, int]
+    weight_shape: tuple[int, ...]
     bias_id: int | None
     dtype: str
     padding: int | tuple | str
@@ -73,6 +79,23 @@ class CoalesceKey(NamedTuple):
     algorithm: str
     strategy: str
     backend: str | None
+    #: Operator family ("conv1d" / "conv2d" / "conv3d" /
+    #: "conv_transpose2d").  Part of the key: a conv and its adjoint over
+    #: identical geometry must never share a stacked call.
+    op: str = "conv2d"
+    #: Extra rows/cols appended to a transposed convolution's output to
+    #: disambiguate the strided output size; always 0 for forward convs.
+    output_padding: int | tuple = 0
+
+
+#: Expected array rank (batch + channel + spatial dims) per operator,
+#: with the layout names the error messages quote.
+OP_RANKS: dict[str, tuple[int, str, str]] = {
+    "conv1d": (3, "NCL", "FCK"),
+    "conv2d": (4, "NCHW", "FCKhKw"),
+    "conv_transpose2d": (4, "NCHW", "CFKhKw (c_in, c_out/g, kh, kw)"),
+    "conv3d": (5, "NCDHW", "FCKdKhKw"),
+}
 
 
 def coalesce_key(x: np.ndarray, weight: np.ndarray,
@@ -80,22 +103,27 @@ def coalesce_key(x: np.ndarray, weight: np.ndarray,
                  padding: int | tuple | str = 0, stride: int | tuple = 1,
                  dilation: int | tuple = 1, groups: int = 1,
                  algorithm: str = "polyhankel", strategy: str = "sum",
-                 backend: str | None = None) -> CoalesceKey:
+                 backend: str | None = None, op: str = "conv2d",
+                 output_padding: int | tuple = 0) -> CoalesceKey:
     """The :class:`CoalesceKey` of one request (arrays keyed by identity)."""
     algorithm = getattr(algorithm, "value", algorithm)
+    op = getattr(op, "value", op)
+    ndim = x.ndim - 2
     return CoalesceKey(
         input_chw=tuple(x.shape[1:]),
         weight_id=id(weight),
         weight_shape=tuple(weight.shape),
         bias_id=None if bias is None else id(bias),
         dtype=x.dtype.char,  # .char, not str(): dtype.__str__ costs ~8us
-        padding=_canonical_padding(padding),
+        padding=_canonical_padding(padding, ndim),
         stride=_canonical_pair(stride),
         dilation=_canonical_pair(dilation),
         groups=int(groups),
         algorithm=str(algorithm),
         strategy=str(strategy),
         backend=backend,
+        op=str(op),
+        output_padding=_canonical_pair(output_padding),
     )
 
 
@@ -127,16 +155,24 @@ def make_request(x: np.ndarray, weight: np.ndarray,
                  padding: int | tuple | str = 0, stride: int | tuple = 1,
                  dilation: int | tuple = 1, groups: int = 1,
                  algorithm: str = "polyhankel", strategy: str = "sum",
-                 backend: str | None = None) -> ConvRequest:
+                 backend: str | None = None, op: str = "conv2d",
+                 output_padding: int | tuple = 0) -> ConvRequest:
     """Validate lightly and wrap one call's arguments as a request."""
     x = np.asarray(x, dtype=float)
     weight = np.asarray(weight, dtype=float)
-    if x.ndim != 4:
-        raise ValueError(f"input must be NCHW, got shape {x.shape}")
-    if weight.ndim != 4:
-        raise ValueError(f"weight must be FCKhKw, got shape {weight.shape}")
+    op = str(getattr(op, "value", op))
+    if op not in OP_RANKS:
+        raise ValueError(
+            f"unknown op {op!r}; expected one of {sorted(OP_RANKS)}")
+    rank, x_layout, w_layout = OP_RANKS[op]
+    if x.ndim != rank:
+        raise ValueError(
+            f"{op} input must be {x_layout}, got shape {x.shape}")
+    if weight.ndim != rank:
+        raise ValueError(
+            f"{op} weight must be {w_layout}, got shape {weight.shape}")
     key = coalesce_key(x, weight, bias, padding, stride, dilation, groups,
-                       algorithm, strategy, backend)
+                       algorithm, strategy, backend, op, output_padding)
     return ConvRequest(x=x, weight=weight, bias=bias, key=key)
 
 

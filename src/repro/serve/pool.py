@@ -61,32 +61,57 @@ def execute_conv(x: np.ndarray, weight: np.ndarray,
                  padding: int | tuple | str = 0, stride: int | tuple = 1,
                  dilation: int | tuple = 1, groups: int = 1,
                  algorithm: str = "polyhankel", strategy: str = "sum",
-                 backend: str | None = None,
+                 backend: str | None = None, op: str = "conv2d",
+                 output_padding: int | tuple = 0,
                  breaker_key=None) -> np.ndarray:
     """One engine execution, supervised when the guard is enabled.
 
-    Engine-specific knobs (*strategy*, *backend*) are forwarded only to
-    the PolyHankel paths; other algorithms receive the portable parameter
-    set.  *breaker_key* scopes the guard's circuit breaker (see
-    :func:`repro.guard.chain.guarded_conv2d`).
+    *op* selects the operator family (``conv1d``/``conv2d``/``conv3d``/
+    ``conv_transpose2d``).  Engine-specific knobs (*strategy*, *backend*)
+    are forwarded only to the PolyHankel paths that accept them; other
+    algorithms receive the portable parameter set.  *breaker_key* scopes
+    the guard's circuit breaker (see :func:`repro.guard.chain.
+    guarded_conv2d`).
     """
     from repro.nn import functional as F
 
     algorithm = getattr(algorithm, "value", algorithm)
+    op = str(getattr(op, "value", op))
     engine_kwargs = {}
     if str(algorithm) == "polyhankel":
         # Other algorithms (and "auto", which may lower to one of them)
-        # do not accept the PolyHankel-specific knobs.
-        engine_kwargs = {"strategy": strategy, "backend": backend}
+        # do not accept the PolyHankel-specific knobs.  conv1d rides the
+        # 2D engine so it takes both; conv3d's N-D plan has no channel
+        # strategy; the transposed adjoint exposes neither.
+        if op in ("conv1d", "conv2d"):
+            engine_kwargs = {"strategy": strategy, "backend": backend}
+        elif op == "conv3d":
+            engine_kwargs = {"backend": backend}
     if guard_enabled():
-        from repro.guard.chain import guarded_conv2d
+        if op == "conv2d":
+            from repro.guard.chain import guarded_conv2d
 
-        return guarded_conv2d(x, weight, bias=bias, padding=padding,
+            return guarded_conv2d(x, weight, bias=bias, padding=padding,
+                                  stride=stride, dilation=dilation,
+                                  groups=groups, algorithm=algorithm,
+                                  breaker_key=breaker_key, **engine_kwargs)
+        from repro.guard.chain import guarded_convnd
+
+        return guarded_convnd(x, weight, op=op, bias=bias, padding=padding,
                               stride=stride, dilation=dilation,
-                              groups=groups, algorithm=algorithm,
-                              breaker_key=breaker_key, **engine_kwargs)
-    return F.conv2d(x, weight, bias, padding, stride, dilation=dilation,
-                    groups=groups, algorithm=algorithm, **engine_kwargs)
+                              groups=groups, output_padding=output_padding,
+                              algorithm=algorithm, breaker_key=breaker_key,
+                              **engine_kwargs)
+    if op == "conv2d":
+        return F.conv2d(x, weight, bias, padding, stride, dilation=dilation,
+                        groups=groups, algorithm=algorithm, **engine_kwargs)
+    if op == "conv_transpose2d":
+        return F.conv_transpose2d(x, weight, bias, padding, stride,
+                                  output_padding, dilation, groups,
+                                  algorithm=algorithm)
+    op_fn = {"conv1d": F.conv1d, "conv3d": F.conv3d}[op]
+    return op_fn(x, weight, bias, padding, stride, dilation, groups,
+                 algorithm=algorithm, **engine_kwargs)
 
 
 def shard_splits(n: int, groups: int,
@@ -116,6 +141,14 @@ def _shard_arguments(request: ConvRequest, batch_slice: slice,
                      g_lo: int, g_hi: int) -> tuple:
     """(x, weight, bias, groups) restricted to one shard."""
     key = request.key
+    if key.op == "conv_transpose2d":
+        # Transposed weights are (c_in, c_out/g, kh, kw): axis 0 counts
+        # *input* channels and the bias is per output channel, so the
+        # forward group-slicing below would cut the wrong axes.
+        # run_request never asks for a group split on this op; shards
+        # carry the full group count and only the batch axis is cut.
+        return request.x[batch_slice], request.weight, request.bias, \
+            key.groups
     c_per = request.x.shape[1] // key.groups
     f_per = request.weight.shape[0] // key.groups
     x = request.x[batch_slice]
@@ -139,7 +172,8 @@ def _run_shard(request: ConvRequest, batch_slice: slice, g_lo: int,
             x, weight, bias, padding=key.padding, stride=key.stride,
             dilation=key.dilation, groups=shard_groups,
             algorithm=key.algorithm, strategy=key.strategy,
-            backend=key.backend, breaker_key=key)
+            backend=key.backend, op=key.op,
+            output_padding=key.output_padding, breaker_key=key)
 
 
 def _process_shard(payload: dict) -> np.ndarray:
@@ -186,7 +220,10 @@ class WorkerPool:
         reassembled bit-exactly (batch concat, then filter concat).
         """
         key = request.key
-        splits = shard_splits(request.batch, key.groups, self.workers)
+        # Transposed convs shard along the batch axis only (see
+        # _shard_arguments); forward convs may also split channel groups.
+        split_groups = 1 if key.op == "conv_transpose2d" else key.groups
+        splits = shard_splits(request.batch, split_groups, self.workers)
         counters.add("serve.shards", len(splits))
         if len(splits) == 1:
             return _run_shard(request, splits[0][0], *splits[0][1])
@@ -205,8 +242,9 @@ class WorkerPool:
                     "padding": key.padding, "stride": key.stride,
                     "dilation": key.dilation, "groups": shard_groups,
                     "algorithm": key.algorithm, "strategy": key.strategy,
-                    "backend": key.backend, "breaker_key": key,
-                    "guarded": supervised,
+                    "backend": key.backend, "op": key.op,
+                    "output_padding": key.output_padding,
+                    "breaker_key": key, "guarded": supervised,
                 }))
         results = [f.result() for f in futures]
         return self._assemble(results, splits)

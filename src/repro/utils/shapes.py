@@ -55,6 +55,66 @@ def normalize_pair(value: int | tuple, name: str) -> tuple[int, int]:
     return v, v
 
 
+def normalize_tuple(value, ndim: int, name: str) -> tuple[int, ...]:
+    """Coerce an int or length-*ndim* sequence into one int per spatial dim.
+
+    The N-dimensional analogue of :func:`normalize_pair` — a wrong-length
+    sequence is rejected with the expected rank in the message instead of
+    being broadcast into a different problem.
+    """
+    if isinstance(value, (tuple, list)):
+        if len(value) != ndim:
+            raise ValueError(
+                f"{name} must be an int or a length-{ndim} sequence (one "
+                f"entry per spatial dimension), got {value!r} of length "
+                f"{len(value)}"
+            )
+        return tuple(ensure_int(v, name) for v in value)
+    v = ensure_int(value, name)
+    return (v,) * ndim
+
+
+def normalize_padding_nd(padding, extents: tuple[int, ...],
+                         kernel: tuple[int, ...],
+                         stride: int | tuple = 1,
+                         dilation: int | tuple = 1
+                         ) -> tuple[tuple[int, int], ...]:
+    """Resolve any N-D padding spelling to per-axis ``(lo, hi)`` pairs.
+
+    Accepts an int (every edge), a length-``ndim`` sequence (per-axis
+    symmetric), a length-``2*ndim`` flat sequence of ``(lo, hi)`` pairs in
+    axis order (the N-D generalization of ``(pt, pb, pl, pr)``), or
+    ``"same"``.
+    """
+    ndim = len(extents)
+    stride = normalize_tuple(stride, ndim, "stride")
+    dilation = normalize_tuple(dilation, ndim, "dilation")
+    if isinstance(padding, str):
+        if padding != "same":
+            raise ValueError(
+                f"unknown padding mode {padding!r}; the only string mode "
+                "is 'same'"
+            )
+        return tuple(
+            same_padding_1d(e, k, s, d)
+            for e, k, s, d in zip(extents, kernel, stride, dilation)
+        )
+    if isinstance(padding, (tuple, list)):
+        vals = tuple(ensure_int(p, "padding") for p in padding)
+        if len(vals) == ndim:
+            return tuple((p, p) for p in vals)
+        if len(vals) == 2 * ndim:
+            return tuple((vals[2 * i], vals[2 * i + 1]) for i in range(ndim))
+        raise ValueError(
+            f"padding must be an int, a length-{ndim} per-axis sequence "
+            f"(one entry per spatial dimension), a length-{2 * ndim} "
+            f"(lo, hi) flat sequence or 'same'; got {padding!r} of length "
+            f"{len(vals)}"
+        )
+    p = ensure_int(padding, "padding")
+    return ((p, p),) * ndim
+
+
 def same_padding_1d(input_size: int, kernel_size: int, stride: int = 1,
                     dilation: int = 1) -> tuple[int, int]:
     """``(lo, hi)`` zero padding so the output extent is ``ceil(in/stride)``.
@@ -110,6 +170,12 @@ def _canonical_pair(pair: tuple[int, int]) -> int | tuple[int, int]:
 def _canonical_padding(tblr: tuple[int, int, int, int]
                        ) -> int | tuple[int, int, int, int]:
     return tblr[0] if len(set(tblr)) == 1 else tblr
+
+
+def _canonical_nd(values: tuple[int, ...]) -> int | tuple[int, ...]:
+    """Collapse a uniform per-axis tuple back to a plain int (stable cache
+    keys across spellings, any rank)."""
+    return values[0] if len(set(values)) == 1 else values
 
 
 def conv_output_size(input_size: int, kernel_size: int,
@@ -359,12 +425,26 @@ class ConvShape:
     def from_tensors(cls, x_shape, w_shape, padding: int | tuple | str = 0,
                      stride: int | tuple = 1, dilation: int | tuple = 1,
                      groups: int = 1) -> "ConvShape":
-        """Build a ConvShape from NCHW input and FCKhKw weight shapes."""
-        if len(x_shape) != 4:
-            raise ValueError(f"input must be NCHW, got shape {tuple(x_shape)}")
-        if len(w_shape) != 4:
+        """Build a ConvShape from NCHW input and FCKhKw weight shapes.
+
+        The spatial rank must be exactly 2 on *both* tensors: a rank
+        mismatch (e.g. a 3D kernel against a 4D input) is rejected with an
+        explicit error instead of broadcasting into a different problem —
+        rank-3/rank-5 problems belong to ``conv1d``/``conv3d`` and
+        :class:`ConvShapeNd`.
+        """
+        if len(x_shape) != len(w_shape):
             raise ValueError(
-                f"weight must be FCKhKw, got shape {tuple(w_shape)}"
+                f"input rank {len(x_shape)} does not match kernel rank "
+                f"{len(w_shape)} (shapes {tuple(x_shape)} vs "
+                f"{tuple(w_shape)}): conv2d expects a 4D NCHW input and a "
+                "FCKhKw weight; rank-1/rank-3 problems belong to "
+                "conv1d/conv3d (ConvShapeNd)"
+            )
+        if len(x_shape) != 4:
+            raise ValueError(
+                f"input must be 4D NCHW, got shape {tuple(x_shape)}; "
+                "use conv1d/conv3d (ConvShapeNd) for other spatial ranks"
             )
         n, c, ih, iw = x_shape
         f, wc, kh, kw = w_shape
@@ -381,5 +461,242 @@ class ConvShape:
                 f"{c // groups} input channels per group, got {wc}"
             )
         return cls(ih=ih, iw=iw, kh=kh, kw=kw, n=n, c=c, f=f,
+                   padding=padding, stride=stride, dilation=dilation,
+                   groups=groups)
+
+
+@dataclass(frozen=True)
+class ConvShapeNd:
+    """Complete description of an N-dimensional convolution problem.
+
+    The rank-generic sibling of :class:`ConvShape`: *extents* and *kernel*
+    are the spatial extents of the input and kernel (any rank >= 1), and
+    all parameters canonicalize exactly as in the 2D case so equal
+    geometries share a hash.  The PolyHankel quantities follow the N-D
+    degree map ``t^(sum_l s_l i_l)`` over the row-major strides ``s_l`` of
+    the padded extents (see ``repro.core.ndim``).
+    """
+
+    extents: tuple
+    kernel: tuple
+    n: int = 1
+    c: int = 1
+    f: int = 1
+    padding: int | tuple | str = 0
+    stride: int | tuple = 1
+    dilation: int | tuple = 1
+    groups: int = 1
+
+    def __post_init__(self) -> None:
+        extents = tuple(ensure_int(e, "extents") for e in self.extents)
+        kernel = tuple(ensure_int(k, "kernel") for k in self.kernel)
+        if not extents:
+            raise ValueError("extents must name at least one spatial dim")
+        if len(kernel) != len(extents):
+            raise ValueError(
+                f"kernel rank {len(kernel)} does not match input rank "
+                f"{len(extents)} (kernel {kernel} vs extents {extents})"
+            )
+        ndim = len(extents)
+        stride = normalize_tuple(self.stride, ndim, "stride")
+        dilation = normalize_tuple(self.dilation, ndim, "dilation")
+        if min(stride) < 1:
+            raise ValueError(f"stride must be >= 1 per axis, got {stride}")
+        if min(dilation) < 1:
+            raise ValueError(
+                f"dilation must be >= 1 per axis, got {dilation}"
+            )
+        pairs = normalize_padding_nd(self.padding, extents, kernel,
+                                     stride, dilation)
+        if min(p for pair in pairs for p in pair) < 0:
+            raise ValueError(f"padding must be non-negative, got {pairs}")
+        object.__setattr__(self, "extents", extents)
+        object.__setattr__(self, "kernel", kernel)
+        object.__setattr__(self, "stride", _canonical_nd(stride))
+        object.__setattr__(self, "dilation", _canonical_nd(dilation))
+        flat = tuple(p for pair in pairs for p in pair)
+        object.__setattr__(self, "padding", _canonical_nd(flat))
+        object.__setattr__(self, "groups", ensure_int(self.groups, "groups"))
+        if self.groups < 1:
+            raise ValueError(f"groups must be positive, got {self.groups}")
+        if self.c % self.groups or self.f % self.groups:
+            raise ValueError(
+                f"channels ({self.c}) and filters ({self.f}) must both be "
+                f"divisible by groups ({self.groups})"
+            )
+        # Trigger derived-extent validation at construction time.
+        _ = self.out_extents
+
+    # -- normalized parameter views -----------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return len(self.extents)
+
+    @property
+    def stride_nd(self) -> tuple[int, ...]:
+        return normalize_tuple(self.stride, self.ndim, "stride")
+
+    @property
+    def dilation_nd(self) -> tuple[int, ...]:
+        return normalize_tuple(self.dilation, self.ndim, "dilation")
+
+    @property
+    def pad_pairs(self) -> tuple[tuple[int, int], ...]:
+        """Per-axis ``(lo, hi)`` pairs regardless of padding spelling."""
+        p = self.padding
+        if isinstance(p, int):
+            return ((p, p),) * self.ndim
+        return tuple((p[2 * i], p[2 * i + 1]) for i in range(self.ndim))
+
+    @property
+    def eff_kernel(self) -> tuple[int, ...]:
+        """Dilated (effective) kernel extents ``d*(k-1) + 1`` per axis."""
+        return tuple(d * (k - 1) + 1
+                     for d, k in zip(self.dilation_nd, self.kernel))
+
+    @property
+    def group_channels(self) -> int:
+        return self.c // self.groups
+
+    @property
+    def group_filters(self) -> int:
+        return self.f // self.groups
+
+    # -- derived spatial extents -------------------------------------------
+
+    @property
+    def padded_extents(self) -> tuple[int, ...]:
+        return tuple(e + lo + hi
+                     for e, (lo, hi) in zip(self.extents, self.pad_pairs))
+
+    @property
+    def out_extents(self) -> tuple[int, ...]:
+        return tuple(
+            conv_output_size(e, k, pair, s, d)
+            for e, k, pair, s, d in zip(self.extents, self.kernel,
+                                        self.pad_pairs, self.stride_nd,
+                                        self.dilation_nd)
+        )
+
+    # -- element counts -----------------------------------------------------
+
+    @property
+    def kernel_elems(self) -> int:
+        out = 1
+        for k in self.kernel:
+            out *= k
+        return out
+
+    @property
+    def output_elems(self) -> int:
+        out = 1
+        for o in self.out_extents:
+            out *= o
+        return out
+
+    @property
+    def macs(self) -> int:
+        return (self.n * self.f * self.group_channels
+                * self.output_elems * self.kernel_elems)
+
+    # -- PolyHankel degree-map extents --------------------------------------
+
+    @property
+    def poly_strides(self) -> tuple[int, ...]:
+        """Row-major degree strides ``s_l`` over the padded extents."""
+        strides = [1]
+        for extent in self.padded_extents[:0:-1]:
+            strides.append(strides[-1] * extent)
+        return tuple(reversed(strides))
+
+    @property
+    def poly_input_len(self) -> int:
+        """Length of the flattened (padded) input polynomial A(t)."""
+        out = 1
+        for e in self.padded_extents:
+            out *= e
+        return out
+
+    @property
+    def poly_kernel_len(self) -> int:
+        """Combined kernel polynomial length ``M + 1`` with the stretched
+        degree map: ``M = sum_l s_l * d_l * (K_l - 1)``."""
+        return 1 + sum(
+            s * d * (k - 1)
+            for s, d, k in zip(self.poly_strides, self.dilation_nd,
+                               self.kernel)
+        )
+
+    @property
+    def poly_product_len(self) -> int:
+        """Linear-convolution length of A(t) * U(t)."""
+        return self.poly_input_len + self.poly_kernel_len - 1
+
+    # -- convenience ---------------------------------------------------------
+
+    def with_(self, **kwargs) -> "ConvShapeNd":
+        return replace(self, **kwargs)
+
+    def group_view(self) -> "ConvShapeNd":
+        return replace(self, c=self.group_channels, f=self.group_filters,
+                       groups=1)
+
+    def input_shape(self) -> tuple:
+        return (self.n, self.c, *self.extents)
+
+    def weight_shape(self) -> tuple:
+        return (self.f, self.group_channels, *self.kernel)
+
+    def output_shape(self) -> tuple:
+        return (self.n, self.f, *self.out_extents)
+
+    def to_2d(self) -> ConvShape:
+        """The equivalent :class:`ConvShape` of a rank-2 problem."""
+        if self.ndim != 2:
+            raise ValueError(
+                f"to_2d needs a rank-2 problem, got rank {self.ndim}"
+            )
+        flat = tuple(p for pair in self.pad_pairs for p in pair)
+        return ConvShape(ih=self.extents[0], iw=self.extents[1],
+                         kh=self.kernel[0], kw=self.kernel[1], n=self.n,
+                         c=self.c, f=self.f, padding=flat,
+                         stride=self.stride_nd, dilation=self.dilation_nd,
+                         groups=self.groups)
+
+    @classmethod
+    def from_tensors(cls, x_shape, w_shape, padding: int | tuple | str = 0,
+                     stride: int | tuple = 1, dilation: int | tuple = 1,
+                     groups: int = 1) -> "ConvShapeNd":
+        """Build a ConvShapeNd from ``(n, c, *spatial)`` / ``(f, c_per,
+        *kernel)`` shapes, rejecting rank mismatches explicitly."""
+        x_shape, w_shape = tuple(x_shape), tuple(w_shape)
+        if len(x_shape) < 3:
+            raise ValueError(
+                f"input must be (n, c, *spatial) with at least one spatial "
+                f"dim, got shape {x_shape}"
+            )
+        if len(w_shape) != len(x_shape):
+            raise ValueError(
+                f"kernel rank {len(w_shape)} does not match input rank "
+                f"{len(x_shape)} (shapes {w_shape} vs {x_shape}); weight "
+                "must be (f, c/groups, *kernel) with one kernel extent per "
+                "input spatial dimension"
+            )
+        n, c = x_shape[:2]
+        f, wc = w_shape[:2]
+        groups = ensure_int(groups, "groups")
+        if groups < 1:
+            raise ValueError(f"groups must be positive, got {groups}")
+        if c % groups:
+            raise ValueError(
+                f"input channels ({c}) must be divisible by groups ({groups})"
+            )
+        if wc != c // groups:
+            raise ValueError(
+                f"channel mismatch: weight expects C/groups = "
+                f"{c // groups} input channels per group, got {wc}"
+            )
+        return cls(extents=x_shape[2:], kernel=w_shape[2:], n=n, c=c, f=f,
                    padding=padding, stride=stride, dilation=dilation,
                    groups=groups)

@@ -1,16 +1,24 @@
 """Shared test configuration.
 
-Exposes two helpers used across the suite:
+Exposes the oracles and helpers used across the suite:
 
-- :func:`naive_conv2d_reference` — an independent loop-based NCHW
-  convolution supporting the full parameter space (per-axis stride and
-  dilation, asymmetric/``"same"`` padding, groups).  It deliberately does
-  not call into :mod:`repro`, so it can referee every library path.
+- :func:`naive_convnd_reference` — an independent loop-based convolution
+  over any spatial rank (1D/2D/3D/...), supporting the full parameter
+  space (per-axis stride and dilation, asymmetric/``"same"`` padding,
+  groups).  It deliberately does not call into :mod:`repro`, so it can
+  referee every library path; :func:`naive_conv2d_reference` is its
+  rank-2 spelling.
+- :func:`naive_conv_transpose2d_reference` — an independent scatter-based
+  transposed convolution (PyTorch ``(c_in, c_out/g, kh, kw)`` weight
+  layout) with per-axis stride/dilation, asymmetric padding, groups and
+  output_padding.  Shares no code with the forward oracle or the library,
+  so it can referee the adjoint route and the adjoint *identity* tests.
 - :func:`assert_conv_close` — ulp-aware closeness assertion: the absolute
   tolerance scales with the magnitude of the reference output, so the same
   call works for unit-variance toy tensors and for large accumulations.
 """
 
+import itertools
 import math
 
 import numpy as np
@@ -87,29 +95,91 @@ def resolve_padding(padding, ih, iw, stride, eff_kh, eff_kw):
     return padding
 
 
-def naive_conv2d_reference(x, w, padding=0, stride=1, dilation=1, groups=1):
-    """Independent NCHW convolution reference (not the library's own)."""
-    sh, sw = _pair(stride)
-    dh, dw = _pair(dilation)
-    f, c_per, kh, kw = w.shape
-    eff_kh = dh * (kh - 1) + 1
-    eff_kw = dw * (kw - 1) + 1
-    pt, pb, pl, pr = resolve_padding(padding, x.shape[2], x.shape[3],
-                                     stride, eff_kh, eff_kw)
-    xp = np.pad(x, [(0, 0), (0, 0), (pt, pb), (pl, pr)])
-    n, c, ih, iw = xp.shape
-    oh = (ih - eff_kh) // sh + 1
-    ow = (iw - eff_kw) // sw + 1
+def _per_axis(value, ndim):
+    return (value,) * ndim if isinstance(value, int) else tuple(value)
+
+
+def resolve_padding_nd(padding, extents, stride, eff_kernel):
+    """Resolve any padding spelling to per-axis ``(lo, hi)`` pairs."""
+    ndim = len(extents)
+    if padding == "same":
+        strides = _per_axis(stride, ndim)
+        return [_same_axis(i, s, e)
+                for i, s, e in zip(extents, strides, eff_kernel)]
+    if isinstance(padding, int):
+        return [(padding, padding)] * ndim
+    padding = tuple(padding)
+    if len(padding) == ndim:
+        return [(p, p) for p in padding]
+    return [tuple(padding[2 * i: 2 * i + 2]) for i in range(ndim)]
+
+
+def naive_convnd_reference(x, w, padding=0, stride=1, dilation=1, groups=1):
+    """Independent N-dimensional convolution reference (any spatial rank,
+    not the library's own)."""
+    ndim = x.ndim - 2
+    strides = _per_axis(stride, ndim)
+    dilations = _per_axis(dilation, ndim)
+    f, c_per = w.shape[:2]
+    kernel = w.shape[2:]
+    eff = [d * (k - 1) + 1 for d, k in zip(dilations, kernel)]
+    pads = resolve_padding_nd(padding, x.shape[2:], stride, eff)
+    xp = np.pad(x, [(0, 0), (0, 0)] + pads)
+    out_extents = [(i - e) // s + 1
+                   for i, e, s in zip(xp.shape[2:], eff, strides)]
     f_per = f // groups
-    out = np.zeros((n, f, oh, ow))
-    for b in range(n):
+    out = np.zeros((x.shape[0], f, *out_extents))
+    for b in range(x.shape[0]):
         for k in range(f):
             g = k // f_per
             channels = slice(g * c_per, (g + 1) * c_per)
-            for i in range(oh):
-                for j in range(ow):
-                    patch = xp[b, channels,
-                               i * sh: i * sh + eff_kh: dh,
-                               j * sw: j * sw + eff_kw: dw]
-                    out[b, k, i, j] = np.sum(patch * w[k])
+            for idx in itertools.product(*map(range, out_extents)):
+                window = tuple(
+                    slice(i * s, i * s + e, d)
+                    for i, s, e, d in zip(idx, strides, eff, dilations))
+                out[(b, k) + idx] = np.sum(xp[(b, channels) + window]
+                                           * w[k])
     return out
+
+
+def naive_conv2d_reference(x, w, padding=0, stride=1, dilation=1, groups=1):
+    """Independent NCHW convolution reference (not the library's own)."""
+    return naive_convnd_reference(x, w, padding, stride, dilation, groups)
+
+
+def naive_conv_transpose2d_reference(x, w, padding=0, stride=1, dilation=1,
+                                     groups=1, output_padding=0):
+    """Independent scatter-based transposed convolution reference.
+
+    *w* is the PyTorch transposed layout ``(c_in, c_out/groups, kh, kw)``.
+    Every input pixel deposits a scaled dilated kernel onto a canvas sized
+    by the stride-spread input plus ``output_padding``; the nominal
+    *padding* is cropped off at the end.
+    """
+    n, c_in, ih, iw = x.shape
+    _, f_per, kh, kw = w.shape
+    sh, sw = _pair(stride)
+    dh, dw = _pair(dilation)
+    oph, opw = _pair(output_padding)
+    eff_kh = dh * (kh - 1) + 1
+    eff_kw = dw * (kw - 1) + 1
+    (pt, pb), (pl, pr) = resolve_padding_nd(padding, (ih, iw), stride,
+                                            (eff_kh, eff_kw))
+    f = f_per * groups
+    c_per = c_in // groups
+    canvas_h = (ih - 1) * sh + eff_kh + oph
+    canvas_w = (iw - 1) * sw + eff_kw + opw
+    canvas = np.zeros((n, f, canvas_h, canvas_w))
+    for b in range(n):
+        for ci in range(c_in):
+            g = ci // c_per
+            filters = slice(g * f_per, (g + 1) * f_per)
+            for i in range(ih):
+                for j in range(iw):
+                    for u in range(kh):
+                        for v in range(kw):
+                            canvas[b, filters,
+                                   i * sh + u * dh,
+                                   j * sw + v * dw] += \
+                                x[b, ci, i, j] * w[ci, :, u, v]
+    return canvas[:, :, pt: canvas_h - pb, pl: canvas_w - pr]

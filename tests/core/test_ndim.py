@@ -110,7 +110,7 @@ class TestConstruction:
             convnd_polyhankel(rng.standard_normal((1, 2, 5, 5)),
                               rng.standard_normal((1, 2, 2, 2)),
                               padding=(1, 1, 1))
-        with pytest.raises(ValueError, match="exceeds padded extent"):
+        with pytest.raises(ValueError, match="exceeds padded input"):
             convnd_polyhankel(rng.standard_normal((1, 1, 3, 3)),
                               rng.standard_normal((1, 1, 5, 5)))
 

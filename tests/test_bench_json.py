@@ -18,16 +18,29 @@ def test_smoke_suite_schema(tmp_path):
     report = bench.run_suite(smoke=True, repeats=1, workers=2)
     # v2 added the per-case deterministic FFT counters (see --check gate);
     # v3 added the guard_fallbacks counter (zero on a healthy install);
-    # v4 added the resolved spectrum layout and roofline_pct.
-    assert report["schema"] == bench.SCHEMA_VERSION == 4
+    # v4 added the resolved spectrum layout and roofline_pct;
+    # v5 added the N-dimensional operator presets (rows carrying "op").
+    assert report["schema"] == bench.SCHEMA_VERSION == 5
     for row in report["results"]:
         assert row["counters"]["fft_calls"] >= 2
         assert row["counters"]["guard_fallbacks"] == 0
-        assert row["layout"] in ("planar", "interleaved")
+        assert row["layout"] in ("planar", "interleaved", None)
         assert row["roofline_pct"] is None or row["roofline_pct"] > 0
-    assert report["results"], "smoke suite must run at least one case"
+    nd_rows = [row for row in report["results"] if "op" in row]
+    rows_2d = [row for row in report["results"] if "op" not in row]
+    assert {row["op"] for row in nd_rows} == {
+        "conv1d", "conv3d", "conv_transpose2d"}
+    for row in nd_rows:
+        assert row["first_call_ms"] > 0
+        assert row["cached_ms"] > 0
+        if row["op"] in ("conv1d", "conv3d"):
+            # run_nd_case raises if measured != predicted; the report
+            # must still carry the prediction for the --check gate.
+            predicted = row["predicted_counters"]
+            assert {k: row["counters"][k] for k in predicted} == predicted
+    assert rows_2d, "smoke suite must run at least one 2D case"
     extended_seen = 0
-    for row in report["results"]:
+    for row in rows_2d:
         assert row["uncached_ms"] > 0
         assert row["cached_ms"] > 0
         shape = row["shape"]

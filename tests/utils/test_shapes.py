@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.utils.shapes import ConvShape, conv_output_size
+from repro.utils.shapes import ConvShape, ConvShapeNd, conv_output_size
 
 
 class TestConvOutputSize:
@@ -132,3 +132,72 @@ class TestEnsureInt:
     def test_from_tensors_rejects_float_groups(self):
         with pytest.raises(ValueError, match="groups must be an integer"):
             ConvShape.from_tensors((1, 4, 8, 8), (4, 4, 3, 3), 0, 1, 1, 2.0)
+
+
+class TestConvShapeNd:
+    def test_rank_checks_at_construction(self):
+        with pytest.raises(ValueError, match="at least one spatial"):
+            ConvShapeNd(extents=(), kernel=())
+        with pytest.raises(ValueError, match="kernel rank"):
+            ConvShapeNd(extents=(8, 8), kernel=(3,))
+
+    def test_rank2_matches_conv_shape(self):
+        nd = ConvShapeNd(extents=(9, 7), kernel=(3, 2), n=2, c=4, f=6,
+                         padding=(1, 0, 2, 1), stride=(2, 1), dilation=2)
+        flat = ConvShape(ih=9, iw=7, kh=3, kw=2, n=2, c=4, f=6,
+                         padding=(1, 0, 2, 1), stride=(2, 1), dilation=2)
+        assert nd.to_2d() == flat
+        assert nd.out_extents == (flat.oh, flat.ow)
+        assert nd.macs == flat.macs
+
+    def test_poly_strides_are_row_major(self):
+        # Padded extents (4, 6, 5): strides (30, 5, 1) — a 3D degree
+        # map t^(30k + 5i + j) over the flattened padded volume.
+        nd = ConvShapeNd(extents=(4, 4, 3), kernel=(2, 2, 2),
+                         padding=(0, 1, 1))
+        assert nd.padded_extents == (4, 6, 5)
+        assert nd.poly_strides == (30, 5, 1)
+        assert nd.poly_input_len == 120
+        assert nd.poly_kernel_len == 1 + 30 + 5 + 1
+        assert nd.poly_product_len == 120 + 37 - 1
+
+    def test_dilation_stretches_kernel_degrees(self):
+        nd = ConvShapeNd(extents=(8,), kernel=(3,), dilation=3)
+        assert nd.eff_kernel == (7,)
+        assert nd.poly_kernel_len == 1 + 3 * 2
+
+    def test_equal_geometries_share_a_hash(self):
+        a = ConvShapeNd(extents=(8, 8), kernel=(3, 3), padding=1,
+                        stride=(2, 2))
+        b = ConvShapeNd(extents=(8, 8), kernel=(3, 3),
+                        padding=(1, 1, 1, 1), stride=2)
+        assert a == b and hash(a) == hash(b)
+
+    def test_from_tensors_roundtrip_any_rank(self):
+        for x_shape, w_shape in [((2, 4, 11), (6, 4, 3)),
+                                 ((2, 4, 5, 6, 4), (6, 2, 2, 3, 2))]:
+            groups = 1 if len(x_shape) == 3 else 2
+            nd = ConvShapeNd.from_tensors(x_shape, w_shape, padding=1,
+                                          groups=groups)
+            assert nd.input_shape() == x_shape
+            assert nd.weight_shape() == w_shape
+            assert nd.output_shape()[:2] == (x_shape[0], w_shape[0])
+
+    def test_from_tensors_rejects_rank_mismatch(self):
+        with pytest.raises(ValueError, match="kernel rank"):
+            ConvShapeNd.from_tensors((1, 2, 8, 8), (2, 2, 3))
+        with pytest.raises(ValueError, match="at least one spatial"):
+            ConvShapeNd.from_tensors((1, 2), (2, 2))
+
+    def test_from_tensors_channel_mismatch(self):
+        with pytest.raises(ValueError, match="channel mismatch"):
+            ConvShapeNd.from_tensors((1, 4, 8, 8, 8), (2, 3, 3, 3, 3))
+
+    def test_group_view_collapses_groups(self):
+        nd = ConvShapeNd(extents=(8, 8), kernel=(3, 3), c=8, f=4, groups=4)
+        view = nd.group_view()
+        assert (view.c, view.f, view.groups) == (2, 1, 1)
+
+    def test_to_2d_rejects_other_ranks(self):
+        with pytest.raises(ValueError, match="rank-2"):
+            ConvShapeNd(extents=(8,), kernel=(3,)).to_2d()
