@@ -56,8 +56,11 @@ import numpy as np
 # resolved spectrum layout, packed by_kind counters (the interleaved layout
 # runs complex fft/ifft instead of rfft/irfft) and roofline_pct; v5 the
 # N-dimensional operator presets (conv1d/conv3d/conv_transpose2d rows in
-# ``results``, gated by the same wall/counter/guard metrics).
-SCHEMA_VERSION = 5
+# ``results``, gated by the same wall/counter/guard metrics); v6 the
+# ``cluster`` section: the Poisson open-loop saturation sweep of the
+# multi-process shared-memory tier (served-rps and p50/p99 per worker
+# count, with the 2-worker scale-out floor gated where cpu_count >= 2).
+SCHEMA_VERSION = 6
 
 
 @dataclass(frozen=True)
@@ -714,10 +717,12 @@ def env_pins() -> dict[str, str | None]:
 
 
 def run_suite(smoke: bool = False, repeats: int = 25,
-              workers: int | None = 2, serve: bool = True) -> dict:
+              workers: int | None = 2, serve: bool = True,
+              cluster: bool = True) -> dict:
     """Run the whole suite; ``smoke=True`` trims repeats and heavy cases."""
     from repro.core.multichannel import plan_cache_info, spectrum_cache_info
     from repro.fft.plan import fft_plan_cache_info
+    from repro.serve.loadgen import CLUSTER_PRESETS, run_cluster_case
 
     if smoke:
         repeats = min(repeats, 2)
@@ -733,6 +738,18 @@ def run_suite(smoke: bool = False, repeats: int = 25,
         presets = [p for p in SERVE_PRESETS if not (smoke and p.heavy)]
         serve_results = [run_serve_case(p, repeats=max(repeats, 5))
                          for p in presets]
+    cluster_results = []
+    if cluster:
+        # Smoke trims the sweep to the two points the scale-out floor is
+        # defined over — each point spawns real worker processes, so the
+        # 4-worker point is reserved for full runs (and nightly).
+        for preset in CLUSTER_PRESETS:
+            if smoke and preset.heavy:
+                continue
+            counts = tuple(w for w in preset.worker_counts if w <= 2) \
+                if smoke else None
+            cluster_results += run_cluster_case(
+                preset, repeats=min(repeats, 3), worker_counts=counts)
     return {
         "schema": SCHEMA_VERSION,
         "date": datetime.date.today().isoformat(),
@@ -748,6 +765,7 @@ def run_suite(smoke: bool = False, repeats: int = 25,
         },
         "results": results,
         "serve": serve_results,
+        "cluster": cluster_results,
         "caches": {
             "plan": plan_cache_info()._asdict(),
             "spectrum": spectrum_cache_info()._asdict(),
@@ -878,6 +896,11 @@ def format_report(report: dict) -> str:
     if report.get("serve"):
         lines.append("")
         lines.append(format_serve_report(report["serve"]))
+    if report.get("cluster"):
+        from repro.serve.loadgen import format_cluster_report
+
+        lines.append("")
+        lines.append(format_cluster_report(report["cluster"]))
     return "\n".join(lines)
 
 
@@ -949,6 +972,42 @@ def _remeasure_serve_flagged(report: dict, flagged: set[str],
             entry[metric] = min(entry[metric], retry[metric])
 
 
+def _remeasure_cluster_flagged(report: dict, flagged: set[str],
+                               repeats: int) -> None:
+    """Confirmation pass for flagged cluster points.
+
+    A preset's points are interdependent (the scale-out ratio divides by
+    this run's 1-worker point), so the whole sweep of any flagged preset
+    re-runs and each point keeps its better measurement.
+    """
+    from repro.serve.loadgen import CLUSTER_PRESETS, run_cluster_case
+
+    presets = {e["preset"] for e in report.get("cluster", [])
+               if e["name"] in flagged}
+    by_name = {p.name: p for p in CLUSTER_PRESETS}
+    for preset_name in sorted(presets):
+        preset = by_name.get(preset_name)
+        if preset is None:
+            continue
+        counts = tuple(sorted({e["workers"]
+                               for e in report["cluster"]
+                               if e["preset"] == preset_name}))
+        retry = {e["name"]: e for e in run_cluster_case(
+            preset, repeats=repeats, worker_counts=counts)}
+        for entry in report["cluster"]:
+            new = retry.get(entry["name"])
+            if new is None:
+                continue
+            if new["served_rps"] > entry["served_rps"]:
+                entry.update({k: new[k] for k in
+                              ("served_rps", "p50_ms", "p99_ms",
+                               "offered_rps", "scaleout_vs_1")})
+            elif new.get("scaleout_vs_1") is not None and (
+                    entry.get("scaleout_vs_1") is None
+                    or new["scaleout_vs_1"] > entry["scaleout_vs_1"]):
+                entry["scaleout_vs_1"] = new["scaleout_vs_1"]
+
+
 def run_check(report: dict, baseline_path: str, tolerance: float,
               counter_tolerance: float, repeats: int,
               workers: int | None) -> int:
@@ -961,16 +1020,26 @@ def run_check(report: dict, baseline_path: str, tolerance: float,
     regressions = compare_reports(report, baseline, tolerance=tolerance,
                                   counter_tolerance=counter_tolerance)
     wall_flagged = {r.case for r in regressions if r.kind == "wall"}
-    serve_flagged = {r.case for r in regressions if r.kind == "throughput"}
-    if wall_flagged or serve_flagged:
-        print(f"[re-measuring {len(wall_flagged | serve_flagged)} flagged "
-              f"case(s) with {2 * repeats} repeats]")
+    serve_names = {e["name"] for e in report.get("serve", [])}
+    cluster_names = {e["name"] for e in report.get("cluster", [])}
+    serve_flagged = {r.case for r in regressions
+                     if r.kind == "throughput" and r.case in serve_names}
+    cluster_flagged = {r.case for r in regressions
+                       if r.kind == "throughput"
+                       and r.case in cluster_names}
+    if wall_flagged or serve_flagged or cluster_flagged:
+        print(f"[re-measuring "
+              f"{len(wall_flagged | serve_flagged | cluster_flagged)} "
+              f"flagged case(s) with {2 * repeats} repeats]")
         if wall_flagged:
             _remeasure_flagged(report, wall_flagged, repeats=2 * repeats,
                                workers=workers)
         if serve_flagged:
             _remeasure_serve_flagged(report, serve_flagged,
                                      repeats=2 * repeats)
+        if cluster_flagged:
+            _remeasure_cluster_flagged(report, cluster_flagged,
+                                       repeats=2 * repeats)
         regressions = compare_reports(report, baseline, tolerance=tolerance,
                                       counter_tolerance=counter_tolerance)
     print(format_check(regressions, baseline_path, tolerance,

@@ -12,8 +12,12 @@ Commands:
   ``--inject`` runs the guard recovery drill instead of the timings;
 - ``serve-bench``— serving-layer throughput presets (dynamic batching
   vs a sequential request loop); ``--list`` shows the presets;
+  ``--workers 1 2 4`` runs the cluster saturation sweep instead
+  (Poisson open-loop load through the shared-memory tier), and
+  ``--check-scaleout 1.5`` turns it into the CI scale-out gate;
 - ``serve-stats``— serving counters of this process (requests, batches,
-  coalesce rate, queue wait);
+  coalesce rate, queue wait), plus a per-replica table once a cluster
+  has run;
 - ``doctor``     — install health report (FFT parity, cache integrity,
   fallback-chain reachability, sentinel, guarded recovery); exits
   nonzero when any check fails;
@@ -253,6 +257,10 @@ def cmd_serve_bench(args) -> int:
         run_serve_case,
     )
 
+    from repro.serve.loadgen import (
+        CLUSTER_PRESETS, format_cluster_report, run_cluster_case,
+    )
+
     if args.list:
         for preset in SERVE_PRESETS:
             floor = (f"floor {preset.min_speedup:g}x"
@@ -262,7 +270,65 @@ def cmd_serve_bench(args) -> int:
                   f"{preset.size},{preset.size}] k={preset.kernel} "
                   f"f={preset.filters} max_batch={preset.max_batch} "
                   f"workers={preset.workers} ({floor})")
+        for preset in CLUSTER_PRESETS:
+            floor = (f"scale-out floor {preset.min_scaleout:g}x@2"
+                     if preset.min_scaleout else "ungated")
+            counts = "/".join(str(w) for w in preset.worker_counts)
+            print(f"{preset.name:<24} {preset.requests}x"
+                  f"[{preset.request_batch},{preset.channels},"
+                  f"{preset.size},{preset.size}] k={preset.kernel} "
+                  f"f={preset.filters} cluster workers={counts} ({floor})")
         return 0
+
+    if args.workers is not None:
+        # Cluster mode: the Poisson open-loop saturation sweep through
+        # the multi-process shared-memory tier.
+        counts = tuple(args.workers)
+        presets = list(CLUSTER_PRESETS)
+        if args.preset:
+            presets = [p for p in presets if p.name == args.preset]
+            if not presets:
+                names = ", ".join(p.name for p in CLUSTER_PRESETS)
+                print(f"unknown cluster preset {args.preset!r}; "
+                      f"one of: {names}")
+                return 2
+        entries = []
+        for preset in presets:
+            entries += run_cluster_case(preset, repeats=args.repeats,
+                                        worker_counts=counts)
+        print(format_cluster_report(entries))
+        if args.out:
+            report = {"schema": SCHEMA_VERSION,
+                      "date": datetime.date.today().isoformat(),
+                      "env_pins": env_pins(), "cluster": entries}
+            with open(args.out, "w") as fh:
+                _json.dump(report, fh, indent=2)
+                fh.write("\n")
+            print(f"[written to {args.out}]")
+        if args.check_scaleout is not None:
+            # Unconditional floor (no gated flag): CI runners that are
+            # known multi-core opt in explicitly.
+            checked = [e for e in entries
+                       if e.get("scaleout_vs_1") is not None
+                       and e["workers"] == 2]
+            if not checked:
+                print("check-scaleout: no 2-worker point with a "
+                      "1-worker baseline in this sweep")
+                return 2
+            failed = [e for e in checked
+                      if e["scaleout_vs_1"] < args.check_scaleout]
+            for e in failed:
+                print(f"check-scaleout FAILED: {e['name']} scaled "
+                      f"{e['scaleout_vs_1']:g}x < floor "
+                      f"{args.check_scaleout:g}x")
+            if not failed:
+                print(f"check-scaleout OK: "
+                      + ", ".join(f"{e['name']} {e['scaleout_vs_1']:g}x"
+                                  for e in checked)
+                      + f" (floor {args.check_scaleout:g}x)")
+            return 1 if failed else 0
+        return 0
+
     presets = list(SERVE_PRESETS)
     if args.preset:
         presets = [p for p in presets if p.name == args.preset]
@@ -447,6 +513,17 @@ def build_parser() -> argparse.ArgumentParser:
                              help="list the presets and exit")
     serve_bench.add_argument("--out", metavar="PATH", default=None,
                              help="also write the results as JSON")
+    serve_bench.add_argument("--workers", type=int, nargs="+",
+                             default=None, metavar="N",
+                             help="run the cluster saturation sweep over "
+                                  "these worker counts (e.g. --workers 1 "
+                                  "2 4) instead of the in-process presets")
+    serve_bench.add_argument("--check-scaleout", type=float, default=None,
+                             metavar="RATIO",
+                             help="with --workers: exit nonzero unless "
+                                  "the 2-worker point scaled >= RATIO "
+                                  "over 1 worker (CI's unconditional "
+                                  "floor; needs a multi-core host)")
     serve_bench.set_defaults(fn=cmd_serve_bench)
 
     sub.add_parser(

@@ -77,6 +77,23 @@ class CircuitBreaker:
         with self._lock:
             return self._failures.get(key, 0)
 
+    def snapshot(self) -> dict:
+        """Aggregate view for stats surfaces: open keys + failure counts.
+
+        The cluster router exposes this per-replica (keys are
+        ``("replica", id)``) through ``ClusterServer.stats()``; expired
+        opens are pruned on the way out so the view is current.
+        """
+        now = self._clock()
+        with self._lock:
+            expired = [k for k, t in self._open_until.items() if now >= t]
+            for k in expired:
+                del self._open_until[k]
+            return {
+                "open": sorted(self._open_until),
+                "failures": dict(self._failures),
+            }
+
     def reset(self) -> None:
         """Forget everything (tests, process-level recovery)."""
         with self._lock:

@@ -23,6 +23,11 @@ Checks:
 - **guarded-recovery** — injects a NaN fault into the PolyHankel pipeline
   and verifies the guarded forward still returns the reference answer,
   with the recovery visible in the ``guard.fallback`` counter.
+- **cluster-health** — spawns a 2-worker cluster, round-trips a tensor
+  through the shared-memory arena bit-exactly, and verifies teardown
+  leaves no child process or ``/dev/shm`` segment behind, so broken
+  multiprocessing environments fail loud here instead of flaking in
+  production.
 """
 
 from __future__ import annotations
@@ -170,12 +175,57 @@ def check_guarded_recovery() -> CheckResult:
         reset_guard()
 
 
+def check_cluster_health() -> CheckResult:
+    import os
+
+    from repro.nn import functional as F
+    from repro.serve.router import ClusterServer
+    from repro.serve.shm import ARENA_PREFIX
+
+    x, w, _ = _reference_problem(seed=3)
+    ref = F.conv2d(x, w, padding=1)
+    try:
+        with ClusterServer(workers=2, slots=8,
+                           slot_bytes=1 << 18) as server:
+            arena_name = server._arena.name
+            pids = server.worker_pids()
+            out = server.conv2d(x, w, padding=1, timeout=30)
+        if not np.array_equal(out, ref):
+            return CheckResult(
+                "cluster-health", False,
+                "shm round-trip result diverged from in-process conv2d")
+        leaked_procs = []
+        for pid in pids:
+            try:
+                os.kill(pid, 0)
+            except (ProcessLookupError, PermissionError):
+                continue
+            leaked_procs.append(pid)
+        leaked_shm = []
+        if os.path.isdir("/dev/shm"):
+            leaked_shm = [f for f in os.listdir("/dev/shm")
+                          if f == arena_name.lstrip("/")
+                          or f == arena_name]
+        ok = not leaked_procs and not leaked_shm
+        return CheckResult(
+            "cluster-health", ok,
+            "2-worker shm round-trip bit-exact; teardown left no "
+            "process or segment" if ok else
+            f"leaked pids={leaked_procs} shm={leaked_shm} "
+            f"(prefix {ARENA_PREFIX})",
+        )
+    except Exception as exc:
+        return CheckResult("cluster-health", False,
+                           f"{type(exc).__name__}: {exc}")
+
+
 CHECKS = (
     check_fft_parity,
     check_cache_integrity,
     check_chain_reachability,
     check_sentinel_classify,
     check_guarded_recovery,
+    check_cluster_health,
 )
 
 

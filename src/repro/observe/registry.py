@@ -49,6 +49,8 @@ class CounterRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._data: dict[tuple[str, Tags], float] = {}
+        #: Last-merged absolute value per (source, key) — see merge_rows.
+        self._merge_state: dict[tuple[str, tuple[str, Tags]], float] = {}
 
     @staticmethod
     def _key(name: str, tags: dict) -> tuple[str, Tags]:
@@ -86,9 +88,51 @@ class CounterRegistry:
         with self._lock:
             if not prefix:
                 self._data.clear()
+                self._merge_state.clear()
                 return
             for key in [k for k in self._data if k[0].startswith(prefix)]:
                 del self._data[key]
+            for mkey in [m for m in self._merge_state
+                         if m[1][0].startswith(prefix)]:
+                del self._merge_state[mkey]
+
+    def reset_unsafe(self) -> None:
+        """Replace the lock and drop all state.
+
+        For freshly forked children only: the inherited lock may have been
+        captured mid-acquisition by some parent thread, so taking it would
+        deadlock.  Never call this in a process with live counter users.
+        """
+        self._lock = threading.Lock()
+        self._data = {}
+        self._merge_state = {}
+
+    def merge_rows(self, source: str,
+                   rows: list[tuple[str, Tags, float]]) -> None:
+        """Delta-merge another process's counter snapshot.
+
+        *rows* are cumulative absolute values from the remote registry
+        (e.g. a cluster worker's).  Each call adds only the growth since
+        the previous merge from the same *source*, so repeated refreshes
+        never double-count.  Merged counters carry an extra
+        ``("proc", source)`` tag, keeping per-replica breakdowns
+        addressable while ``total(name)`` still sums across processes.
+        """
+        with self._lock:
+            for name, tags, value in rows:
+                base_key = (name, tuple(tags))
+                state_key = (source, base_key)
+                prev = self._merge_state.get(state_key, 0.0)
+                delta = value - prev
+                if delta < 0:
+                    # The source restarted from zero (a respawned
+                    # replica): its whole snapshot is new growth.
+                    delta = value
+                if delta == 0:
+                    continue
+                self._merge_state[state_key] = value
+                tagged = self._key(name, {**dict(tags), "proc": source})
+                self._data[tagged] = self._data.get(tagged, 0.0) + delta
 
 
 #: The process-wide registry every instrumented module reports into.
@@ -190,8 +234,34 @@ def serve_stats() -> dict:
     }
 
 
+def replica_stats() -> dict[str, dict]:
+    """Per-replica rollup of counters merged from cluster workers.
+
+    Groups every counter carrying a ``proc`` tag by its source (the
+    ``replicaN`` label :meth:`CounterRegistry.merge_rows` stamped), with
+    the proc tag stripped from the inner keys.  Empty when no cluster has
+    run in this process.
+    """
+    out: dict[str, dict] = {}
+    for row in counters.snapshot():
+        tags = row.tag_dict
+        source = tags.pop("proc", None)
+        if source is None:
+            continue
+        entry = out.setdefault(str(source), {})
+        suffix = "".join(f"[{k}={v}]" for k, v in sorted(tags.items()))
+        entry[row.name + suffix] = entry.get(row.name + suffix, 0.0) \
+            + row.value
+    return out
+
+
 def format_serve_stats(stats: dict | None = None) -> str:
-    """Render :func:`serve_stats` for the CLI."""
+    """Render :func:`serve_stats` for the CLI.
+
+    When a cluster has run (``stats["cluster"]`` from
+    ``ClusterServer.stats()`` or merged worker counters in the registry),
+    a per-replica table follows the aggregate block.
+    """
     if stats is None:
         stats = serve_stats()
 
@@ -206,6 +276,35 @@ def format_serve_stats(stats: dict | None = None) -> str:
         f"mean wait (ms)  {fmt(stats['mean_queue_wait_ms'], '10.3f')}",
         f"coalesce rate   {fmt(stats['coalesce_rate'], '10.1%')}",
     ]
+    cluster = stats.get("cluster")
+    if cluster and cluster.get("replicas"):
+        lines.append("")
+        lines.append(f"cluster: {cluster['workers']} worker(s), "
+                     f"transport={cluster['transport']}, arena "
+                     f"{cluster['arena']['free']}/{cluster['arena']['slots']} "
+                     f"slots free")
+        lines.append(f"{'replica':>8} {'pid':>8} {'state':>7} "
+                     f"{'served':>8} {'inflight':>8} {'convs':>8} "
+                     f"{'breaker':>8}")
+        for rep in cluster["replicas"]:
+            state = "up" if rep["alive"] else "down"
+            breaker = "open" if rep["breaker_open"] else "closed"
+            convs = int(rep["worker"].get(
+                "serve.cluster.worker_convs", 0))
+            lines.append(f"{rep['id']:>8} {rep['pid'] or '-':>8} "
+                         f"{state:>7} {rep['served']:>8} "
+                         f"{rep['inflight']:>8} {convs:>8} {breaker:>8}")
+    else:
+        merged = replica_stats()
+        if merged:
+            lines.append("")
+            lines.append(f"{'replica':>8} {'convs':>8} {'rows':>8}")
+            for source in sorted(merged):
+                entry = merged[source]
+                lines.append(
+                    f"{source:>8} "
+                    f"{int(entry.get('serve.cluster.worker_convs', 0)):>8} "
+                    f"{int(entry.get('serve.cluster.worker_rows', 0)):>8}")
     return "\n".join(lines)
 
 

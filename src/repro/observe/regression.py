@@ -113,6 +113,7 @@ def compare_reports(current: dict, baseline: dict,
                 regressions.append(Regression(
                     cur["name"], metric, "counter", b, c, 1.0))
     regressions += _compare_serve(current, baseline, tolerance)
+    regressions += _compare_cluster(current, baseline, tolerance)
     return regressions
 
 
@@ -135,6 +136,40 @@ def _compare_serve(current: dict, baseline: dict,
                 base.get("speedup") or 0.0, speedup, floor))
         # Relative guard: served requests/sec must not collapse even on
         # presets without a speedup floor.
+        b, c = base.get("served_rps"), cur.get("served_rps")
+        if b and c is not None:
+            floor_rps = b * max(1.0 - tolerance, 0.0)
+            if c < floor_rps:
+                regressions.append(Regression(
+                    cur["name"], "served_rps", "throughput", b, c,
+                    floor_rps))
+    return regressions
+
+
+def _compare_cluster(current: dict, baseline: dict,
+                     tolerance: float) -> list[Regression]:
+    """Scale-out and throughput regressions of the ``cluster`` sections.
+
+    The 2-worker scale-out floor is an absolute contract like a serve
+    preset's ``min_speedup``, but it is only *physical* on a multi-core
+    host — the entry's ``gated`` flag (recorded from the measuring host's
+    cpu_count) decides whether the floor is enforced, so a single-core
+    dev box records the curve without failing on physics.  ``served_rps``
+    is additionally guarded relatively per (preset, workers) point.
+    """
+    regressions = []
+    base_by_name = {r["name"]: r for r in baseline.get("cluster", [])}
+    for cur in current.get("cluster", []):
+        base = base_by_name.get(cur["name"])
+        if base is None:
+            continue
+        floor = base.get("min_scaleout") or cur.get("min_scaleout")
+        scaleout = cur.get("scaleout_vs_1")
+        if floor and cur.get("gated") and scaleout is not None \
+                and scaleout < floor:
+            regressions.append(Regression(
+                cur["name"], "scaleout_vs_1", "throughput",
+                base.get("scaleout_vs_1") or 0.0, scaleout, floor))
         b, c = base.get("served_rps"), cur.get("served_rps")
         if b and c is not None:
             floor_rps = b * max(1.0 - tolerance, 0.0)

@@ -23,6 +23,14 @@ package closes that gap with the standard serving architecture:
 - :mod:`repro.serve.api` — :class:`ConvServer`, the user-facing object,
   and the process-wide default server used by
   :func:`repro.nn.functional.conv2d_async` and ``Conv2d.submit``.
+- :mod:`repro.serve.shm` / :mod:`repro.serve.cluster` /
+  :mod:`repro.serve.router` — the multi-process scale-out tier:
+  :class:`ClusterServer` routes coalesced batches to N worker replica
+  processes (each owning warm plan/spectrum caches) over a shared-memory
+  slot arena with generation-counter crash detection, so no tensor ever
+  crosses a process boundary by pickle.
+- :mod:`repro.serve.loadgen` — the Poisson open-loop saturation bench
+  behind ``repro serve-bench --workers N`` and the CI scale-out gate.
 
 Everything is observable through the unified counter registry
 (``serve.requests``, ``serve.coalesced``, ``serve.batches``,
@@ -49,12 +57,25 @@ from repro.serve.coalescer import (
 )
 from repro.serve.pool import WorkerPool, execute_conv, shard_splits
 from repro.serve.queue import BatchingQueue
+from repro.serve.router import ClusterServer, ClusterUnavailableError
+from repro.serve.shm import (
+    SlotAllocator,
+    SlotsExhaustedError,
+    TensorArena,
+    TornWriteError,
+)
 
 __all__ = [
     "BatchingQueue",
     "CoalesceKey",
+    "ClusterServer",
+    "ClusterUnavailableError",
     "ConvRequest",
     "ConvServer",
+    "SlotAllocator",
+    "SlotsExhaustedError",
+    "TensorArena",
+    "TornWriteError",
     "WorkerPool",
     "coalesce_key",
     "configure_server",

@@ -50,6 +50,9 @@ class BatchingQueue:
         self._pending: OrderedDict[CoalesceKey, list[ConvRequest]] = \
             OrderedDict()
         self._closed = False
+        #: Full-batch dispatches currently running inline on submitter
+        #: threads; close() must not return while any are in flight.
+        self._inline_active = 0
         self._dispatcher = threading.Thread(
             target=self._run, name="serve-dispatch", daemon=True)
         self._dispatcher.start()
@@ -77,10 +80,20 @@ class BatchingQueue:
             group.append(request)
             if self._rows(group) >= self.max_batch:
                 batch = self._pop_group(request.key, group)
+                # Count the inline dispatch *before* dropping the lock so
+                # a concurrent close() waits for it even if it has not
+                # started executing yet.
+                self._inline_active += 1
             elif len(group) == 1:
                 self._cond.notify()
         if batch is not None:
-            self._dispatch(batch)
+            try:
+                self._dispatch(batch)
+            finally:
+                with self._cond:
+                    self._inline_active -= 1
+                    if not self._inline_active:
+                        self._cond.notify_all()
 
     def pending_count(self) -> int:
         """Requests currently waiting (introspection and tests)."""
@@ -89,11 +102,32 @@ class BatchingQueue:
 
     def close(self, timeout: float | None = 10.0) -> None:
         """Stop accepting requests, drain what is queued, join the
-        dispatcher.  Idempotent."""
+        dispatcher and every inline dispatch.  Idempotent and safe under
+        concurrent submitters: no dispatch — deadline-fired on the
+        dispatcher thread or full-batch-fired inline on a submitter —
+        is still running when this returns.  Callable from the executor
+        callback itself (the dispatcher thread is never self-joined).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+
+        def remaining() -> float | None:
+            if deadline is None:
+                return None
+            return max(deadline - time.monotonic(), 0.0)
+
         with self._cond:
             self._closed = True
-            self._cond.notify()
-        self._dispatcher.join(timeout)
+            self._cond.notify_all()
+            # Inline dispatches were counted under this lock before their
+            # submitter released it, so none can be missed here.
+            while self._inline_active:
+                left = remaining()
+                if left == 0.0:
+                    break
+                if not self._cond.wait(left):
+                    break
+        if threading.current_thread() is not self._dispatcher:
+            self._dispatcher.join(remaining())
 
     # -- dispatcher side -----------------------------------------------------
 

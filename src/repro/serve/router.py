@@ -1,0 +1,657 @@
+"""Front-end router of the multi-process cluster tier.
+
+:class:`ClusterServer` is the scale-out sibling of
+:class:`~repro.serve.api.ConvServer`: the same ``submit`` front door and
+coalescing machinery, but execution happens on N worker *replicas* — OS
+processes that each own warm plan/spectrum caches — with tensors moving
+through the shared-memory slot arena (:mod:`repro.serve.shm`) instead of
+pickle.
+
+Routing is **affinity by coalescing key**: a key's home replica is a
+stable hash over the live replica set, so repeated requests of one
+family land where that family's weight spectrum and plan are already
+warm; the router spills to the least-loaded replica when the home is
+more than ``imbalance_limit`` dispatches deeper than the best
+alternative.  Per-replica health rides the guard's
+:class:`~repro.guard.breaker.CircuitBreaker` under key
+``("replica", id)``: a transport failure opens the breaker, routing
+steers around the replica, and the supervisor thread respawns it and
+closes the breaker once the fresh process answers a ping.
+
+Failure semantics: every dispatch's request/response slots stay held
+until its futures resolve, so when a replica dies mid-load the router
+re-sends the *same* generation-stamped slots to a surviving replica —
+no request is lost, and because a future resolves exactly once no
+request is duplicated (re-executing the pure convolution is idempotent;
+only the first completion lands).
+
+Everything lands in the unified observe registry: router-side events are
+tagged ``replica=<id>`` and each worker's own counters are delta-merged
+under ``proc="replica<id>"`` (see
+:meth:`repro.observe.registry.CounterRegistry.merge_rows`), so
+``repro serve-stats``'s per-replica table and ``ClusterServer.stats()``
+read one source of truth.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+
+from repro.guard.breaker import CircuitBreaker
+from repro.guard.state import guard_enabled
+from repro.observe.registry import counters
+from repro.serve.cluster import get_cluster_context, spawn_worker
+from repro.serve.coalescer import (
+    CoalesceKey,
+    ConvRequest,
+    make_request,
+    split_result,
+    stack_requests,
+)
+from repro.serve.queue import BatchingQueue
+from repro.serve.shm import SlotAllocator, TensorArena, send_control
+
+DEFAULT_SLOTS = 32
+DEFAULT_SLOT_BYTES = 1 << 20
+
+
+class ClusterUnavailableError(RuntimeError):
+    """No live replica could take the dispatch (all dead or excluded)."""
+
+
+class _Dispatch:
+    """One routed unit: a coalesced batch pinned to its arena slots."""
+
+    __slots__ = ("requests", "key", "stacked", "in_slot", "in_seq",
+                 "out_slot", "attempts")
+
+    def __init__(self, requests: list[ConvRequest], stacked: np.ndarray):
+        self.requests = requests
+        self.key: CoalesceKey = requests[0].key
+        self.stacked = stacked
+        self.in_slot: int | None = None
+        self.in_seq: int | None = None
+        self.out_slot: int | None = None
+        self.attempts = 0
+
+    @property
+    def rows(self) -> int:
+        return int(self.stacked.shape[0])
+
+    def fail(self, exc: BaseException) -> None:
+        for request in self.requests:
+            if not request.future.done():
+                request.future.set_exception(exc)
+
+
+class _Replica:
+    """Router-side state of one worker process."""
+
+    __slots__ = ("id", "process", "conn", "send_lock", "reader",
+                 "inflight", "shipped", "pending_tensor_slots", "alive",
+                 "served")
+
+    def __init__(self, replica_id: int):
+        self.id = replica_id
+        self.process = None
+        self.conn = None
+        self.send_lock = threading.Lock()
+        self.reader: threading.Thread | None = None
+        #: req_id -> _Dispatch sent to this replica and not yet answered.
+        self.inflight: dict[int, _Dispatch] = {}
+        #: Tensor fingerprints this replica has cached.
+        self.shipped: set = set()
+        #: Arena slots lent out for in-flight weight shipments.
+        self.pending_tensor_slots: dict[int, int] = {}
+        self.alive = False
+        self.served = 0
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid if self.process is not None else None
+
+
+class ClusterServer:
+    """Multi-process serving tier with shared-memory tensor transport."""
+
+    def __init__(self, workers: int | None = None, *,
+                 slots: int = DEFAULT_SLOTS,
+                 slot_bytes: int = DEFAULT_SLOT_BYTES,
+                 max_batch: int = 1, max_wait_ms: float = 2.0,
+                 supervised: bool | None = None,
+                 start_method: str | None = None,
+                 max_retries: int = 2, breaker_ttl_s: float = 30.0,
+                 imbalance_limit: int = 2,
+                 slot_timeout_s: float = 30.0):
+        from repro.serve.pool import default_workers
+
+        self.workers = int(workers) if workers else default_workers()
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if slots < 4:
+            raise ValueError("slots must be >= 4 (a dispatch pins a "
+                             "request and a response slot, plus weight "
+                             "shipments)")
+        self.max_batch = int(max_batch)
+        self.max_retries = int(max_retries)
+        self.breaker_ttl_s = float(breaker_ttl_s)
+        self.imbalance_limit = int(imbalance_limit)
+        self.slot_timeout_s = float(slot_timeout_s)
+        self._supervised = guard_enabled() if supervised is None \
+            else bool(supervised)
+        self._ctx = get_cluster_context(start_method)
+        self._arena = TensorArena(slots=slots, slot_bytes=slot_bytes)
+        self._alloc = SlotAllocator(self._arena)
+        self._lock = threading.RLock()
+        self._drained = threading.Condition(self._lock)
+        self._req_ids = itertools.count(1)
+        self._stats_events: dict[int, threading.Event] = {}
+        self._ping_events: dict[int, threading.Event] = {}
+        self._token_ids = itertools.count(1)
+        self._closed = False
+        self._respawn_wanted = threading.Event()
+        self._replicas: dict[int, _Replica] = {}
+        self._breaker = CircuitBreaker()
+        for i in range(self.workers):
+            replica = _Replica(i)
+            self._replicas[i] = replica
+            self._start_replica(replica)
+        self._queue = None
+        if self.max_batch > 1:
+            self._queue = BatchingQueue(self._execute_batch,
+                                        max_batch=self.max_batch,
+                                        max_wait_ms=max_wait_ms)
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="cluster-supervisor", daemon=True)
+        self._supervisor.start()
+
+    # -- replica lifecycle ---------------------------------------------------
+
+    def _start_replica(self, replica: _Replica) -> None:
+        process, conn = spawn_worker(replica.id, self._arena,
+                                     self._supervised, self._ctx)
+        replica.process = process
+        replica.conn = conn
+        replica.shipped = set()
+        replica.pending_tensor_slots = {}
+        replica.alive = True
+        replica.reader = threading.Thread(
+            target=self._reader, args=(replica, conn),
+            name=f"cluster-reader-{replica.id}", daemon=True)
+        replica.reader.start()
+
+    def _supervise(self) -> None:
+        """Respawn dead replicas until the server closes."""
+        while not self._closed:
+            self._respawn_wanted.wait(timeout=0.2)
+            self._respawn_wanted.clear()
+            if self._closed:
+                return
+            with self._lock:
+                dead = [r for r in self._replicas.values() if not r.alive]
+            for replica in dead:
+                if self._closed:
+                    return
+                try:
+                    self._start_replica(replica)
+                except Exception:  # pragma: no cover - spawn failure
+                    continue
+                counters.add("serve.cluster.respawns",
+                             replica=replica.id)
+                # The breaker stays open until the fresh process answers
+                # a ping — a replica that dies during startup never
+                # takes traffic.
+                if self._ping(replica, timeout=10.0):
+                    self._breaker.record_success(("replica", replica.id))
+
+    def _ping(self, replica: _Replica, timeout: float = 5.0) -> bool:
+        token = next(self._token_ids)
+        event = threading.Event()
+        self._ping_events[token] = event
+        try:
+            with replica.send_lock:
+                send_control(replica.conn, {"kind": "ping",
+                                            "token": token})
+        except (OSError, ValueError):
+            self._ping_events.pop(token, None)
+            return False
+        ok = event.wait(timeout)
+        self._ping_events.pop(token, None)
+        return ok
+
+    def _on_replica_death(self, replica: _Replica) -> None:
+        """Reroute a dead replica's in-flight work and queue a respawn."""
+        with self._lock:
+            if not replica.alive:
+                return
+            replica.alive = False
+            pending = list(replica.inflight.values())
+            replica.inflight.clear()
+            tensor_slots = list(replica.pending_tensor_slots.values())
+            replica.pending_tensor_slots = {}
+        if self._closed:
+            for dispatch in pending:
+                dispatch.fail(ClusterUnavailableError(
+                    "cluster server closed while request was in flight"))
+                self._release_dispatch_slots(dispatch)
+            if tensor_slots:
+                self._alloc.release(*tensor_slots)
+            self._notify_drained()
+            return
+        counters.add("serve.cluster.worker_deaths", replica=replica.id)
+        self._breaker.record_failure(("replica", replica.id),
+                                     threshold=1, ttl_s=self.breaker_ttl_s)
+        if tensor_slots:
+            self._alloc.release(*tensor_slots)
+        for dispatch in pending:
+            dispatch.attempts += 1
+            self._route(dispatch, exclude=frozenset({replica.id}))
+        self._respawn_wanted.set()
+
+    # -- request intake ------------------------------------------------------
+
+    def submit(self, x: np.ndarray, weight: np.ndarray,
+               bias: np.ndarray | None = None,
+               padding: int | tuple | str = 0, stride: int | tuple = 1,
+               dilation: int | tuple = 1, groups: int = 1,
+               algorithm: str = "polyhankel", strategy: str = "sum",
+               backend: str | None = None, op: str = "conv2d",
+               output_padding: int | tuple = 0) -> Future:
+        """Enqueue one convolution on the cluster; returns its future."""
+        if self._closed:
+            raise RuntimeError("cluster server is closed")
+        op = str(getattr(op, "value", op))
+        if getattr(x, "ndim", None) == 3 and op in ("conv2d",
+                                                    "conv_transpose2d"):
+            x = np.asarray(x, dtype=float)[None]
+        request = make_request(x, weight, bias, padding, stride, dilation,
+                               groups, algorithm, strategy, backend,
+                               op, output_padding)
+        counters.add("serve.requests")
+        counters.add("serve.cluster.requests")
+        if self._queue is not None and request.batch <= self.max_batch:
+            self._queue.submit(request)
+        else:
+            self._execute_batch([request])
+        return request.future
+
+    def conv2d(self, x: np.ndarray, weight: np.ndarray,
+               bias: np.ndarray | None = None,
+               padding: int | tuple | str = 0, stride: int | tuple = 1,
+               dilation: int | tuple = 1, groups: int = 1,
+               algorithm: str = "polyhankel", strategy: str = "sum",
+               backend: str | None = None,
+               timeout: float | None = None) -> np.ndarray:
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return self.submit(x, weight, bias, padding, stride, dilation,
+                           groups, algorithm, strategy,
+                           backend).result(timeout)
+
+    def _execute_batch(self, batch: list[ConvRequest]) -> None:
+        # No router lock here: _route can block on slot backpressure, and
+        # the reader threads that free slots need the lock to complete
+        # dispatches.  _route/_send_dispatch take it only around the
+        # shared maps they touch.
+        dispatch = _Dispatch(batch, stack_requests(batch))
+        self._route(dispatch)
+
+    # -- routing and transport -----------------------------------------------
+
+    def _pick_replica(self, key: CoalesceKey,
+                      exclude: frozenset = frozenset()) -> _Replica | None:
+        with self._lock:
+            alive = [r for r in self._replicas.values()
+                     if r.alive and r.id not in exclude]
+            if not alive:
+                alive = [r for r in self._replicas.values() if r.alive]
+            if not alive:
+                return None
+            healthy = [r for r in alive
+                       if not self._breaker.is_open(("replica", r.id))]
+            candidates = healthy or alive
+            home = candidates[hash(key) % len(candidates)]
+            least = min(candidates, key=lambda r: len(r.inflight))
+            if len(home.inflight) - len(least.inflight) \
+                    > self.imbalance_limit:
+                return least
+            return home
+
+    def _route(self, dispatch: _Dispatch,
+               exclude: frozenset = frozenset()) -> None:
+        """Send *dispatch* to a replica, retrying transport failures."""
+        while True:
+            if dispatch.attempts > self.max_retries:
+                dispatch.fail(ClusterUnavailableError(
+                    f"dispatch failed after {dispatch.attempts} "
+                    f"attempt(s)"))
+                self._release_dispatch_slots(dispatch)
+                self._notify_drained()
+                return
+            replica = self._pick_replica(dispatch.key, exclude)
+            if replica is None:
+                dispatch.fail(ClusterUnavailableError(
+                    "no live replica available"))
+                self._release_dispatch_slots(dispatch)
+                self._notify_drained()
+                return
+            try:
+                self._send_dispatch(replica, dispatch)
+                return
+            except (OSError, ValueError, EOFError):
+                # Transport died under us: mark the replica, try another.
+                dispatch.attempts += 1
+                exclude = exclude | {replica.id}
+                self._on_replica_death(replica)
+            except Exception as exc:
+                dispatch.fail(exc)
+                self._release_dispatch_slots(dispatch)
+                self._notify_drained()
+                return
+
+    def _tensor_fingerprint(self, kind: str, array: np.ndarray) -> tuple:
+        # id() is stable while the request pins the array (ConvRequest
+        # holds strong references); shape/dtype disambiguate id reuse
+        # across differently-shaped tensors.
+        return (kind, id(array), array.shape, str(array.dtype))
+
+    def _ship_tensor(self, replica: _Replica, fp: tuple,
+                     array: np.ndarray, spec=None) -> None:
+        """Send one weight/bias into the replica's tensor cache."""
+        slot = self._alloc.acquire(timeout=self.slot_timeout_s)
+        try:
+            seq = self._arena.write(slot, np.asarray(array, dtype=float))
+            send_control(replica.conn, {"kind": "tensor", "fp": fp,
+                                        "slot": slot, "seq": seq,
+                                        "spec": spec})
+        except BaseException:
+            self._alloc.release(slot)
+            raise
+        with self._lock:
+            replica.pending_tensor_slots[slot] = slot
+        replica.shipped.add(fp)
+        counters.add("serve.cluster.tensor_ships", replica=replica.id)
+
+    def _plan_spec(self, key: CoalesceKey, x: np.ndarray,
+                   weight: np.ndarray):
+        """The family's PlanSpec, for worker-side plan rehydration."""
+        if key.op != "conv2d" or key.algorithm != "polyhankel":
+            return None
+        try:
+            from repro.core.planning import PlanSpec
+            from repro.utils.shapes import ConvShape
+
+            shape = ConvShape.from_tensors(
+                x.shape, weight.shape, key.padding, key.stride,
+                key.dilation, key.groups)
+            return PlanSpec(shape, "auto", key.strategy, key.backend)
+        except Exception:
+            return None
+
+    def _send_dispatch(self, replica: _Replica,
+                       dispatch: _Dispatch) -> None:
+        key = dispatch.key
+        first = dispatch.requests[0]
+        if dispatch.in_slot is None:
+            # First routing of this dispatch: pin its slot pair.  Both
+            # slots are taken atomically (see SlotAllocator) and stay
+            # held across retries, so a rerouted dispatch never re-waits
+            # on backpressure while holding half its slots.
+            in_slot, out_slot = self._alloc.acquire_many(
+                2, timeout=self.slot_timeout_s)
+            dispatch.in_slot, dispatch.out_slot = in_slot, out_slot
+            dispatch.in_seq = self._arena.write(in_slot, dispatch.stacked)
+        req_id = next(self._req_ids)
+        weight_fp = self._tensor_fingerprint("w", first.weight)
+        bias_fp = None if first.bias is None \
+            else self._tensor_fingerprint("b", first.bias)
+        params = {
+            "padding": key.padding, "stride": key.stride,
+            "dilation": key.dilation, "groups": key.groups,
+            "algorithm": key.algorithm, "strategy": key.strategy,
+            "backend": key.backend, "op": key.op,
+            "output_padding": key.output_padding,
+        }
+        with replica.send_lock:
+            # Pipe order guarantees the worker caches tensors before the
+            # conv order that references them arrives.
+            if weight_fp not in replica.shipped:
+                self._ship_tensor(replica, weight_fp, first.weight,
+                                  spec=self._plan_spec(
+                                      key, dispatch.stacked, first.weight))
+            if bias_fp is not None and bias_fp not in replica.shipped:
+                self._ship_tensor(replica, bias_fp, first.bias)
+            with self._lock:
+                replica.inflight[req_id] = dispatch
+            try:
+                send_control(replica.conn, {
+                    "kind": "conv", "req": req_id,
+                    "in_slot": dispatch.in_slot,
+                    "in_seq": dispatch.in_seq,
+                    "out_slot": dispatch.out_slot,
+                    "weight_fp": weight_fp, "bias_fp": bias_fp,
+                    "params": params,
+                })
+            except BaseException:
+                with self._lock:
+                    replica.inflight.pop(req_id, None)
+                raise
+        counters.add("serve.cluster.dispatches", replica=replica.id)
+        counters.add("serve.cluster.dispatch_rows", dispatch.rows,
+                     replica=replica.id)
+
+    def _release_dispatch_slots(self, dispatch: _Dispatch) -> None:
+        slots = [s for s in (dispatch.in_slot, dispatch.out_slot)
+                 if s is not None]
+        dispatch.in_slot = dispatch.out_slot = None
+        if slots:
+            self._alloc.release(*slots)
+
+    # -- completion side -----------------------------------------------------
+
+    def _reader(self, replica: _Replica, conn) -> None:
+        """Drain one replica's completions until its pipe dies."""
+        while True:
+            try:
+                msg = recv_control_from(conn)
+            except (EOFError, OSError):
+                self._on_replica_death(replica)
+                return
+            kind = msg["kind"]
+            if kind == "done":
+                with self._lock:
+                    dispatch = replica.inflight.pop(msg["req"], None)
+                if dispatch is None:
+                    continue  # answered by a retry on another replica
+                self._complete(replica, dispatch, msg["seq"])
+            elif kind == "error":
+                with self._lock:
+                    dispatch = replica.inflight.pop(msg["req"], None)
+                if dispatch is None:
+                    continue
+                counters.add("serve.cluster.worker_errors",
+                             replica=replica.id)
+                dispatch.attempts += 1
+                if dispatch.attempts > self.max_retries:
+                    dispatch.fail(RuntimeError(
+                        f"cluster worker {replica.id} failed: "
+                        f"{msg['error']}"))
+                    self._release_dispatch_slots(dispatch)
+                    self._notify_drained()
+                else:
+                    self._route(dispatch,
+                                exclude=frozenset({replica.id}))
+            elif kind in ("tensor_ok", "tensor_err"):
+                with self._lock:
+                    slot = replica.pending_tensor_slots.pop(
+                        msg["slot"], None)
+                if slot is not None:
+                    self._alloc.release(slot)
+                if kind == "tensor_err":
+                    replica.shipped.discard(msg["fp"])
+            elif kind == "stats":
+                counters.merge_rows(f"replica{replica.id}", msg["rows"])
+                event = self._stats_events.pop(msg["token"], None)
+                if event is not None:
+                    event.set()
+            elif kind == "pong":
+                event = self._ping_events.get(msg["token"])
+                if event is not None:
+                    event.set()
+
+    def _complete(self, replica: _Replica, dispatch: _Dispatch,
+                  out_seq: int) -> None:
+        try:
+            out = self._arena.read(dispatch.out_slot, out_seq, copy=True)
+        except Exception as exc:
+            dispatch.fail(exc)
+            self._release_dispatch_slots(dispatch)
+            self._notify_drained()
+            return
+        self._release_dispatch_slots(dispatch)
+        self._breaker.record_success(("replica", replica.id))
+        results = split_result(out, dispatch.requests)
+        served = 0
+        for request, result in zip(dispatch.requests, results):
+            if not request.future.done():
+                request.future.set_result(result)
+                served += 1
+        replica.served += served
+        counters.add("serve.cluster.served", served, replica=replica.id)
+        self._notify_drained()
+
+    def _notify_drained(self) -> None:
+        with self._drained:
+            self._drained.notify_all()
+
+    def _inflight_count(self) -> int:
+        with self._lock:
+            return sum(len(r.inflight) for r in self._replicas.values())
+
+    # -- introspection -------------------------------------------------------
+
+    def worker_pids(self) -> list[int]:
+        with self._lock:
+            return [r.pid for r in self._replicas.values()
+                    if r.pid is not None]
+
+    def refresh_worker_stats(self, timeout: float = 2.0) -> None:
+        """Pull every live replica's counter snapshot into the registry."""
+        events = []
+        with self._lock:
+            replicas = [r for r in self._replicas.values() if r.alive]
+        for replica in replicas:
+            token = next(self._token_ids)
+            event = threading.Event()
+            self._stats_events[token] = event
+            try:
+                with replica.send_lock:
+                    send_control(replica.conn, {"kind": "stats",
+                                                "token": token})
+                events.append(event)
+            except (OSError, ValueError):
+                self._stats_events.pop(token, None)
+        deadline = time.monotonic() + timeout
+        for event in events:
+            event.wait(max(0.0, deadline - time.monotonic()))
+
+    def stats(self, refresh: bool = True) -> dict:
+        """Aggregated router + per-replica view of the cluster."""
+        from repro.observe.registry import replica_stats, serve_stats
+
+        if refresh and not self._closed:
+            self.refresh_worker_stats()
+        breaker = self._breaker.snapshot()
+        merged = replica_stats()
+        with self._lock:
+            replicas = []
+            for r in sorted(self._replicas.values(), key=lambda r: r.id):
+                key = ("replica", r.id)
+                replicas.append({
+                    "id": r.id, "pid": r.pid, "alive": r.alive,
+                    "served": r.served, "inflight": len(r.inflight),
+                    "breaker_open": key in breaker["open"],
+                    "failures": breaker["failures"].get(key, 0),
+                    "worker": merged.get(f"replica{r.id}", {}),
+                })
+        stats = serve_stats()
+        stats["cluster"] = {
+            "workers": self.workers,
+            "transport": "shm",
+            "arena": {"slots": self._arena.slots,
+                      "slot_bytes": self._arena.slot_bytes,
+                      "free": self._alloc.available()},
+            "replicas": replicas,
+        }
+        return stats
+
+    def pending_count(self) -> int:
+        queued = self._queue.pending_count() if self._queue else 0
+        return queued + self._inflight_count()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Drain in-flight work, stop workers, unlink the arena."""
+        if self._closed:
+            return
+        if self._queue is not None:
+            self._queue.close(timeout)
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        with self._drained:
+            while self._inflight_count():
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    break
+                self._drained.wait(remaining if remaining is None
+                                   else min(remaining, 0.5))
+        self._closed = True
+        self._respawn_wanted.set()
+        with self._lock:
+            replicas = list(self._replicas.values())
+        for replica in replicas:
+            if replica.alive and replica.conn is not None:
+                try:
+                    with replica.send_lock:
+                        send_control(replica.conn, {"kind": "stop"})
+                except (OSError, ValueError):
+                    pass
+        for replica in replicas:
+            process = replica.process
+            if process is None:
+                continue
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.kill()
+                process.join(timeout=2.0)
+            replica.alive = False
+            if replica.conn is not None:
+                try:
+                    replica.conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+        self._alloc.close()
+        self._arena.close()
+
+    def __enter__(self) -> "ClusterServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def recv_control_from(conn):
+    """Blocking control receive (separate name so tests can intercept)."""
+    from repro.serve.shm import recv_control
+
+    return recv_control(conn)

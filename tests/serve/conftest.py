@@ -1,0 +1,45 @@
+"""Serve-suite fixtures: cluster hygiene enforcement.
+
+The session-scoped autouse fixture below is the local twin of the CI
+leak-check step: after the serve tests run, no cluster worker process and
+no ``/dev/shm`` arena segment may survive.  A leaked segment would
+accumulate across CI runs on a shared runner until ``/dev/shm`` fills;
+a leaked child would keep the runner's job alive past its timeout.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.serve.shm import ARENA_PREFIX
+
+
+def _arena_segments() -> list[str]:
+    if not os.path.isdir("/dev/shm"):
+        return []
+    return sorted(f for f in os.listdir("/dev/shm")
+                  if f.startswith(ARENA_PREFIX))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def no_cluster_leaks():
+    """Assert the serve session leaves no orphan process or shm segment."""
+    before = set(_arena_segments())
+    yield
+    # Give just-closed servers a grace window to reap their children.
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        children = multiprocessing.active_children()  # join()s the dead
+        if not children:
+            break
+        time.sleep(0.1)
+    children = multiprocessing.active_children()
+    assert not children, (
+        f"cluster worker processes survived the test session: "
+        f"{[(c.name, c.pid) for c in children]}")
+    leaked = set(_arena_segments()) - before
+    assert not leaked, (
+        f"shared-memory arena segments survived the test session: "
+        f"{sorted(leaked)}")

@@ -223,6 +223,123 @@ class TestCounters:
             counters.clear("serve.")
 
 
+class TestCloseDrainRace:
+    """Regressions for the close/inline-dispatch race.
+
+    A full batch dispatches inline on its submitter thread; close() used
+    to consider the queue drained the moment ``_pending`` was empty, so
+    it could return while an inline dispatch was still executing — the
+    cluster router then unlinked the shm arena out from under it.
+    """
+
+    def test_close_waits_for_inline_dispatch(self, rng, weight):
+        entered = threading.Event()
+        release = threading.Event()
+        done = []
+
+        def slow_execute(batch):
+            entered.set()
+            release.wait(5)
+            for request in batch:
+                request.future.set_result(request.x)
+            done.append(len(batch))
+
+        queue = BatchingQueue(slow_execute, max_batch=2,
+                              max_wait_ms=60_000)
+        requests = [request_of(rng, weight) for _ in range(2)]
+
+        def submit_full_batch():
+            for r in requests:
+                queue.submit(r)
+
+        submitter = threading.Thread(target=submit_full_batch)
+        submitter.start()
+        assert entered.wait(5)  # inline dispatch running on submitter
+
+        closed = threading.Event()
+
+        def close_queue():
+            queue.close()
+            closed.set()
+
+        closer = threading.Thread(target=close_queue)
+        closer.start()
+        time.sleep(0.05)
+        # close() must still be parked on the in-flight inline dispatch.
+        assert not closed.is_set()
+        release.set()
+        submitter.join(5)
+        closer.join(5)
+        assert closed.is_set()
+        assert done == [2]
+        assert all(r.future.done() for r in requests)
+
+    def test_close_from_executor_callback_does_not_self_join(
+            self, rng, weight):
+        # A deadline-fired dispatch runs on the dispatcher thread; an
+        # executor that reacts to a fault by closing the queue must not
+        # deadlock trying to join the very thread it runs on.
+        queue_box = []
+
+        def close_inside(batch):
+            queue_box[0].close(timeout=2.0)
+            for request in batch:
+                request.future.set_result(request.x)
+
+        queue = BatchingQueue(close_inside, max_batch=8, max_wait_ms=10)
+        queue_box.append(queue)
+        request = request_of(rng, weight)
+        queue.submit(request)
+        request.future.result(timeout=5)
+        queue.close()  # outer close joins the dispatcher cleanly
+        assert not queue._dispatcher.is_alive()
+
+    def test_close_under_concurrent_submitters(self, rng, weight):
+        """Hammer close() against a pack of submitters: every submitted
+        request either resolves or the submit itself was refused —
+        nothing hangs, nothing dispatches after close returns."""
+        batches = []
+        queue = BatchingQueue(_resolve_all(batches), max_batch=2,
+                              max_wait_ms=5)
+        accepted = []
+        accepted_lock = threading.Lock()
+
+        def submitter():
+            for _ in range(20):
+                request = request_of(rng, weight)
+                try:
+                    queue.submit(request)
+                except RuntimeError:
+                    return
+                with accepted_lock:
+                    accepted.append(request)
+
+        threads = [threading.Thread(target=submitter) for _ in range(4)]
+        for t in threads:
+            t.start()
+        time.sleep(0.02)
+        queue.close()
+        dispatched_at_close = sum(len(b) for b in batches)
+        for t in threads:
+            t.join(10)
+        assert all(not t.is_alive() for t in threads)
+        for request in accepted:
+            assert request.future.done()
+        # Nothing new dispatches once close has returned: stragglers all
+        # hit the closed gate.
+        time.sleep(0.05)
+        assert sum(len(b) for b in batches) == dispatched_at_close
+
+    def test_close_is_idempotent_after_inline_drain(self, rng, weight):
+        queue = BatchingQueue(_resolve_all([]), max_batch=1,
+                              max_wait_ms=10_000)
+        queue.submit(request_of(rng, weight))  # inline (max_batch=1)
+        queue.close()
+        queue.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            queue.submit(request_of(rng, weight))
+
+
 def test_fifo_order_within_key(rng, weight):
     batches = []
     queue = BatchingQueue(_resolve_all(batches), max_batch=2,

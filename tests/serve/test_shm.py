@@ -1,0 +1,258 @@
+"""Unit tests for the shared-memory tensor arena and its control plane."""
+
+import pickle
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve.shm import (
+    HEADER_DTYPE,
+    MAX_DIMS,
+    SlotAllocator,
+    SlotsExhaustedError,
+    TensorArena,
+    TornWriteError,
+    dumps_control,
+)
+
+
+@pytest.fixture
+def arena():
+    with TensorArena(slots=4, slot_bytes=1 << 12) as a:
+        yield a
+
+
+class TestArenaRoundTrip:
+    def test_preserves_bytes_shape_dtype(self, arena, rng):
+        for array in (rng.standard_normal((2, 3, 5, 7)),
+                      np.arange(12, dtype=np.int64).reshape(3, 4),
+                      np.array(3.5),
+                      np.zeros((0, 4))):
+            seq = arena.write(1, array)
+            out = arena.read(1, seq)
+            assert out.dtype == array.dtype
+            assert out.shape == array.shape
+            np.testing.assert_array_equal(out, array)
+
+    def test_zero_copy_view_aliases_segment(self, arena, rng):
+        array = rng.standard_normal((4, 4))
+        seq = arena.write(0, array)
+        view = arena.read(0, seq, copy=False)
+        np.testing.assert_array_equal(view, array)
+        # A later write to the same slot is visible through the view —
+        # it aliases the shared buffer, it is not a snapshot.
+        arena.write(0, np.zeros((4, 4)))
+        assert not np.any(view)
+
+    def test_copy_survives_slot_recycling(self, arena, rng):
+        array = rng.standard_normal((4, 4))
+        seq = arena.write(0, array)
+        copied = arena.read(0, seq, copy=True)
+        arena.write(0, np.zeros((4, 4)))
+        np.testing.assert_array_equal(copied, array)
+
+    def test_oversized_tensor_rejected(self, arena):
+        with pytest.raises(ValueError, match="does not fit"):
+            arena.write(0, np.zeros(1 << 12))  # 8x the slot payload
+
+    def test_rank_above_max_dims_rejected(self, arena):
+        with pytest.raises(ValueError, match="MAX_DIMS"):
+            arena.write(0, np.zeros((1,) * (MAX_DIMS + 1)))
+
+    def test_header_fits_reserved_bytes(self):
+        assert HEADER_DTYPE.itemsize <= 128
+
+
+class TestGenerationCounter:
+    def test_wraparound_generations_stay_fresh(self, arena, rng):
+        """Recycling one slot many times keeps each read pinned to its
+        own generation: the previous generation is always stale."""
+        prev_seq = None
+        for i in range(12):
+            array = np.full((3, 3), float(i))
+            seq = arena.write(2, array)
+            assert seq % 2 == 0
+            np.testing.assert_array_equal(arena.read(2, seq), array)
+            if prev_seq is not None:
+                assert seq > prev_seq
+                with pytest.raises(TornWriteError, match="stale"):
+                    arena.read(2, prev_seq)
+            prev_seq = seq
+
+    def test_crash_during_write_leaves_torn_marker(self, arena, rng):
+        """A writer killed mid-memcpy leaves an odd generation; every
+        read refuses the slot instead of consuming the half-written
+        payload."""
+        array = rng.standard_normal((4, 4))
+        seq = arena.write(3, array)
+        # Simulate the crash: the seqlock was bumped odd, the payload
+        # write never finished, the final even bump never happened.
+        header = arena._header(3)
+        header["seq"] = seq + 1
+        with pytest.raises(TornWriteError, match="odd"):
+            arena.read(3, seq)
+        with pytest.raises(TornWriteError):
+            arena.read(3, seq + 1)
+
+    def test_next_writer_recovers_torn_slot(self, arena, rng):
+        """A fresh write over a torn slot re-establishes the even/odd
+        protocol and the slot becomes readable again."""
+        arena.write(3, rng.standard_normal((2, 2)))
+        arena._header(3)["seq"] = int(arena._header(3)["seq"]) + 1  # torn
+        array = rng.standard_normal((3, 3))
+        seq = arena.write(3, array)
+        assert seq % 2 == 0
+        np.testing.assert_array_equal(arena.read(3, seq), array)
+
+    def test_stale_read_after_recycle(self, arena, rng):
+        first = arena.write(1, rng.standard_normal((2, 2)))
+        arena.write(1, rng.standard_normal((2, 2)))
+        with pytest.raises(TornWriteError, match="recycled"):
+            arena.read(1, first)
+
+
+class TestSlotAllocator:
+    def test_acquire_release_cycle(self, arena):
+        alloc = SlotAllocator(arena)
+        slots = [alloc.acquire() for _ in range(4)]
+        assert sorted(slots) == [0, 1, 2, 3]
+        assert alloc.available() == 0
+        alloc.release(*slots)
+        assert alloc.available() == 4
+
+    def test_exhaustion_times_out(self, arena):
+        alloc = SlotAllocator(arena)
+        alloc.acquire_many(4)
+        start = time.monotonic()
+        with pytest.raises(SlotsExhaustedError):
+            alloc.acquire(timeout=0.05)
+        assert time.monotonic() - start < 2.0
+
+    def test_blocked_acquire_wakes_on_release(self, arena):
+        alloc = SlotAllocator(arena)
+        held = alloc.acquire_many(4)
+        got = []
+
+        def blocked():
+            got.append(alloc.acquire(timeout=5.0))
+
+        thread = threading.Thread(target=blocked)
+        thread.start()
+        time.sleep(0.05)
+        assert not got  # backpressure: the acquirer is parked
+        alloc.release(held[0])
+        thread.join(5.0)
+        assert got == [held[0]]
+
+    def test_acquire_many_is_atomic(self, arena):
+        """A pair request never holds one slot while waiting for the
+        second — the all-or-nothing guarantee that prevents N submitters
+        from deadlocking the arena."""
+        alloc = SlotAllocator(arena)
+        held = alloc.acquire_many(3)  # 1 slot left
+        with pytest.raises(SlotsExhaustedError):
+            alloc.acquire_many(2, timeout=0.05)
+        # The failed pair request must not have eaten the last slot.
+        assert alloc.available() == 1
+        alloc.release(*held)
+
+    def test_double_release_rejected(self, arena):
+        alloc = SlotAllocator(arena)
+        slot = alloc.acquire()
+        alloc.release(slot)
+        with pytest.raises(RuntimeError, match="double-released"):
+            alloc.release(slot)
+
+    def test_close_wakes_blocked_acquirers(self, arena):
+        alloc = SlotAllocator(arena)
+        alloc.acquire_many(4)
+        errors = []
+
+        def blocked():
+            try:
+                alloc.acquire(timeout=30.0)
+            except SlotsExhaustedError as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=blocked)
+        thread.start()
+        time.sleep(0.05)
+        alloc.close()
+        thread.join(5.0)
+        assert len(errors) == 1
+
+    def test_requesting_more_than_arena_rejected(self, arena):
+        alloc = SlotAllocator(arena)
+        with pytest.raises(ValueError, match="cannot acquire"):
+            alloc.acquire_many(5)
+
+
+class TestControlPlanePickleFree:
+    """The acceptance contract: tensors never travel by pickle.
+
+    The control plane *refuses* ndarrays structurally — an array reaching
+    ``dumps_control`` raises before any ``__reduce__`` runs, so the
+    serialization path the arena exists to remove cannot silently return.
+    """
+
+    def test_plain_messages_round_trip(self):
+        msg = {"kind": "conv", "req": 7, "in_slot": 2, "in_seq": 4,
+               "params": {"padding": 1, "stride": (2, 1)}}
+        assert pickle.loads(dumps_control(msg)) == msg
+
+    def test_ndarray_payload_rejected(self):
+        with pytest.raises(TypeError, match="shared-memory arena"):
+            dumps_control({"kind": "conv", "payload": np.zeros(4)})
+
+    def test_nested_ndarray_rejected(self):
+        with pytest.raises(TypeError, match="not pickle"):
+            dumps_control({"a": [1, {"b": (np.ones(2),)}]})
+
+    def test_ndarray_reduce_never_invoked(self):
+        """No ndarray ``__reduce__``/``__reduce_ex__`` runs on the control
+        plane — the refusal happens structurally before serialization."""
+        calls = []
+
+        class SpyArray(np.ndarray):
+            def __reduce__(self):
+                calls.append(("reduce", self.shape))
+                return super().__reduce__()
+
+            def __reduce_ex__(self, protocol):
+                calls.append(("reduce_ex", self.shape))
+                return super().__reduce_ex__(protocol)
+
+        spy = np.zeros(3).view(SpyArray)
+        with pytest.raises(TypeError):
+            dumps_control({"payload": spy})
+        assert calls == []
+
+
+class TestArenaLifecycle:
+    def test_attach_sees_creator_writes(self, rng):
+        with TensorArena(slots=2, slot_bytes=1 << 10) as owner:
+            array = rng.standard_normal((3, 3))
+            seq = owner.write(0, array)
+            attached = TensorArena.attach(owner.name, 2, 1 << 10)
+            try:
+                np.testing.assert_array_equal(attached.read(0, seq), array)
+            finally:
+                attached.close()
+
+    def test_close_is_idempotent(self):
+        arena = TensorArena(slots=1, slot_bytes=64)
+        arena.close()
+        arena.close()
+
+    def test_owner_unlinks_on_close(self):
+        import os
+
+        arena = TensorArena(slots=1, slot_bytes=64)
+        name = arena.name.lstrip("/")
+        if os.path.isdir("/dev/shm"):
+            assert name in os.listdir("/dev/shm")
+        arena.close()
+        if os.path.isdir("/dev/shm"):
+            assert name not in os.listdir("/dev/shm")
