@@ -59,8 +59,12 @@ import numpy as np
 # ``results``, gated by the same wall/counter/guard metrics); v6 the
 # ``cluster`` section: the Poisson open-loop saturation sweep of the
 # multi-process shared-memory tier (served-rps and p50/p99 per worker
-# count, with the 2-worker scale-out floor gated where cpu_count >= 2).
-SCHEMA_VERSION = 6
+# count, with the 2-worker scale-out floor gated where cpu_count >= 2);
+# v7 the ``overload`` section: the offered-load sweep (0.5x-3x calibrated
+# capacity) of the deadline-propagating, admission-bounded server —
+# goodput, shed/reject split and completed-latency tail per multiplier,
+# with the goodput-at-2x floor (min_goodput_pct) as the CI contract.
+SCHEMA_VERSION = 7
 
 
 @dataclass(frozen=True)
@@ -718,11 +722,16 @@ def env_pins() -> dict[str, str | None]:
 
 def run_suite(smoke: bool = False, repeats: int = 25,
               workers: int | None = 2, serve: bool = True,
-              cluster: bool = True) -> dict:
+              cluster: bool = True, overload: bool = True) -> dict:
     """Run the whole suite; ``smoke=True`` trims repeats and heavy cases."""
     from repro.core.multichannel import plan_cache_info, spectrum_cache_info
     from repro.fft.plan import fft_plan_cache_info
-    from repro.serve.loadgen import CLUSTER_PRESETS, run_cluster_case
+    from repro.serve.loadgen import (
+        CLUSTER_PRESETS,
+        OVERLOAD_PRESETS,
+        run_cluster_case,
+        run_overload_case,
+    )
 
     if smoke:
         repeats = min(repeats, 2)
@@ -750,6 +759,18 @@ def run_suite(smoke: bool = False, repeats: int = 25,
                 if smoke else None
             cluster_results += run_cluster_case(
                 preset, repeats=min(repeats, 3), worker_counts=counts)
+    overload_results = []
+    if overload:
+        # Smoke keeps the gate point (2x) plus the 1x reference; the
+        # underload and deep-overload points are full-run color.
+        for preset in OVERLOAD_PRESETS:
+            if smoke and preset.heavy:
+                continue
+            multipliers = tuple(
+                m for m in preset.multipliers
+                if m in (1.0, preset.gate_multiplier)) if smoke else None
+            overload_results += run_overload_case(preset,
+                                                  multipliers=multipliers)
     return {
         "schema": SCHEMA_VERSION,
         "date": datetime.date.today().isoformat(),
@@ -766,6 +787,7 @@ def run_suite(smoke: bool = False, repeats: int = 25,
         "results": results,
         "serve": serve_results,
         "cluster": cluster_results,
+        "overload": overload_results,
         "caches": {
             "plan": plan_cache_info()._asdict(),
             "spectrum": spectrum_cache_info()._asdict(),
@@ -794,7 +816,9 @@ def run_inject_drill(kinds: tuple[str, ...] | None = None,
     from repro.utils.shapes import ConvShape
 
     if not kinds:
-        kinds = faults.FAULT_KINDS
+        # Engine kinds only: the cluster kinds have no hook sites inside
+        # a single-process forward (drill them with --inject-cluster).
+        kinds = faults.ENGINE_FAULT_KINDS
     cases = [c for c in SUITE if not (smoke and c.heavy)]
     rows = []
     for case in cases:
@@ -870,6 +894,137 @@ def format_inject_report(report: dict) -> str:
     return "\n".join(lines)
 
 
+def run_cluster_inject_drill(kinds: tuple[str, ...] | None = None,
+                             seed: int = 0, requests: int = 12) -> dict:
+    """Cluster chaos drill: each fault kind against a live 2-worker tier.
+
+    For every kind in :data:`repro.guard.faults.CLUSTER_FAULT_KINDS` the
+    drill spins up a real :class:`~repro.serve.router.ClusterServer`
+    (fast watchdog/backoff settings), arms the fault at its genuine hook
+    site — inside the worker process for ``worker_stall`` /
+    ``slow_worker`` / ``response_drop``, in the router's slot release
+    for ``slot_leak`` — offers *requests* convolutions, and asserts the
+    recovery contract: every future resolves exactly once (zero lost,
+    zero duplicated), every delivered result is bit-exact with the
+    in-process engine, and the round completes within a bounded wall
+    time.  Row counters record the observable evidence (stalls drawn,
+    respawns, worker sheds, leaked slots).
+    """
+    from repro.guard import faults
+    from repro.nn import functional as F
+    from repro.observe.registry import counters as _counters
+    from repro.serve.overload import ServeConfig
+    from repro.serve.router import ClusterServer
+
+    if not kinds:
+        kinds = faults.CLUSTER_FAULT_KINDS
+    unknown = set(kinds) - set(faults.CLUSTER_FAULT_KINDS)
+    if unknown:
+        raise ValueError(
+            f"unknown cluster fault kind(s) {sorted(unknown)}; "
+            f"known: {list(faults.CLUSTER_FAULT_KINDS)}")
+    rng = np.random.default_rng(seed)
+    weight = rng.standard_normal((8, 3, 3, 3))
+    bias = rng.standard_normal(8)
+    xs = [rng.standard_normal((1, 3, 8, 8)) for _ in range(requests)]
+    refs = [F.conv2d(x, weight, bias, padding=1) for x in xs]
+    config = ServeConfig(watchdog_interval_s=0.2, stall_timeout_s=0.5,
+                         backoff_base_s=0.01)
+    evidence_counters = ("serve.cluster.stalls", "serve.cluster.respawns",
+                        "serve.cluster.worker_sheds",
+                        "serve.cluster.slot_leaks")
+    rows = []
+    for kind in kinds:
+        before = {name: _counters.total(name)
+                  for name in evidence_counters}
+        error = None
+        exact = 0
+        t0 = time.perf_counter()
+        with ClusterServer(workers=2, slots=16, slot_bytes=1 << 18,
+                           config=config) as server:
+            # Warm both replicas' caches before arming anything.
+            for _ in range(4):
+                server.conv2d(xs[0], weight, bias, padding=1, timeout=60)
+            try:
+                if kind == "slot_leak":
+                    # Router-side hook: scope the injection around the
+                    # offered load like any engine drill.
+                    with faults.inject(kind, seed=seed, max_fires=1):
+                        futures = [server.submit(x, weight, bias,
+                                                 padding=1) for x in xs]
+                        outs = [f.result(120) for f in futures]
+                else:
+                    # Worker-side hooks, armed over the control pipe.
+                    # Stall/drop only on replica 0 (replica 1 must
+                    # survive to absorb the reroute: simultaneous loss
+                    # of every replica is a cluster outage, not a
+                    # recoverable fault); the benign slowdown goes
+                    # everywhere.
+                    params = {"worker_stall": {"stall_s": 30.0},
+                              "slow_worker": {"delay_s": 0.02},
+                              "response_drop": {}}[kind]
+                    targets = None if kind == "slow_worker" else [0]
+                    max_fires = None if kind == "slow_worker" else 1
+                    acked = server.inject_worker_faults(
+                        kind, replica_ids=targets, seed=seed,
+                        max_fires=max_fires, params=params)
+                    if not acked:
+                        raise RuntimeError(
+                            f"no replica acknowledged arming {kind}")
+                    futures = [server.submit(x, weight, bias, padding=1)
+                               for x in xs]
+                    outs = [f.result(120) for f in futures]
+                exact = sum(np.array_equal(out, ref)
+                            for out, ref in zip(outs, refs))
+                if exact != requests:
+                    error = (f"{requests - exact} result(s) diverged "
+                             f"from the in-process engine")
+            except Exception as exc:  # noqa: BLE001 - drill verdict
+                error = f"{type(exc).__name__}: {exc}"
+        recovery_s = time.perf_counter() - t0
+        evidence = {name.rsplit(".", 1)[-1]:
+                    int(_counters.total(name) - before[name])
+                    for name in evidence_counters}
+        rows.append({
+            "fault": kind,
+            "requests": requests,
+            "recovered": error is None,
+            "exact": exact,
+            "recovery_s": round(recovery_s, 3),
+            "error": error,
+            **evidence,
+        })
+    return {
+        "schema": SCHEMA_VERSION,
+        "kinds": list(kinds),
+        "seed": seed,
+        "rows": rows,
+        "failures": sum(1 for r in rows if not r["recovered"]),
+    }
+
+
+def format_cluster_inject_report(report: dict) -> str:
+    """Human-readable table for one cluster chaos drill report."""
+    lines = [f"cluster chaos drill (kinds={','.join(report['kinds'])}, "
+             f"seed={report['seed']})"]
+    lines.append(f"{'fault':<16} {'verdict':<10} {'exact':>6} "
+                 f"{'time s':>7} {'stalls':>7} {'respawns':>9} "
+                 f"{'sheds':>6} {'leaks':>6}")
+    for r in report["rows"]:
+        verdict = "recovered" if r["recovered"] else "FAILED"
+        lines.append(
+            f"{r['fault']:<16} {verdict:<10} "
+            f"{r['exact']:>3}/{r['requests']:<2} {r['recovery_s']:>7.2f} "
+            f"{r['stalls']:>7} {r['respawns']:>9} {r['worker_sheds']:>6} "
+            f"{r['slot_leaks']:>6}")
+        if r["error"] is not None:
+            lines.append(f"    {r['error']}")
+    failures = report["failures"]
+    lines.append("drill passed: every fault recovered" if not failures
+                 else f"drill FAILED: {failures} unrecovered fault(s)")
+    return "\n".join(lines)
+
+
 def format_report(report: dict) -> str:
     """Human-readable table for one :func:`run_suite` report."""
     lines = [f"bench {report['date']}  (repeats={report['repeats']}, "
@@ -901,6 +1056,11 @@ def format_report(report: dict) -> str:
 
         lines.append("")
         lines.append(format_cluster_report(report["cluster"]))
+    if report.get("overload"):
+        from repro.serve.loadgen import format_overload_report
+
+        lines.append("")
+        lines.append(format_overload_report(report["overload"]))
     return "\n".join(lines)
 
 
@@ -1008,6 +1168,39 @@ def _remeasure_cluster_flagged(report: dict, flagged: set[str],
                 entry["scaleout_vs_1"] = new["scaleout_vs_1"]
 
 
+def _remeasure_overload_flagged(report: dict, flagged: set[str]) -> None:
+    """Confirmation pass for flagged overload points.
+
+    Goodput percentages divide by the preset's calibrated capacity, so
+    any flagged preset's whole sweep re-runs (fresh calibration) and
+    each point keeps its better goodput measurement.
+    """
+    from repro.serve.loadgen import OVERLOAD_PRESETS, run_overload_case
+
+    presets = {e["preset"] for e in report.get("overload", [])
+               if e["name"] in flagged}
+    by_name = {p.name: p for p in OVERLOAD_PRESETS}
+    for preset_name in sorted(presets):
+        preset = by_name.get(preset_name)
+        if preset is None:
+            continue
+        multipliers = tuple(e["multiplier"] for e in report["overload"]
+                            if e["preset"] == preset_name)
+        retry = {e["name"]: e for e in run_overload_case(
+            preset, multipliers=multipliers)}
+        for entry in report["overload"]:
+            new = retry.get(entry["name"])
+            if new is None:
+                continue
+            if (new.get("goodput_pct") or 0.0) \
+                    > (entry.get("goodput_pct") or 0.0):
+                entry.update({k: new[k] for k in
+                              ("goodput_rps", "goodput_pct",
+                               "capacity_rps", "offered_rps",
+                               "completed", "shed", "rejected",
+                               "shed_rate", "p50_ms", "p99_ms")})
+
+
 def run_check(report: dict, baseline_path: str, tolerance: float,
               counter_tolerance: float, repeats: int,
               workers: int | None) -> int:
@@ -1022,14 +1215,20 @@ def run_check(report: dict, baseline_path: str, tolerance: float,
     wall_flagged = {r.case for r in regressions if r.kind == "wall"}
     serve_names = {e["name"] for e in report.get("serve", [])}
     cluster_names = {e["name"] for e in report.get("cluster", [])}
+    overload_names = {e["name"] for e in report.get("overload", [])}
     serve_flagged = {r.case for r in regressions
                      if r.kind == "throughput" and r.case in serve_names}
     cluster_flagged = {r.case for r in regressions
                        if r.kind == "throughput"
                        and r.case in cluster_names}
-    if wall_flagged or serve_flagged or cluster_flagged:
-        print(f"[re-measuring "
-              f"{len(wall_flagged | serve_flagged | cluster_flagged)} "
+    overload_flagged = {r.case for r in regressions
+                        if r.kind == "throughput"
+                        and r.case in overload_names}
+    if wall_flagged or serve_flagged or cluster_flagged \
+            or overload_flagged:
+        flagged_all = (wall_flagged | serve_flagged | cluster_flagged
+                       | overload_flagged)
+        print(f"[re-measuring {len(flagged_all)} "
               f"flagged case(s) with {2 * repeats} repeats]")
         if wall_flagged:
             _remeasure_flagged(report, wall_flagged, repeats=2 * repeats,
@@ -1040,6 +1239,8 @@ def run_check(report: dict, baseline_path: str, tolerance: float,
         if cluster_flagged:
             _remeasure_cluster_flagged(report, cluster_flagged,
                                        repeats=2 * repeats)
+        if overload_flagged:
+            _remeasure_overload_flagged(report, overload_flagged)
         regressions = compare_reports(report, baseline, tolerance=tolerance,
                                       counter_tolerance=counter_tolerance)
     print(format_check(regressions, baseline_path, tolerance,
@@ -1081,9 +1282,15 @@ def main(argv: list[str] | None = None) -> int:
                         default=None,
                         help="run the guard recovery drill instead of the "
                              "timing suite; optional fault kinds to inject "
-                             "(default: all kinds)")
+                             "(default: all engine kinds)")
+    parser.add_argument("--inject-cluster", nargs="*", metavar="FAULT",
+                        default=None,
+                        help="run the cluster chaos drill instead of the "
+                             "timing suite; optional fault kinds "
+                             "(default: all cluster kinds)")
     parser.add_argument("--seed", type=int, default=0,
-                        help="fault-injection seed (with --inject)")
+                        help="fault-injection seed (with --inject / "
+                             "--inject-cluster)")
     args = parser.parse_args(argv)
     smoke = args.smoke or args.quick
 
@@ -1091,6 +1298,12 @@ def main(argv: list[str] | None = None) -> int:
         drill = run_inject_drill(kinds=tuple(args.inject) or None,
                                  smoke=smoke, seed=args.seed)
         print(format_inject_report(drill))
+        return 1 if drill["failures"] else 0
+
+    if args.inject_cluster is not None:
+        drill = run_cluster_inject_drill(
+            kinds=tuple(args.inject_cluster) or None, seed=args.seed)
+        print(format_cluster_inject_report(drill))
         return 1 if drill["failures"] else 0
 
     report = run_suite(smoke=smoke, repeats=args.repeats,

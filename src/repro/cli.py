@@ -9,12 +9,16 @@ Commands:
 - ``tune``       — measure algorithms on this machine for a shape;
 - ``bench``      — execution-engine wall-clock suite, written as JSON;
   ``--check BASELINE.json`` turns it into the CI regression gate;
-  ``--inject`` runs the guard recovery drill instead of the timings;
+  ``--inject`` runs the guard recovery drill instead of the timings,
+  ``--inject-cluster`` the cluster chaos drill (watchdog/retry/slots);
 - ``serve-bench``— serving-layer throughput presets (dynamic batching
   vs a sequential request loop); ``--list`` shows the presets;
   ``--workers 1 2 4`` runs the cluster saturation sweep instead
   (Poisson open-loop load through the shared-memory tier), and
   ``--check-scaleout 1.5`` turns it into the CI scale-out gate;
+  ``--overload`` runs the overload sweep (offered load at multiples of
+  calibrated capacity) and ``--check-goodput 0.85`` gates goodput at
+  the gate multiplier;
 - ``serve-stats``— serving counters of this process (requests, batches,
   coalesce rate, queue wait), plus a per-replica table once a cluster
   has run;
@@ -240,6 +244,10 @@ def cmd_bench(args) -> int:
         argv.append("--inject")
         argv.extend(args.inject)
         argv.extend(["--seed", str(args.seed)])
+    if args.inject_cluster is not None:
+        argv.append("--inject-cluster")
+        argv.extend(args.inject_cluster)
+        argv.extend(["--seed", str(args.seed)])
     argv.extend(["--repeats", str(args.repeats),
                  "--workers", str(args.workers)])
     code = bench.main(argv)
@@ -258,7 +266,8 @@ def cmd_serve_bench(args) -> int:
     )
 
     from repro.serve.loadgen import (
-        CLUSTER_PRESETS, format_cluster_report, run_cluster_case,
+        CLUSTER_PRESETS, OVERLOAD_PRESETS, format_cluster_report,
+        format_overload_report, run_cluster_case, run_overload_case,
     )
 
     if args.list:
@@ -278,6 +287,64 @@ def cmd_serve_bench(args) -> int:
                   f"[{preset.request_batch},{preset.channels},"
                   f"{preset.size},{preset.size}] k={preset.kernel} "
                   f"f={preset.filters} cluster workers={counts} ({floor})")
+        for preset in OVERLOAD_PRESETS:
+            mults = "/".join(f"{m:g}" for m in preset.multipliers)
+            print(f"{preset.name:<24} {preset.requests}x"
+                  f"[{preset.request_batch},{preset.channels},"
+                  f"{preset.size},{preset.size}] k={preset.kernel} "
+                  f"f={preset.filters} overload x{mults} "
+                  f"(goodput floor {preset.min_goodput_pct:.0%}@"
+                  f"x{preset.gate_multiplier:g})")
+        return 0
+
+    if args.overload:
+        # Overload mode: open-loop sweep past capacity, gated on goodput
+        # at the gate multiplier.
+        presets = list(OVERLOAD_PRESETS)
+        if args.preset:
+            presets = [p for p in presets if p.name == args.preset]
+            if not presets:
+                names = ", ".join(p.name for p in OVERLOAD_PRESETS)
+                print(f"unknown overload preset {args.preset!r}; "
+                      f"one of: {names}")
+                return 2
+        multipliers = tuple(args.multipliers) if args.multipliers else None
+        entries = []
+        for preset in presets:
+            entries += run_overload_case(preset, multipliers=multipliers)
+        print(format_overload_report(entries))
+        if args.out:
+            report = {"schema": SCHEMA_VERSION,
+                      "date": datetime.date.today().isoformat(),
+                      "env_pins": env_pins(), "overload": entries}
+            with open(args.out, "w") as fh:
+                _json.dump(report, fh, indent=2)
+                fh.write("\n")
+            print(f"[written to {args.out}]")
+        if args.check_goodput is not None:
+            late = [e for e in entries if e.get("late_completions")]
+            for e in late:
+                print(f"check-goodput FAILED: {e['name']} completed "
+                      f"{e['late_completions']} request(s) after "
+                      f"reporting them shed")
+            gated = [e for e in entries
+                     if e["multiplier"] >= args.gate_multiplier]
+            if not gated:
+                print(f"check-goodput: no point at multiplier >= "
+                      f"{args.gate_multiplier:g} in this sweep")
+                return 2
+            failed = [e for e in gated
+                      if e["goodput_pct"] < args.check_goodput]
+            for e in failed:
+                print(f"check-goodput FAILED: {e['name']} goodput "
+                      f"{e['goodput_pct']:.0%} < floor "
+                      f"{args.check_goodput:.0%}")
+            if not failed and not late:
+                print("check-goodput OK: "
+                      + ", ".join(f"{e['name']} {e['goodput_pct']:.0%}"
+                                  for e in gated)
+                      + f" (floor {args.check_goodput:.0%})")
+            return 1 if failed or late else 0
         return 0
 
     if args.workers is not None:
@@ -497,9 +564,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--inject", nargs="*", metavar="FAULT", default=None,
                        help="run the guard fault-injection recovery drill "
                             "instead of the timing suite (default: all "
-                            "fault kinds)")
+                            "engine fault kinds)")
+    bench.add_argument("--inject-cluster", nargs="*", metavar="FAULT",
+                       default=None,
+                       help="run the cluster chaos drill (watchdog, "
+                            "retry, slot accounting) instead of the "
+                            "timing suite (default: all cluster kinds)")
     bench.add_argument("--seed", type=int, default=0,
-                       help="fault-injection seed (with --inject)")
+                       help="fault-injection seed (with --inject / "
+                            "--inject-cluster)")
     bench.set_defaults(fn=cmd_bench)
 
     serve_bench = sub.add_parser(
@@ -524,6 +597,28 @@ def build_parser() -> argparse.ArgumentParser:
                                   "the 2-worker point scaled >= RATIO "
                                   "over 1 worker (CI's unconditional "
                                   "floor; needs a multi-core host)")
+    serve_bench.add_argument("--overload", action="store_true",
+                             help="run the overload sweep (open-loop "
+                                  "Poisson arrivals at multiples of "
+                                  "calibrated capacity) instead of the "
+                                  "in-process presets")
+    serve_bench.add_argument("--multipliers", type=float, nargs="+",
+                             default=None, metavar="X",
+                             help="with --overload: offered-load "
+                                  "multiples of capacity to sweep "
+                                  "(default: the preset's sweep)")
+    serve_bench.add_argument("--check-goodput", type=float, default=None,
+                             metavar="PCT",
+                             help="with --overload: exit nonzero unless "
+                                  "goodput at every point at/above the "
+                                  "gate multiplier stays >= PCT of "
+                                  "capacity (e.g. 0.85), and no request "
+                                  "completes after being reported shed")
+    serve_bench.add_argument("--gate-multiplier", type=float, default=2.0,
+                             metavar="X",
+                             help="with --check-goodput: the lowest "
+                                  "overload multiplier the floor applies "
+                                  "to (default 2.0)")
     serve_bench.set_defaults(fn=cmd_serve_bench)
 
     sub.add_parser(

@@ -28,6 +28,12 @@ Checks:
   leaves no child process or ``/dev/shm`` segment behind, so broken
   multiprocessing environments fail loud here instead of flaking in
   production.
+- **overload-control** — validates the cluster fault vocabulary, arms
+  the benign faults through the live control plane of a 2-worker
+  cluster (``slow_worker`` over the pipe with an ack, ``slot_leak`` in
+  the router) and confirms answers stay bit-exact, the leak surfaces in
+  its counter, and an already-expired deadline is shed as a typed
+  :class:`~repro.serve.overload.DeadlineExceeded` instead of executing.
 """
 
 from __future__ import annotations
@@ -219,6 +225,70 @@ def check_cluster_health() -> CheckResult:
                            f"{type(exc).__name__}: {exc}")
 
 
+def check_overload_control() -> CheckResult:
+    from repro.guard import faults
+    from repro.nn import functional as F
+    from repro.observe.registry import counters
+    from repro.serve.overload import DeadlineExceeded
+    from repro.serve.router import ClusterServer
+
+    problems = []
+    for kind in faults.CLUSTER_FAULT_KINDS:
+        if kind not in faults.FAULT_KINDS:
+            problems.append(f"{kind} missing from FAULT_KINDS")
+    try:
+        faults.FaultState(kinds=frozenset({"not_a_fault"}))
+        problems.append("unknown fault kind accepted")
+    except ValueError:
+        pass
+    if problems:
+        return CheckResult("overload-control", False, "; ".join(problems))
+
+    x, w, _ = _reference_problem(seed=5)
+    ref = F.conv2d(x, w, padding=1)
+    try:
+        with ClusterServer(workers=2, slots=8,
+                           slot_bytes=1 << 18) as server:
+            # Benign degradation armed over the live control pipe: both
+            # replicas must ack, answers must stay bit-exact.
+            acked = server.inject_worker_faults(
+                "slow_worker", params={"delay_s": 0.005}, timeout=10)
+            if len(acked) != 2:
+                problems.append(f"slow_worker acked by {acked}, want both")
+            out = server.conv2d(x, w, padding=1, timeout=30)
+            if not np.array_equal(out, ref):
+                problems.append("slow_worker answer diverged")
+            server.clear_worker_faults(timeout=10)
+            # Router-side slot leak: serving continues, leak is counted.
+            before = int(counters.total("serve.cluster.slot_leaks"))
+            with faults.inject("slot_leak", max_fires=1):
+                out = server.conv2d(x, w, padding=1, timeout=30)
+            if not np.array_equal(out, ref):
+                problems.append("slot_leak answer diverged")
+            leaked = int(counters.total("serve.cluster.slot_leaks")) \
+                - before
+            if leaked < 1:
+                problems.append("slot_leak fired but leak counter flat")
+            # A deadline that expires before any stage can run must
+            # shed typed, not execute (1 microsecond: positive, as
+            # resolve_deadline requires, yet dead on arrival).
+            try:
+                server.conv2d(x, w, padding=1, timeout=1e-6)
+                problems.append("expired deadline executed anyway")
+            except DeadlineExceeded:
+                pass
+        ok = not problems
+        return CheckResult(
+            "overload-control", ok,
+            f"{len(faults.CLUSTER_FAULT_KINDS)} cluster fault kinds "
+            "armed/acked; parity held under faults; expired deadline "
+            "shed typed" if ok else "; ".join(problems),
+        )
+    except Exception as exc:
+        return CheckResult("overload-control", False,
+                           f"{type(exc).__name__}: {exc}")
+
+
 CHECKS = (
     check_fft_parity,
     check_cache_integrity,
@@ -226,6 +296,7 @@ CHECKS = (
     check_sentinel_classify,
     check_guarded_recovery,
     check_cluster_health,
+    check_overload_control,
 )
 
 

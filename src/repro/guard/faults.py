@@ -18,26 +18,57 @@ and ``repro bench --inject`` is the one production traffic would take:
   simulating a failing accelerator library; surfaces as
   :class:`repro.fft.backend.BackendExecutionError`.
 
+The **cluster** kinds target the multi-process serving tier instead of
+the engine — they exercise the router's watchdog, retry and slot
+accounting rather than the numeric fallback chain:
+
+- ``worker_stall`` — a replica's request loop blocks for ``stall_s``
+  seconds mid-order without heartbeating, simulating a wedged process;
+  the router watchdog must SIGKILL and reroute.
+- ``slow_worker`` — every order pays an extra ``delay_s`` before
+  executing, simulating a degraded-but-correct replica.
+- ``response_drop`` — the worker computes the answer but never sends the
+  completion, simulating a wedged reply path; the aging heartbeat is the
+  only signal.
+- ``slot_leak`` — the router "forgets" to release a dispatch's arena
+  slots, simulating a slot-accounting bug; serving must continue on the
+  remaining capacity and the leak must surface in counters.
+
 Injection is scoped by a context manager (:func:`inject`) and driven by a
-seeded generator, so every run is reproducible.  The hook sites guard
-themselves behind ``if faults._STACK:`` — one truth test when idle.
+seeded generator, so every run is reproducible.  Cluster workers live in
+other processes where no ``with`` scope can reach, so the router arms
+them over the control pipe via :func:`arm`/:func:`disarm` instead.  The
+hook sites guard themselves behind ``if faults._STACK:`` — one truth
+test when idle.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
 
-FAULT_KINDS = (
+#: Faults planted inside the single-process engine (fallback-chain drills).
+ENGINE_FAULT_KINDS = (
     "nan_input",
     "inf_input",
     "spectrum_corruption",
     "backend_error",
     "accuracy_blowup",
 )
+
+#: Faults planted at cluster hook sites (watchdog/retry/slot drills).
+CLUSTER_FAULT_KINDS = (
+    "worker_stall",
+    "slow_worker",
+    "response_drop",
+    "slot_leak",
+)
+
+FAULT_KINDS = ENGINE_FAULT_KINDS + CLUSTER_FAULT_KINDS
 
 #: Scale factor applied by the ``accuracy_blowup`` injector — far beyond
 #: any slack the magnitude sentinel allows.
@@ -55,6 +86,13 @@ class FaultState:
     kinds: frozenset[str]
     seed: int = 0
     rate: float = 1.0
+    #: Per-kind firing ceiling (None = unbounded).  A drill arming
+    #: ``worker_stall`` with ``max_fires=1`` wedges exactly one order and
+    #: then lets the respawned replica serve cleanly.
+    max_fires: int | None = None
+    #: Kind-specific knobs read by the hook sites (``stall_s``,
+    #: ``delay_s``, ...).
+    params: dict = field(default_factory=dict)
     rng: np.random.Generator = field(init=False)
     #: Injections actually performed, by kind (for reports and tests).
     counts: dict[str, int] = field(default_factory=dict)
@@ -70,6 +108,9 @@ class FaultState:
             )
         if not 0.0 <= self.rate <= 1.0:
             raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.max_fires is not None and self.max_fires < 1:
+            raise ValueError(
+                f"max_fires must be >= 1 or None, got {self.max_fires}")
         self.rng = np.random.default_rng(self.seed)
 
     def _fires(self, kind: str) -> bool:
@@ -77,9 +118,19 @@ class FaultState:
         if kind not in self.kinds:
             return False
         with self._lock:
+            if self.max_fires is not None \
+                    and self.counts.get(kind, 0) >= self.max_fires:
+                return False
             if self.rate < 1.0 and self.rng.random() >= self.rate:
                 return False
             self.counts[kind] = self.counts.get(kind, 0) + 1
+        # Fired injections surface in the unified registry so cluster
+        # drills can see worker-side firings through the stats
+        # delta-merge (the import is lazy: faults loads before observe
+        # in some bootstrap orders, and firings are rare).
+        from repro.observe.registry import counters
+
+        counters.add("guard.fault_injected", kind=kind)
         return True
 
 
@@ -99,19 +150,42 @@ def _top() -> FaultState | None:
 
 
 @contextmanager
-def inject(*kinds: str, seed: int = 0, rate: float = 1.0):
+def inject(*kinds: str, seed: int = 0, rate: float = 1.0,
+           max_fires: int | None = None, params: dict | None = None):
     """Open an injection scope arming *kinds*; yields its :class:`FaultState`.
 
     Deterministic: the same seed and the same call sequence inject at the
-    same sites.  Scopes nest; the innermost wins.
+    same sites.  Scopes nest; the innermost wins.  *max_fires* caps each
+    kind's firings; *params* carries kind-specific knobs (``stall_s``,
+    ``delay_s``).
     """
-    state = FaultState(kinds=frozenset(kinds), seed=seed, rate=rate)
-    with _stack_lock:
-        _STACK.append(state)
+    state = FaultState(kinds=frozenset(kinds), seed=seed, rate=rate,
+                       max_fires=max_fires, params=params or {})
+    arm(state)
     try:
         yield state
     finally:
-        with _stack_lock:
+        disarm(state)
+
+
+def arm(state: FaultState) -> FaultState:
+    """Push an injection scope without a ``with`` block.
+
+    Cluster workers are armed over the control pipe — the router's
+    ``inject`` order lands in another process where no context manager
+    can scope the fault — so the worker loop arms/disarms explicitly.
+    """
+    with _stack_lock:
+        _STACK.append(state)
+    return state
+
+
+def disarm(state: FaultState | None = None) -> None:
+    """Remove one scope (or every scope, when *state* is None)."""
+    with _stack_lock:
+        if state is None:
+            _STACK.clear()
+        elif state in _STACK:
             _STACK.remove(state)
 
 
@@ -174,3 +248,49 @@ def check_backend_fault(backend: str, op: str, n: int | None) -> None:
         raise InjectedFaultError(
             f"injected backend fault in {backend}.{op}(n={n})"
         )
+
+
+# -- cluster hook points (worker loop and router slot accounting) ------------
+
+
+def maybe_worker_stall() -> None:
+    """Block the worker loop for ``stall_s`` seconds (default 30).
+
+    The sleep stands in for a wedged process: the worker neither
+    heartbeats nor answers while it lasts, so a stall longer than the
+    router's ``stall_timeout_s`` must draw a SIGKILL + reroute.  (The
+    watchdog usually kills us mid-sleep — the duration only needs to
+    exceed the timeout.)
+    """
+    state = _top()
+    if state is not None and state._fires("worker_stall"):
+        time.sleep(float(state.params.get("stall_s", 30.0)))
+
+
+def maybe_slow_worker() -> None:
+    """Delay the order by ``delay_s`` seconds (default 0.05).
+
+    Unlike a stall this is sub-timeout degradation: answers stay correct
+    and the watchdog must *not* fire — the drill asserts parity and that
+    no replica was quarantined.
+    """
+    state = _top()
+    if state is not None and state._fires("slow_worker"):
+        time.sleep(float(state.params.get("delay_s", 0.05)))
+
+
+def should_drop_response() -> bool:
+    """Whether the worker should swallow this completion message.
+
+    The order executes fully (result written to the arena) but the reply
+    never leaves the process, so only the aging heartbeat betrays the
+    wedge.
+    """
+    state = _top()
+    return state is not None and state._fires("response_drop")
+
+
+def should_leak_slots() -> bool:
+    """Whether the router should skip releasing a dispatch's slots."""
+    state = _top()
+    return state is not None and state._fires("slot_leak")

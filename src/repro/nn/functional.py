@@ -74,7 +74,7 @@ def conv2d_async(x: np.ndarray, weight: np.ndarray,
                  dilation: int | tuple[int, int] = 1, groups: int = 1,
                  algorithm: ConvAlgorithm | str = ConvAlgorithm.POLYHANKEL,
                  strategy: str = "sum", backend: str | None = None,
-                 server=None):
+                 server=None, deadline_s: float | None = None):
     """Submit a convolution to the serving layer; returns a ``Future``.
 
     Requests submitted concurrently with the same weight array, geometry
@@ -83,12 +83,19 @@ def conv2d_async(x: np.ndarray, weight: np.ndarray,
     Uses the process-wide default :class:`~repro.serve.ConvServer` unless
     *server* is given.  ``future.result()`` is bit-exact with
     :func:`conv2d` on the same arguments.
+
+    *deadline_s* bounds the request's lifetime: if it cannot be served in
+    that many seconds the tier sheds it and the future raises
+    :class:`repro.serve.DeadlineExceeded` instead of executing stale
+    work.  May raise :class:`repro.serve.Overloaded` when the server is
+    at its admission budget.
     """
     from repro import serve
 
     server = server if server is not None else serve.get_server()
     return server.submit(x, weight, bias, padding, stride, dilation,
-                         groups, algorithm, strategy, backend)
+                         groups, algorithm, strategy, backend,
+                         deadline_s=deadline_s)
 
 
 def conv1d(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None,

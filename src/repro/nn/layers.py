@@ -198,7 +198,8 @@ class Conv2d(Layer):
             out = out + self.bias[None, :, None, None]
         return out
 
-    def submit(self, x: np.ndarray, server=None):
+    def submit(self, x: np.ndarray, server=None,
+               deadline_s: float | None = None):
         """Submit this layer's forward to the serving layer; returns a
         ``Future``.
 
@@ -212,7 +213,8 @@ class Conv2d(Layer):
         """
         return F.conv2d_async(x, self._weight, self.bias, self.padding,
                               self.stride, self.dilation, self.groups,
-                              algorithm=self.algorithm, server=server)
+                              algorithm=self.algorithm, server=server,
+                              deadline_s=deadline_s)
 
     def _forward_guarded(self, x: np.ndarray) -> np.ndarray:
         """Re-execute this forward through the supervised fallback chain."""

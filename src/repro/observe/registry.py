@@ -228,6 +228,11 @@ def serve_stats() -> dict:
         "batches": int(batches),
         "coalesced": int(coalesced),
         "shards": int(counters.total("serve.shards")),
+        # Overload-control outcomes (deadline shedding / admission).
+        "completed": int(counters.total("serve.completed")),
+        "shed": int(counters.total("serve.shed")),
+        "rejected": int(counters.total("serve.rejected")),
+        "slot_timeouts": int(counters.total("serve.slot_timeout")),
         "mean_batch_size": batch_rows / batches if batches else None,
         "mean_queue_wait_ms": wait_ms / batches if batches else None,
         "coalesce_rate": coalesced / requests if requests else None,
@@ -272,6 +277,10 @@ def format_serve_stats(stats: dict | None = None) -> str:
         f"batches         {stats['batches']:>10}",
         f"coalesced       {stats['coalesced']:>10}",
         f"shards          {stats['shards']:>10}",
+        f"completed       {stats.get('completed', 0):>10}",
+        f"shed            {stats.get('shed', 0):>10}",
+        f"rejected        {stats.get('rejected', 0):>10}",
+        f"slot timeouts   {stats.get('slot_timeouts', 0):>10}",
         f"mean batch size {fmt(stats['mean_batch_size'], '10.2f')}",
         f"mean wait (ms)  {fmt(stats['mean_queue_wait_ms'], '10.3f')}",
         f"coalesce rate   {fmt(stats['coalesce_rate'], '10.1%')}",

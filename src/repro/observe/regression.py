@@ -25,6 +25,12 @@ baseline JSON and decides pass/fail:
   ``served_rps`` additionally must not *decrease* by more than the wall
   tolerance against the baseline.  Like wall-clock cases, flagged serve
   presets are re-measured once before the verdict.
+- **Overload goodput** (the report's ``overload`` section): the gate
+  point's ``min_goodput_pct`` floor travels with the *current* entry so
+  it binds even against pre-overload baselines; ``goodput_rps`` is
+  relatively guarded when the baseline has the point, and any
+  ``late_completions`` (a request completing after being reported shed)
+  fails outright.
 
 Baselines are ordinary ``repro bench`` JSON reports; cases are matched by
 name, and cases present on only one side are ignored (suites may grow).
@@ -114,6 +120,7 @@ def compare_reports(current: dict, baseline: dict,
                     cur["name"], metric, "counter", b, c, 1.0))
     regressions += _compare_serve(current, baseline, tolerance)
     regressions += _compare_cluster(current, baseline, tolerance)
+    regressions += _compare_overload(current, baseline, tolerance)
     return regressions
 
 
@@ -177,6 +184,44 @@ def _compare_cluster(current: dict, baseline: dict,
                 regressions.append(Regression(
                     cur["name"], "served_rps", "throughput", b, c,
                     floor_rps))
+    return regressions
+
+
+def _compare_overload(current: dict, baseline: dict,
+                      tolerance: float) -> list[Regression]:
+    """Goodput regressions of the reports' ``overload`` sections.
+
+    The goodput floor at the gate multiplier is an absolute contract the
+    *current* entry carries (``min_goodput_pct``), so it is enforced even
+    against baselines recorded before the overload sweep existed — a
+    server that collapses under 2x offered load must fail the gate on
+    day one, not only after a baseline refresh.  ``goodput_rps`` is
+    additionally guarded relatively when the baseline has the point.
+    """
+    regressions = []
+    base_by_name = {r["name"]: r for r in baseline.get("overload", [])}
+    for cur in current.get("overload", []):
+        base = base_by_name.get(cur["name"]) or {}
+        floor = cur.get("min_goodput_pct")
+        goodput_pct = cur.get("goodput_pct")
+        if floor and goodput_pct is not None and goodput_pct < floor:
+            regressions.append(Regression(
+                cur["name"], "goodput_pct", "throughput",
+                base.get("goodput_pct") or 0.0, goodput_pct, floor))
+        b, c = base.get("goodput_rps"), cur.get("goodput_rps")
+        if b and c is not None:
+            floor_rps = b * max(1.0 - tolerance, 0.0)
+            if c < floor_rps:
+                regressions.append(Regression(
+                    cur["name"], "goodput_rps", "throughput", b, c,
+                    floor_rps))
+        # Correctness, not performance: a request reported shed must
+        # never complete afterwards (exactly-once outcome accounting).
+        late = cur.get("late_completions")
+        if late:
+            regressions.append(Regression(
+                cur["name"], "late_completions", "counter",
+                0.0, float(late), 0.0))
     return regressions
 
 

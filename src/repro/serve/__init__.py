@@ -30,14 +30,24 @@ package closes that gap with the standard serving architecture:
   slot arena with generation-counter crash detection, so no tensor ever
   crosses a process boundary by pickle.
 - :mod:`repro.serve.loadgen` — the Poisson open-loop saturation bench
-  behind ``repro serve-bench --workers N`` and the CI scale-out gate.
+  behind ``repro serve-bench --workers N`` and the CI scale-out gate,
+  plus the overload sweep behind ``--overload`` / ``--check-goodput``.
+- :mod:`repro.serve.overload` — the request-lifecycle robustness layer:
+  absolute deadlines propagated from the front door through queue, pool
+  and cluster (every stage sheds expired work as a typed
+  :class:`DeadlineExceeded` instead of executing it), bounded in-flight
+  admission (:class:`Overloaded`, ``reject-new`` / ``shed-oldest``
+  policies) and the :class:`ServeConfig` knobs — all overridable via
+  ``REPRO_SERVE_*`` environment variables.
 
 Everything is observable through the unified counter registry
 (``serve.requests``, ``serve.coalesced``, ``serve.batches``,
-``serve.batch_size``, ``serve.queue_wait_ms``, ``serve.shards``) and runs
-under the guard chain when supervision is enabled, with the circuit
-breaker scoped by coalescing key so every shard of one request family
-shares breaker state.
+``serve.batch_size``, ``serve.queue_wait_ms``, ``serve.shards``, and the
+overload outcomes ``serve.completed`` / ``serve.shed`` /
+``serve.rejected`` / ``serve.slot_timeout``) and runs under the guard
+chain when supervision is enabled, with the circuit breaker scoped by
+coalescing key so every shard of one request family shares breaker
+state.
 """
 
 from repro.serve.api import (
@@ -55,12 +65,18 @@ from repro.serve.coalescer import (
     split_result,
     stack_requests,
 )
+from repro.serve.overload import (
+    DeadlineExceeded,
+    Overloaded,
+    ServeConfig,
+)
 from repro.serve.pool import WorkerPool, execute_conv, shard_splits
 from repro.serve.queue import BatchingQueue
 from repro.serve.router import ClusterServer, ClusterUnavailableError
 from repro.serve.shm import (
     SlotAllocator,
     SlotsExhaustedError,
+    SlotTimeout,
     TensorArena,
     TornWriteError,
 )
@@ -72,8 +88,12 @@ __all__ = [
     "ClusterUnavailableError",
     "ConvRequest",
     "ConvServer",
+    "DeadlineExceeded",
+    "Overloaded",
+    "ServeConfig",
     "SlotAllocator",
     "SlotsExhaustedError",
+    "SlotTimeout",
     "TensorArena",
     "TornWriteError",
     "WorkerPool",

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import os
 import threading
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
+from concurrent.futures import TimeoutError as FutureTimeoutError
 
 import numpy as np
 
@@ -33,6 +34,14 @@ from repro.serve.coalescer import (
     split_result,
     stack_requests,
 )
+from repro.serve.overload import (
+    DeadlineExceeded,
+    InflightBudget,
+    Overloaded,
+    ServeConfig,
+    attach_accounting,
+    resolve_deadline,
+)
 from repro.serve.pool import WorkerPool, execute_conv
 from repro.serve.queue import BatchingQueue
 
@@ -41,12 +50,25 @@ DEFAULT_MAX_WAIT_MS = 2.0
 
 
 class ConvServer:
-    """Async dynamic-batching front door to the convolution engine."""
+    """Async dynamic-batching front door to the convolution engine.
+
+    Admission is bounded: at most ``config.max_inflight`` requests may be
+    in flight; past the budget the configured ``shed_policy`` either
+    rejects the newcomer with :class:`~repro.serve.overload.Overloaded`
+    (``reject-new``, the default) or evicts the oldest queued request in
+    its favor (``shed-oldest``).  Per-request deadlines (``deadline_s``)
+    propagate to every dispatch stage, which sheds expired work instead
+    of executing it.
+    """
 
     def __init__(self, max_batch: int = DEFAULT_MAX_BATCH,
                  max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
-                 workers: int | None = None, mode: str = "thread"):
+                 workers: int | None = None, mode: str = "thread",
+                 config: ServeConfig | None = None):
         self.max_batch = int(max_batch)
+        self.config = config if config is not None \
+            else ServeConfig.from_env()
+        self._budget = InflightBudget(self.config.max_inflight)
         self._pool = WorkerPool(workers=workers, mode=mode)
         self._queue = BatchingQueue(self._execute_batch,
                                     max_batch=max_batch,
@@ -55,19 +77,49 @@ class ConvServer:
 
     # -- request intake ------------------------------------------------------
 
+    def _admit(self, request: ConvRequest) -> None:
+        """Claim an in-flight unit for *request* or raise Overloaded.
+
+        Under ``shed-oldest``, a full budget first evicts the oldest
+        queued request (its future carries
+        :class:`~repro.serve.overload.Overloaded`), which frees a unit
+        for the newcomer; when nothing is queued — every in-flight
+        request is already executing — the newcomer is rejected after
+        all.  ``serve.rejected`` counts front-door rejections;
+        evictions land in ``serve.shed`` via the outcome accounting.
+        """
+        while not self._budget.try_acquire():
+            if self.config.shed_policy != "shed-oldest" \
+                    or self._queue.shed_oldest() is None:
+                counters.add("serve.rejected")
+                raise Overloaded(
+                    f"server is at its in-flight budget "
+                    f"({self.config.max_inflight}); request rejected "
+                    f"({self.config.shed_policy})")
+        attach_accounting(request.future)
+        self._budget.attach(request.future)
+
     def submit(self, x: np.ndarray, weight: np.ndarray,
                bias: np.ndarray | None = None,
                padding: int | tuple | str = 0, stride: int | tuple = 1,
                dilation: int | tuple = 1, groups: int = 1,
                algorithm: str = "polyhankel", strategy: str = "sum",
                backend: str | None = None, op: str = "conv2d",
-               output_padding: int | tuple = 0) -> Future:
+               output_padding: int | tuple = 0,
+               deadline_s: float | None = None) -> Future:
         """Enqueue one convolution; returns its future immediately.
 
         *op* selects the operator family (``conv1d``/``conv2d``/
         ``conv3d``/``conv_transpose2d``).  For the 4-D ops a 3-D input is
         treated as a single CHW image (batch of one); a 1-D op's 3-D
         input is already the batched NCL layout.
+
+        *deadline_s* bounds the request's whole lifetime: once that many
+        seconds pass, any stage still holding the request sheds it and
+        the future raises :class:`~repro.serve.overload.DeadlineExceeded`
+        instead of executing stale work.  Raises
+        :class:`~repro.serve.overload.Overloaded` when admission control
+        refuses the request.
         """
         if self._closed:
             raise RuntimeError("server is closed")
@@ -77,8 +129,10 @@ class ConvServer:
             x = np.asarray(x, dtype=float)[None]
         request = make_request(x, weight, bias, padding, stride, dilation,
                                groups, algorithm, strategy, backend,
-                               op, output_padding)
+                               op, output_padding,
+                               deadline=resolve_deadline(deadline_s))
         counters.add("serve.requests")
+        self._admit(request)
         if request.batch > self.max_batch:
             # Oversized: no companion could ride along anyway — shard it
             # across the pool instead of clogging the queue.
@@ -94,10 +148,32 @@ class ConvServer:
                algorithm: str = "polyhankel", strategy: str = "sum",
                backend: str | None = None,
                timeout: float | None = None) -> np.ndarray:
-        """Synchronous convenience wrapper around :meth:`submit`."""
-        return self.submit(x, weight, bias, padding, stride, dilation,
-                           groups, algorithm, strategy,
-                           backend).result(timeout)
+        """Synchronous convenience wrapper around :meth:`submit`.
+
+        *timeout* doubles as the request's deadline: a sync caller that
+        stops waiting has no use for a late answer, so the timed-out
+        future is **cancelled** — any stage that has not started the work
+        sheds it, a stage mid-execution discards the result — and the
+        call raises :class:`~repro.serve.overload.DeadlineExceeded`.
+        The pre-fix behavior (abandon the future, let the engine run
+        dead work to completion) leaked exactly the capacity an
+        overloaded server needs back.
+        """
+        future = self.submit(x, weight, bias, padding, stride, dilation,
+                             groups, algorithm, strategy, backend,
+                             deadline_s=timeout)
+        try:
+            return future.result(timeout)
+        except DeadlineExceeded:
+            # The serving tier shed the request; its typed error already
+            # carries the stage detail.  (Ordering matters: on 3.11+
+            # DeadlineExceeded IS a futures TimeoutError.)
+            raise
+        except FutureTimeoutError:
+            future.cancel()
+            raise DeadlineExceeded(
+                f"conv2d timed out after {timeout:g}s; request "
+                f"cancelled") from None
 
     # -- dispatch ------------------------------------------------------------
 
@@ -118,7 +194,10 @@ class ConvServer:
             backend=key.backend, op=key.op,
             output_padding=key.output_padding, breaker_key=key)
         for request, result in zip(batch, split_result(out, batch)):
-            request.future.set_result(result)
+            try:
+                request.future.set_result(result)
+            except InvalidStateError:
+                pass  # cancelled mid-execution; result is discarded
 
     # -- introspection and lifecycle ----------------------------------------
 

@@ -104,8 +104,22 @@ def _fresh_worker_state() -> None:
 
 
 def _worker_main(worker_id: int, arena_name: str, slots: int,
-                 slot_bytes: int, conn, supervised: bool) -> None:
-    """One replica's request loop (runs in the worker process)."""
+                 slot_bytes: int, conn, supervised: bool,
+                 heartbeats: int = 0, generation: int = 0) -> None:
+    """One replica's request loop (runs in the worker process).
+
+    When the arena carries a heartbeat region (*heartbeats* > 0) the
+    worker stamps its slot — tagged with the *generation* the router
+    assigned this spawn — at startup, after every order arrives and
+    after every order completes.  It deliberately does **not** stamp
+    while blocked in ``recv_control``: an idle worker's heartbeat ages,
+    and the router's stall rule only fires when old heartbeats coincide
+    with old in-flight work, so idleness is never mistaken for a wedge
+    but a wedged reply path (``response_drop``) is caught.
+    """
+    import time as _time
+
+    from repro.guard import faults
     from repro.observe.registry import counters
     from repro.serve.pool import execute_conv
 
@@ -114,14 +128,23 @@ def _worker_main(worker_id: int, arena_name: str, slots: int,
         from repro.guard.state import enable_guard
 
         enable_guard()
-    arena = TensorArena.attach(arena_name, slots, slot_bytes)
+    arena = TensorArena.attach(arena_name, slots, slot_bytes,
+                               heartbeats=heartbeats)
+
+    def beat() -> None:
+        if heartbeats:
+            arena.beat(worker_id, generation)
+
+    beat()
     tensors: dict[object, object] = {}
+    armed: list = []  # control-plane FaultStates, disarmed on "clear"
     try:
         while True:
             try:
                 msg = recv_control(conn)
             except (EOFError, OSError):
                 return  # router went away; die quietly
+            beat()
             kind = msg["kind"]
             if kind == "stop":
                 return
@@ -150,6 +173,22 @@ def _worker_main(worker_id: int, arena_name: str, slots: int,
                         "error": f"{type(exc).__name__}: {exc}"})
             elif kind == "conv":
                 try:
+                    if faults._STACK:
+                        faults.maybe_worker_stall()
+                        faults.maybe_slow_worker()
+                    deadline = msg.get("deadline")
+                    if deadline is not None \
+                            and _time.monotonic() > deadline:
+                        # Every rider's deadline has passed (the router
+                        # ships the batch maximum): shed instead of
+                        # executing dead work.  CLOCK_MONOTONIC is
+                        # boot-based and system-wide on Linux, so the
+                        # router's absolute deadline is comparable here.
+                        counters.add("serve.cluster.worker_sheds")
+                        send_control(conn, {"kind": "shed",
+                                            "req": msg["req"]})
+                        beat()
+                        continue
                     x = arena.read(msg["in_slot"], msg["in_seq"],
                                    copy=False)
                     weight = tensors[msg["weight_fp"]]
@@ -160,12 +199,41 @@ def _worker_main(worker_id: int, arena_name: str, slots: int,
                     counters.add("serve.cluster.worker_convs")
                     counters.add("serve.cluster.worker_rows",
                                  int(x.shape[0]))
+                    if faults._STACK and faults.should_drop_response():
+                        # Computed but never answered: skip the reply
+                        # AND the end-of-order heartbeat, so the router
+                        # sees exactly what a wedged reply path looks
+                        # like — old in-flight work plus an old stamp.
+                        continue
                     send_control(conn, {"kind": "done", "req": msg["req"],
                                         "seq": out_seq})
                 except Exception as exc:
                     send_control(conn, {
                         "kind": "error", "req": msg["req"],
                         "error": f"{type(exc).__name__}: {exc}"})
+            elif kind == "inject":
+                # Control-plane fault arming (chaos drills): build the
+                # state in-process and ack so the router can sequence
+                # the drill deterministically.
+                try:
+                    state = faults.FaultState(
+                        kinds=frozenset(msg["kinds"]),
+                        seed=int(msg.get("seed", 0)),
+                        rate=float(msg.get("rate", 1.0)),
+                        max_fires=msg.get("max_fires"),
+                        params=dict(msg.get("params") or {}))
+                    armed.append(faults.arm(state))
+                    send_control(conn, {"kind": "fault_ok",
+                                        "token": msg["token"]})
+                except Exception as exc:
+                    send_control(conn, {
+                        "kind": "fault_err", "token": msg["token"],
+                        "error": f"{type(exc).__name__}: {exc}"})
+            elif kind == "clear_faults":
+                while armed:
+                    faults.disarm(armed.pop())
+                send_control(conn, {"kind": "fault_ok",
+                                    "token": msg["token"]})
             elif kind == "stats":
                 rows = [(r.name, r.tags, r.value)
                         for r in counters.snapshot()]
@@ -177,20 +245,26 @@ def _worker_main(worker_id: int, arena_name: str, slots: int,
             else:  # pragma: no cover - protocol drift guard
                 send_control(conn, {"kind": "error", "req": None,
                                     "error": f"unknown order {kind!r}"})
+            beat()
     finally:
         arena.close()
         conn.close()
 
 
 def spawn_worker(worker_id: int, arena: TensorArena, supervised: bool,
-                 ctx=None):
-    """Start one replica process; returns ``(process, parent_conn)``."""
+                 ctx=None, generation: int = 0):
+    """Start one replica process; returns ``(process, parent_conn)``.
+
+    *generation* stamps the worker's heartbeats so the router never
+    mistakes a dead predecessor's stale stamp (same slot, earlier spawn)
+    for the current process's liveness.
+    """
     ctx = ctx or get_cluster_context()
     parent_conn, child_conn = ctx.Pipe(duplex=True)
     process = ctx.Process(
         target=_worker_main,
         args=(worker_id, arena.name, arena.slots, arena.slot_bytes,
-              child_conn, supervised),
+              child_conn, supervised, arena.heartbeats, generation),
         name=f"repro-cluster-worker-{worker_id}",
         daemon=True,
     )

@@ -144,10 +144,20 @@ class ConvRequest:
     batch: int = 0
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.monotonic)
+    #: Absolute monotonic deadline (``time.monotonic()`` clock) or None
+    #: for no deadline.  Every serving stage sheds the request instead of
+    #: executing it once this passes — see :mod:`repro.serve.overload`.
+    deadline: float | None = None
 
     def __post_init__(self) -> None:
         if not self.batch:
             self.batch = int(self.x.shape[0])
+
+    def expired(self, now: float | None = None) -> bool:
+        """Whether the deadline has passed (False when unbounded)."""
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline
 
 
 def make_request(x: np.ndarray, weight: np.ndarray,
@@ -156,8 +166,14 @@ def make_request(x: np.ndarray, weight: np.ndarray,
                  dilation: int | tuple = 1, groups: int = 1,
                  algorithm: str = "polyhankel", strategy: str = "sum",
                  backend: str | None = None, op: str = "conv2d",
-                 output_padding: int | tuple = 0) -> ConvRequest:
-    """Validate lightly and wrap one call's arguments as a request."""
+                 output_padding: int | tuple = 0,
+                 deadline: float | None = None) -> ConvRequest:
+    """Validate lightly and wrap one call's arguments as a request.
+
+    *deadline* is an **absolute** ``time.monotonic()`` instant (front
+    doors convert a relative ``deadline_s`` via
+    :func:`repro.serve.overload.resolve_deadline`).
+    """
     x = np.asarray(x, dtype=float)
     weight = np.asarray(weight, dtype=float)
     op = str(getattr(op, "value", op))
@@ -173,7 +189,8 @@ def make_request(x: np.ndarray, weight: np.ndarray,
             f"{op} weight must be {w_layout}, got shape {weight.shape}")
     key = coalesce_key(x, weight, bias, padding, stride, dilation, groups,
                        algorithm, strategy, backend, op, output_padding)
-    return ConvRequest(x=x, weight=weight, bias=bias, key=key)
+    return ConvRequest(x=x, weight=weight, bias=bias, key=key,
+                       deadline=deadline)
 
 
 def stack_requests(requests: list[ConvRequest]) -> np.ndarray:

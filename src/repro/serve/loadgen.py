@@ -211,6 +211,219 @@ def run_cluster_case(preset: ClusterPreset, repeats: int = 2,
     return entries
 
 
+# ---------------------------------------------------------------------------
+# Overload sweep: offered load as a multiple of capacity, goodput gated.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OverloadPreset:
+    """One overload scenario of the batching serving tier.
+
+    The sweep offers Poisson load at ``multipliers`` times the server's
+    calibrated burst capacity and measures what a deadline-propagating,
+    admission-bounded server actually *delivers*: goodput (completed
+    requests per second of wall time), the shed/reject split, and the
+    completed-request latency tail.  ``min_goodput_pct`` is the CI
+    contract: at ``gate_multiplier`` times capacity the server must
+    still deliver that fraction of its capacity as goodput — overload
+    must cost the *excess*, not the throughput.
+    """
+
+    name: str
+    size: int
+    kernel: int
+    channels: int
+    filters: int
+    padding: int
+    requests: int = 96
+    request_batch: int = 1
+    max_batch: int = 8
+    multipliers: tuple = (0.5, 1.0, 2.0, 3.0)
+    #: Per-request deadline handed to ``submit(deadline_s=...)``.
+    deadline_s: float = 2.0
+    #: Admission budget of the swept server (well under ``requests`` so
+    #: the high multipliers actually exercise rejection).
+    max_inflight: int = 48
+    shed_policy: str = "reject-new"
+    #: Goodput floor as a fraction of calibrated capacity, enforced on
+    #: the ``gate_multiplier`` point; None records without gating.
+    min_goodput_pct: float | None = 0.85
+    gate_multiplier: float = 2.0
+    seed: int = 0
+    heavy: bool = False  # skipped in --smoke runs
+
+
+OVERLOAD_PRESETS: tuple[OverloadPreset, ...] = (
+    # Same shape family as serve_batch8/cluster_batch8: small requests
+    # whose value is in coalescing — under overload the queue is never
+    # starved, so batches stay full and goodput should track capacity.
+    OverloadPreset("overload_batch8", size=8, kernel=3, channels=3,
+                   filters=8, padding=1),
+)
+
+
+def _calibrate_capacity(preset: OverloadPreset, xs, weight, bias) -> float:
+    """Burst capacity (requests/s) of a warm, amply budgeted server."""
+    from repro.serve.api import ConvServer
+    from repro.serve.overload import ServeConfig
+
+    config = ServeConfig(max_inflight=max(2 * preset.requests, 64))
+    with ConvServer(max_batch=preset.max_batch, config=config) as server:
+        for _ in range(2):
+            server.conv2d(xs[0], weight, bias, padding=preset.padding,
+                          timeout=60)
+        t0 = time.perf_counter()
+        futures = [server.submit(x, weight, bias, padding=preset.padding)
+                   for x in xs]
+        for future in futures:
+            future.result(60)
+        span = time.perf_counter() - t0
+    return preset.requests / max(span, 1e-9)
+
+
+def run_overload_case(preset: OverloadPreset,
+                      multipliers: tuple | None = None) -> list[dict]:
+    """Sweep offered load over ``multipliers`` x capacity.
+
+    Returns one entry per multiplier (names like ``overload_batch8_x2``).
+    Every completed result is checked bit-exactly against the in-process
+    engine, and the outcome bookkeeping is asserted to be airtight:
+    each offered request lands in exactly one of completed / shed /
+    rejected (a future resolves exactly once, so a request reported shed
+    can never also deliver a result), and nothing is lost.
+    """
+    from repro.nn import functional as F
+    from repro.serve.api import ConvServer
+    from repro.serve.overload import (
+        DeadlineExceeded,
+        Overloaded,
+        ServeConfig,
+    )
+
+    multipliers = tuple(multipliers or preset.multipliers)
+    rng = np.random.default_rng(preset.seed)
+    c, f, k = preset.channels, preset.filters, preset.kernel
+    weight = rng.standard_normal((f, c, k, k))
+    bias = rng.standard_normal(f)
+    xs = [rng.standard_normal((preset.request_batch, c, preset.size,
+                               preset.size))
+          for _ in range(preset.requests)]
+    refs = [F.conv2d(x, weight, bias, padding=preset.padding) for x in xs]
+    capacity_rps = _calibrate_capacity(preset, xs, weight, bias)
+
+    config = ServeConfig(max_inflight=preset.max_inflight,
+                         shed_policy=preset.shed_policy)
+    entries = []
+    for mult in multipliers:
+        offered_rps = mult * capacity_rps
+        arrivals = poisson_arrivals(
+            preset.requests, offered_rps,
+            np.random.default_rng(preset.seed + int(1000 * mult)))
+        n = preset.requests
+        futures: list[Future | None] = [None] * n
+        done_at = [0.0] * n
+        with ConvServer(max_batch=preset.max_batch,
+                        config=config) as server:
+            server.conv2d(xs[0], weight, bias, padding=preset.padding,
+                          timeout=60)  # warm caches off the clock
+            start = time.monotonic()
+            for i, x in enumerate(xs):
+                delay = start + arrivals[i] - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                try:
+                    future = server.submit(
+                        x, weight, bias, padding=preset.padding,
+                        deadline_s=preset.deadline_s)
+                except Overloaded:
+                    continue  # rejected at the front door
+
+                def _stamp(f, i=i):
+                    done_at[i] = time.monotonic()
+
+                future.add_done_callback(_stamp)
+                futures[i] = future
+            completed, shed, failed = [], 0, 0
+            latencies = []
+            for i, future in enumerate(futures):
+                if future is None:
+                    continue
+                try:
+                    out = future.result(60)
+                except DeadlineExceeded:
+                    shed += 1
+                    continue
+                except Exception:
+                    failed += 1
+                    continue
+                completed.append(i)
+                latencies.append(done_at[i] - (start + arrivals[i]))
+        for i in completed:
+            if not np.array_equal(futures[i].result(0), refs[i]):
+                raise AssertionError(
+                    f"overload sweep result diverged from in-process "
+                    f"conv2d on {preset.name} (x{mult:g}, request {i})")
+        rejected = sum(1 for f in futures if f is None)
+        if failed:
+            raise AssertionError(
+                f"{failed} request(s) failed outright in the overload "
+                f"sweep on {preset.name} (x{mult:g}) — sheds and rejects "
+                f"are expected under overload, failures are not")
+        if len(completed) + shed + rejected != n:
+            raise AssertionError(
+                "overload outcome bookkeeping lost a request: "
+                f"{len(completed)} + {shed} + {rejected} != {n}")
+        span_s = (max(done_at[i] for i in completed) - start) \
+            if completed else 0.0
+        goodput_rps = len(completed) / span_s if span_s > 0 else 0.0
+        lat = np.array(latencies) if latencies else np.zeros(1)
+        gate = abs(mult - preset.gate_multiplier) < 1e-9
+        entries.append({
+            "name": f"{preset.name}_x{mult:g}",
+            "preset": preset.name,
+            "multiplier": mult,
+            "requests": n,
+            "deadline_s": preset.deadline_s,
+            "max_inflight": preset.max_inflight,
+            "shed_policy": preset.shed_policy,
+            "offered_rps": round(offered_rps, 1),
+            "capacity_rps": round(capacity_rps, 1),
+            "goodput_rps": round(goodput_rps, 1),
+            "goodput_pct": round(goodput_rps / capacity_rps, 3)
+            if capacity_rps else None,
+            "completed": len(completed),
+            "shed": shed,
+            "rejected": rejected,
+            "shed_rate": round((shed + rejected) / n, 3),
+            "p50_ms": round(float(np.percentile(lat, 50)) * 1e3, 3),
+            "p99_ms": round(float(np.percentile(lat, 99)) * 1e3, 3),
+            "late_completions": int(sum(
+                1 for v in latencies if v > preset.deadline_s)),
+            "min_goodput_pct": preset.min_goodput_pct if gate else None,
+            "exact": True,
+        })
+    return entries
+
+
+def format_overload_report(entries: list[dict]) -> str:
+    """Human-readable overload sweep table."""
+    lines = [f"{'point':<22} {'offered':>9} {'goodput':>9} {'pct':>6} "
+             f"{'done':>5} {'shed':>5} {'rej':>5} {'p50 ms':>8} "
+             f"{'p99 ms':>8} {'floor':>6}"]
+    for r in entries:
+        floor = f"{r['min_goodput_pct']:.0%}" \
+            if r.get("min_goodput_pct") else "-"
+        pct = f"{r['goodput_pct']:.0%}" \
+            if r.get("goodput_pct") is not None else "-"
+        lines.append(
+            f"{r['name']:<22} {r['offered_rps']:>9.0f} "
+            f"{r['goodput_rps']:>9.0f} {pct:>6} {r['completed']:>5} "
+            f"{r['shed']:>5} {r['rejected']:>5} {r['p50_ms']:>8.2f} "
+            f"{r['p99_ms']:>8.2f} {floor:>6}")
+    return "\n".join(lines)
+
+
 def format_cluster_report(entries: list[dict]) -> str:
     """Human-readable scale-out table for cluster bench entries."""
     lines = [f"{'point':<24} {'workers':>7} {'offered':>9} {'served':>9} "

@@ -1,0 +1,303 @@
+"""Overload control: typed errors, deadlines, admission, and timeouts.
+
+The serving tier before this module had exactly one overload behavior:
+queues grew.  A burst beyond capacity piled requests into the
+:class:`~repro.serve.queue.BatchingQueue` without bound, a client that
+timed out on ``future.result`` merely stopped *watching* the work (the
+engine still ran it), and a stalled worker pinned its arena slots until
+``slot_timeout_s`` starved every other dispatch.  This module is the
+shared vocabulary the fixed tier speaks:
+
+- **Typed errors** — :class:`DeadlineExceeded` (the request's deadline
+  passed before the engine ran it; subclasses :class:`TimeoutError` so
+  existing ``except TimeoutError`` callers keep working) and
+  :class:`Overloaded` (admission control refused or evicted the request
+  under load).  ``SlotTimeout`` lives in :mod:`repro.serve.shm` next to
+  the allocator it types.
+- **Deadline propagation** — a request's absolute deadline
+  (``time.monotonic()`` clock, comparable across processes on one host:
+  POSIX ``CLOCK_MONOTONIC`` is boot-based and system-wide) rides the
+  :class:`~repro.serve.coalescer.ConvRequest` from the front door
+  through every stage; each stage calls :func:`shed_expired` so dead
+  work is resolved, never executed.
+- **Admission control** — :class:`InflightBudget` bounds in-flight
+  requests per server; the ``reject-new`` policy raises
+  :class:`Overloaded` at the door, ``shed-oldest`` evicts the oldest
+  queued request instead.
+- **Outcome accounting** — :func:`attach_accounting` observes every
+  admitted future exactly once and lands it in exactly one of
+  ``serve.completed`` / ``serve.shed`` / ``serve.failed``; together with
+  ``serve.rejected`` (counted at the door, no future exists) the four
+  counters partition ``serve.requests``.
+- **ServeConfig** — every previously hardcoded router timeout plus the
+  watchdog/backoff/admission knobs, as a frozen
+  :class:`~repro.guard.state.GuardConfig`-style dataclass with
+  ``REPRO_SERVE_*`` environment overrides and eager validation.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import Future, InvalidStateError
+from dataclasses import dataclass, fields, replace
+
+from repro.observe.registry import counters
+
+#: Admission policies :class:`ServeConfig` accepts.
+SHED_POLICIES = ("reject-new", "shed-oldest")
+
+#: Environment-variable prefix for every :class:`ServeConfig` field.
+ENV_PREFIX = "REPRO_SERVE_"
+
+
+class DeadlineExceeded(TimeoutError):
+    """The request's deadline passed before (or while) it was served.
+
+    Raised from ``future.result()`` when any serving stage shed the
+    request, and by the synchronous ``conv2d(timeout=...)`` wrappers
+    after they cancel a timed-out future.  Subclasses
+    :class:`TimeoutError`, so callers catching the builtin keep working.
+    """
+
+
+class Overloaded(RuntimeError):
+    """Admission control refused (or evicted) the request under load.
+
+    ``reject-new`` raises it synchronously from ``submit``; under
+    ``shed-oldest`` the *evicted* request's future carries it instead.
+    """
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Validated knobs of the serving tier's overload/liveness machinery.
+
+    Defaults preserve the pre-config behavior (the router's previously
+    hardcoded ``10.0`` / ``0.2`` / ``2.0`` second timeouts).  Every field
+    can be overridden by ``REPRO_SERVE_<FIELD_NAME_UPPERCASED>`` (see
+    :meth:`from_env`); invalid values raise :class:`ValueError` naming
+    the offending knob instead of silently falling back.
+    """
+
+    #: Post-respawn health-probe wait before a replica takes traffic.
+    ping_timeout_s: float = 10.0
+    #: Supervisor poll interval between respawn scans.
+    respawn_poll_s: float = 0.2
+    #: Per-stage process.join() wait during ``ClusterServer.close``.
+    join_timeout_s: float = 2.0
+    #: Router watchdog scan interval.
+    watchdog_interval_s: float = 0.5
+    #: A replica with in-flight work whose heartbeat (and oldest
+    #: dispatch) is older than this is quarantined: SIGKILL + respawn.
+    #: Must exceed the worst-case service time of one dispatch.
+    stall_timeout_s: float = 10.0
+    #: First retry's backoff delay; doubles per attempt.
+    backoff_base_s: float = 0.05
+    #: Ceiling on any single backoff delay (after jitter).
+    backoff_cap_s: float = 2.0
+    #: In-flight request budget per server (admission control).
+    max_inflight: int = 256
+    #: What happens at the budget: "reject-new" or "shed-oldest".
+    shed_policy: str = "reject-new"
+
+    def __post_init__(self) -> None:
+        for name in ("ping_timeout_s", "respawn_poll_s", "join_timeout_s",
+                     "watchdog_interval_s", "stall_timeout_s",
+                     "backoff_base_s", "backoff_cap_s"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or value <= 0:
+                raise ValueError(
+                    f"{name} must be a positive number, got {value!r}")
+        if not isinstance(self.max_inflight, int) or self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be an int >= 1, got "
+                f"{self.max_inflight!r}")
+        if self.shed_policy not in SHED_POLICIES:
+            raise ValueError(
+                f"shed_policy must be one of {list(SHED_POLICIES)}, got "
+                f"{self.shed_policy!r}")
+
+    def with_(self, **overrides) -> "ServeConfig":
+        """A copy with *overrides* applied (validated like __init__)."""
+        return replace(self, **overrides)
+
+    @classmethod
+    def from_env(cls, env: dict | None = None) -> "ServeConfig":
+        """Defaults overridden by ``REPRO_SERVE_<FIELD>`` variables.
+
+        A malformed value (``REPRO_SERVE_STALL_TIMEOUT_S=soon``) raises
+        :class:`ValueError` naming the variable — a misconfigured
+        production knob must fail loudly at server construction, not
+        quietly revert to a default nobody chose.
+        """
+        env = os.environ if env is None else env
+        overrides = {}
+        for field_ in fields(cls):
+            raw = env.get(ENV_PREFIX + field_.name.upper())
+            if raw is None or raw == "":
+                continue
+            if field_.name == "shed_policy":
+                overrides[field_.name] = raw
+                continue
+            caster = int if field_.type == "int" else float
+            try:
+                overrides[field_.name] = caster(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{ENV_PREFIX}{field_.name.upper()}={raw!r} is not a "
+                    f"valid {caster.__name__}") from None
+        return cls(**overrides)
+
+
+def resolve_deadline(deadline_s: float | None,
+                     now: float | None = None) -> float | None:
+    """Relative front-door timeout -> absolute monotonic deadline."""
+    if deadline_s is None:
+        return None
+    deadline_s = float(deadline_s)
+    if deadline_s <= 0:
+        raise ValueError(f"deadline_s must be positive, got {deadline_s!r}")
+    return (time.monotonic() if now is None else now) + deadline_s
+
+
+def shed_request(request, exc: BaseException) -> bool:
+    """Resolve one request's future with *exc*; False if already done.
+
+    Tolerates racing resolvers (engine completion, client-side cancel):
+    the first resolution wins and the rest are no-ops, which is exactly
+    the "no request ever completes after it was reported shed" contract
+    — a future is shed *or* completed, never both.
+    """
+    future = request.future
+    if future.done():
+        return False
+    try:
+        future.set_exception(exc)
+    except InvalidStateError:  # lost the race to cancel()/set_result()
+        return False
+    return True
+
+
+def shed_expired(batch: list, now: float | None = None) -> list:
+    """Partition *batch* into live requests (returned) and dead ones.
+
+    A request is dead when its future is already resolved/cancelled (a
+    timed-out sync caller cancelled it) or its deadline has passed; dead
+    requests are shed with :class:`DeadlineExceeded` and never reach the
+    engine.  Every dispatch stage calls this immediately before
+    executing, so a batch that waited out its riders' deadlines in the
+    queue prunes them at dispatch time.
+    """
+    now = time.monotonic() if now is None else now
+    live = []
+    for request in batch:
+        if request.future.done():
+            continue  # cancelled (or resolved) while queued
+        deadline = getattr(request, "deadline", None)
+        if deadline is not None and now >= deadline:
+            shed_request(request, DeadlineExceeded(
+                f"request deadline exceeded {(now - deadline) * 1e3:.1f}ms "
+                f"before execution (queued "
+                f"{(now - request.enqueued_at) * 1e3:.1f}ms)"))
+            continue
+        live.append(request)
+    return live
+
+
+def batch_deadline(batch: list) -> float | None:
+    """The latest rider deadline (None if any rider is deadline-free).
+
+    A coalesced dispatch must execute while *any* rider can still use
+    the answer, so the batch-level deadline a worker may shed against is
+    the maximum — and an unbounded rider makes the batch unbounded.
+    """
+    deadline = None
+    for request in batch:
+        if request.deadline is None:
+            return None
+        deadline = request.deadline if deadline is None \
+            else max(deadline, request.deadline)
+    return deadline
+
+
+def attach_accounting(future: Future) -> None:
+    """Land *future* in exactly one outcome counter when it resolves.
+
+    ``serve.completed`` for a result, ``serve.shed`` (tagged by reason)
+    for deadline/eviction/cancellation, ``serve.failed`` for any other
+    exception.  Centralizing the bookkeeping on the done-callback — which
+    fires exactly once per future — is what makes the invariant
+    ``completed + shed + failed + rejected == submitted`` hold under any
+    interleaving of shedding stages.
+    """
+    future.add_done_callback(_account_outcome)
+
+
+def _account_outcome(future: Future) -> None:
+    if future.cancelled():
+        counters.add("serve.shed", reason="cancelled")
+        return
+    exc = future.exception()
+    if exc is None:
+        counters.add("serve.completed")
+    elif isinstance(exc, DeadlineExceeded):
+        counters.add("serve.shed", reason="deadline")
+    elif isinstance(exc, Overloaded):
+        counters.add("serve.shed", reason="capacity")
+    else:
+        counters.add("serve.failed")
+
+
+def backoff_delay(attempt: int, base_s: float, cap_s: float,
+                  token: object = None) -> float:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``base * 2**(attempt-1)``, up to half again as long under jitter
+    derived from ``hash(token)`` — deterministic for a given (token,
+    attempt) pair so retry schedules are reproducible in tests — and
+    clamped to *cap_s*.  ``attempt`` counts from 1 (the first retry).
+    """
+    if attempt < 1:
+        return 0.0
+    delay = base_s * (2.0 ** (attempt - 1))
+    jitter = (hash((token, attempt)) % 997) / 997.0
+    return min(delay * (1.0 + 0.5 * jitter), cap_s)
+
+
+class InflightBudget:
+    """Bounded in-flight accounting for one server's admission control.
+
+    ``try_acquire`` claims a unit (False at the cap); the unit is
+    returned automatically when the future it was attached to resolves.
+    Lock-free would be nicer but admission sits on the submit path where
+    a plain lock costs nanoseconds against a convolution.
+    """
+
+    def __init__(self, limit: int):
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit!r}")
+        self.limit = int(limit)
+        self._count = 0
+        import threading
+
+        self._lock = threading.Lock()
+
+    def inflight(self) -> int:
+        with self._lock:
+            return self._count
+
+    def try_acquire(self) -> bool:
+        with self._lock:
+            if self._count >= self.limit:
+                return False
+            self._count += 1
+            return True
+
+    def _release(self, _future) -> None:
+        with self._lock:
+            self._count -= 1
+
+    def attach(self, future: Future) -> None:
+        """Return this unit when *future* resolves (exactly once)."""
+        future.add_done_callback(self._release)

@@ -264,12 +264,29 @@ class WorkerPool:
             else np.concatenate(blocks, axis=0)
 
     def resolve(self, request: ConvRequest) -> None:
-        """Run *request* and resolve its future (never raises)."""
+        """Run *request* and resolve its future (never raises).
+
+        Sheds the request instead of running it when its deadline has
+        already passed or a timed-out caller cancelled its future — the
+        pool is a dispatch stage like the queue, and dead work must not
+        occupy workers.
+        """
+        from concurrent.futures import InvalidStateError
+
+        from repro.serve.overload import shed_expired
+
+        if not shed_expired([request]):
+            return
         try:
-            request.future.set_result(self.run_request(request))
+            result = self.run_request(request)
         except BaseException as exc:  # noqa: BLE001 - futures carry it
             if not request.future.done():
                 request.future.set_exception(exc)
+            return
+        try:
+            request.future.set_result(result)
+        except InvalidStateError:
+            pass  # cancelled mid-execution; result is discarded
 
     def close(self) -> None:
         """Shut the executor down (idempotent; pool can be rebuilt)."""

@@ -32,6 +32,7 @@ from typing import Callable
 from repro.observe import span
 from repro.observe.registry import counters
 from repro.serve.coalescer import CoalesceKey, ConvRequest
+from repro.serve.overload import Overloaded, shed_expired, shed_request
 
 
 class BatchingQueue:
@@ -99,6 +100,31 @@ class BatchingQueue:
         """Requests currently waiting (introspection and tests)."""
         with self._cond:
             return sum(len(g) for g in self._pending.values())
+
+    def shed_oldest(self) -> ConvRequest | None:
+        """Evict the oldest queued request (``shed-oldest`` admission).
+
+        The victim's future resolves with :class:`Overloaded`; returns it,
+        or None when nothing is queued (everything is already executing —
+        admission must then fall back to rejecting the newcomer).
+        """
+        with self._cond:
+            oldest_key = None
+            for key, group in self._pending.items():
+                if oldest_key is None or group[0].enqueued_at \
+                        < self._pending[oldest_key][0].enqueued_at:
+                    oldest_key = key
+            if oldest_key is None:
+                return None
+            group = self._pending[oldest_key]
+            victim = group.pop(0)
+            if not group:
+                del self._pending[oldest_key]
+        # Resolve outside the lock: done-callbacks run on this thread.
+        shed_request(victim, Overloaded(
+            "evicted by shed-oldest admission policy: server is at its "
+            "in-flight budget"))
+        return victim
 
     def close(self, timeout: float | None = 10.0) -> None:
         """Stop accepting requests, drain what is queued, join the
@@ -179,6 +205,13 @@ class BatchingQueue:
 
     def _dispatch(self, batch: list[ConvRequest]) -> None:
         now = time.monotonic()
+        # Shed dead riders at the dispatch boundary: a request whose
+        # deadline expired while it waited for companions (or whose
+        # future a timed-out sync caller cancelled) must never reach the
+        # engine, and must not distort the batch-size counters.
+        batch = shed_expired(batch, now)
+        if not batch:
+            return
         rows = self._rows(batch)
         counters.add("serve.batches")
         counters.add("serve.batch_size", rows)

@@ -37,12 +37,15 @@ from __future__ import annotations
 
 import itertools
 import os
+import signal
 import threading
 import time
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
 
 import numpy as np
 
+from repro.guard import faults
 from repro.guard.breaker import CircuitBreaker
 from repro.guard.state import guard_enabled
 from repro.observe.registry import counters
@@ -54,8 +57,25 @@ from repro.serve.coalescer import (
     split_result,
     stack_requests,
 )
+from repro.serve.overload import (
+    DeadlineExceeded,
+    InflightBudget,
+    Overloaded,
+    ServeConfig,
+    attach_accounting,
+    backoff_delay,
+    batch_deadline,
+    resolve_deadline,
+    shed_expired,
+    shed_request,
+)
 from repro.serve.queue import BatchingQueue
-from repro.serve.shm import SlotAllocator, TensorArena, send_control
+from repro.serve.shm import (
+    SlotAllocator,
+    SlotTimeout,
+    TensorArena,
+    send_control,
+)
 
 DEFAULT_SLOTS = 32
 DEFAULT_SLOT_BYTES = 1 << 20
@@ -69,7 +89,7 @@ class _Dispatch:
     """One routed unit: a coalesced batch pinned to its arena slots."""
 
     __slots__ = ("requests", "key", "stacked", "in_slot", "in_seq",
-                 "out_slot", "attempts")
+                 "out_slot", "attempts", "sent_at")
 
     def __init__(self, requests: list[ConvRequest], stacked: np.ndarray):
         self.requests = requests
@@ -79,6 +99,8 @@ class _Dispatch:
         self.in_seq: int | None = None
         self.out_slot: int | None = None
         self.attempts = 0
+        #: monotonic time of the most recent send (watchdog aging).
+        self.sent_at: float | None = None
 
     @property
     def rows(self) -> int:
@@ -95,7 +117,7 @@ class _Replica:
 
     __slots__ = ("id", "process", "conn", "send_lock", "reader",
                  "inflight", "shipped", "pending_tensor_slots", "alive",
-                 "served")
+                 "served", "generation", "started_at")
 
     def __init__(self, replica_id: int):
         self.id = replica_id
@@ -111,6 +133,10 @@ class _Replica:
         self.pending_tensor_slots: dict[int, int] = {}
         self.alive = False
         self.served = 0
+        #: Spawn counter; heartbeats carry it so a predecessor's stale
+        #: stamp never vouches for the current process.
+        self.generation = 0
+        self.started_at = 0.0
 
     @property
     def pid(self) -> int | None:
@@ -128,7 +154,8 @@ class ClusterServer:
                  start_method: str | None = None,
                  max_retries: int = 2, breaker_ttl_s: float = 30.0,
                  imbalance_limit: int = 2,
-                 slot_timeout_s: float = 30.0):
+                 slot_timeout_s: float = 30.0,
+                 config: ServeConfig | None = None):
         from repro.serve.pool import default_workers
 
         self.workers = int(workers) if workers else default_workers()
@@ -143,19 +170,31 @@ class ClusterServer:
         self.breaker_ttl_s = float(breaker_ttl_s)
         self.imbalance_limit = int(imbalance_limit)
         self.slot_timeout_s = float(slot_timeout_s)
+        self.config = config if config is not None \
+            else ServeConfig.from_env()
+        self._budget = InflightBudget(self.config.max_inflight)
         self._supervised = guard_enabled() if supervised is None \
             else bool(supervised)
         self._ctx = get_cluster_context(start_method)
-        self._arena = TensorArena(slots=slots, slot_bytes=slot_bytes)
-        self._alloc = SlotAllocator(self._arena)
+        # One heartbeat slot per replica rides at the end of the arena.
+        self._arena = TensorArena(slots=slots, slot_bytes=slot_bytes,
+                                  heartbeats=self.workers)
+        # One slot stays reserved for weight shipments: dispatch pairs
+        # are held until completion, and a full arena would otherwise
+        # deadlock a reroute that must ship the weight to a fresh
+        # replica before any pinned dispatch can finish.
+        self._alloc = SlotAllocator(self._arena, reserved=1)
         self._lock = threading.RLock()
         self._drained = threading.Condition(self._lock)
         self._req_ids = itertools.count(1)
         self._stats_events: dict[int, threading.Event] = {}
         self._ping_events: dict[int, threading.Event] = {}
+        self._fault_events: dict[int, threading.Event] = {}
+        self._fault_errors: dict[int, str] = {}
         self._token_ids = itertools.count(1)
         self._closed = False
         self._respawn_wanted = threading.Event()
+        self._watchdog_stop = threading.Event()
         self._replicas: dict[int, _Replica] = {}
         self._breaker = CircuitBreaker()
         for i in range(self.workers):
@@ -170,26 +209,39 @@ class ClusterServer:
         self._supervisor = threading.Thread(
             target=self._supervise, name="cluster-supervisor", daemon=True)
         self._supervisor.start()
+        self._watchdog = threading.Thread(
+            target=self._watch, name="cluster-watchdog", daemon=True)
+        self._watchdog.start()
 
     # -- replica lifecycle ---------------------------------------------------
 
     def _start_replica(self, replica: _Replica) -> None:
-        process, conn = spawn_worker(replica.id, self._arena,
-                                     self._supervised, self._ctx)
-        replica.process = process
-        replica.conn = conn
-        replica.shipped = set()
-        replica.pending_tensor_slots = {}
-        replica.alive = True
+        # The swap happens under send_lock so a concurrent sender either
+        # sees the old incarnation whole (and its failure reroutes) or
+        # the new one whole — never a fresh conn paired with the old
+        # ``shipped`` set, which would skip a weight the new process
+        # doesn't have.
+        with replica.send_lock:
+            replica.generation += 1
+            process, conn = spawn_worker(replica.id, self._arena,
+                                         self._supervised, self._ctx,
+                                         generation=replica.generation)
+            replica.process = process
+            replica.conn = conn
+            replica.shipped = set()
+            replica.pending_tensor_slots = {}
+            replica.started_at = time.monotonic()
+            replica.alive = True
+            generation = replica.generation
         replica.reader = threading.Thread(
-            target=self._reader, args=(replica, conn),
+            target=self._reader, args=(replica, conn, generation),
             name=f"cluster-reader-{replica.id}", daemon=True)
         replica.reader.start()
 
     def _supervise(self) -> None:
         """Respawn dead replicas until the server closes."""
         while not self._closed:
-            self._respawn_wanted.wait(timeout=0.2)
+            self._respawn_wanted.wait(timeout=self.config.respawn_poll_s)
             self._respawn_wanted.clear()
             if self._closed:
                 return
@@ -207,10 +259,84 @@ class ClusterServer:
                 # The breaker stays open until the fresh process answers
                 # a ping — a replica that dies during startup never
                 # takes traffic.
-                if self._ping(replica, timeout=10.0):
+                if self._ping(replica, timeout=self.config.ping_timeout_s):
                     self._breaker.record_success(("replica", replica.id))
 
-    def _ping(self, replica: _Replica, timeout: float = 5.0) -> bool:
+    def _watch(self) -> None:
+        """Quarantine stalled-but-alive replicas (liveness watchdog).
+
+        A replica is *stalled* when all three hold: it has in-flight
+        work, its oldest dispatch has aged past ``stall_timeout_s``, and
+        its heartbeat (or, for a stamp from an earlier generation, its
+        spawn time) is older than ``stall_timeout_s``.  The triple rule
+        keeps every benign case out: idle workers have no in-flight
+        work, busy-but-healthy workers heartbeat between orders, and a
+        single long-running order ages the dispatch but the conjunction
+        with the heartbeat means only a worker that stopped *processing*
+        — not one that is merely slow to answer one order — draws the
+        kill.  (A worker stays silent through a multi-second convolution
+        too; ``stall_timeout_s`` must exceed the longest legitimate
+        order, exactly like any liveness timeout.)
+
+        Quarantine is SIGKILL: the process may be SIGSTOP'd or wedged in
+        C code where no cooperative shutdown can reach, and SIGKILL is
+        delivered even to stopped processes.  The pipe EOF then drives
+        the normal death path — preserved slots reroute to a surviving
+        replica, the supervisor respawns a fresh generation.
+        """
+        while not self._watchdog_stop.wait(self.config.watchdog_interval_s):
+            if self._closed:
+                return
+            now = time.monotonic()
+            with self._lock:
+                stalled = [r for r in self._replicas.values()
+                           if self._is_stalled(r, now)]
+            for replica in stalled:
+                self._quarantine(replica)
+
+    def _is_stalled(self, replica: _Replica, now: float) -> bool:
+        """Stall predicate; caller holds the router lock."""
+        if not replica.alive or not replica.inflight:
+            return False
+        oldest = min((d.sent_at for d in replica.inflight.values()
+                      if d.sent_at is not None), default=None)
+        if oldest is None or now - oldest <= self.config.stall_timeout_s:
+            return False
+        try:
+            hb = self._arena.read_heartbeat(replica.id)
+        except Exception:  # pragma: no cover - arena torn down
+            return False
+        if int(hb["generation"]) == replica.generation and hb["stamp"] > 0:
+            # Stale stamp + old in-flight work = wedged.  (The stamp
+            # alone is deliberately NOT compared against the order's
+            # send time: an order queued behind earlier orders sees the
+            # stamp advance legitimately, so that shortcut would kill
+            # healthy replicas under queueing.  A worker whose reply
+            # path wedged keeps beating while busy but goes silent once
+            # its pipe drains — the stale-stamp rule catches it then.)
+            age = now - float(hb["stamp"])
+        else:
+            # No stamp from this spawn yet: age from process start so a
+            # worker wedged before its first beat is still caught.
+            age = now - replica.started_at
+        return age > self.config.stall_timeout_s
+
+    def _quarantine(self, replica: _Replica) -> None:
+        """SIGKILL a stalled replica; the reader's EOF does the rest."""
+        counters.add("serve.cluster.stalls", replica=replica.id)
+        self._breaker.record_failure(("replica", replica.id),
+                                     threshold=1, ttl_s=self.breaker_ttl_s)
+        pid = replica.pid
+        if pid is not None:
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                pass  # already gone; EOF path will run regardless
+
+    def _ping(self, replica: _Replica,
+              timeout: float | None = None) -> bool:
+        timeout = self.config.ping_timeout_s if timeout is None \
+            else timeout
         token = next(self._token_ids)
         event = threading.Event()
         self._ping_events[token] = event
@@ -225,16 +351,35 @@ class ClusterServer:
         self._ping_events.pop(token, None)
         return ok
 
-    def _on_replica_death(self, replica: _Replica) -> None:
-        """Reroute a dead replica's in-flight work and queue a respawn."""
+    def _on_replica_death(self, replica: _Replica,
+                          generation: int | None = None) -> None:
+        """Reroute a dead replica's in-flight work and queue a respawn.
+
+        *generation* scopes the declaration to one incarnation: a reader
+        EOF or send failure on the old pipe that lands after the
+        supervisor already respawned the replica must not take down the
+        fresh process it knows nothing about.
+        """
         with self._lock:
             if not replica.alive:
                 return
+            if generation is not None \
+                    and generation != replica.generation:
+                return
             replica.alive = False
+            process = replica.process
             pending = list(replica.inflight.values())
             replica.inflight.clear()
             tensor_slots = list(replica.pending_tensor_slots.values())
             replica.pending_tensor_slots = {}
+        # Death is authoritative: routing now ignores this incarnation,
+        # so a process that somehow survived its broken transport would
+        # leak.  SIGKILL is idempotent on the (usual) already-dead case.
+        if process is not None and process.is_alive():
+            try:
+                process.kill()
+            except Exception:  # pragma: no cover - reaped concurrently
+                pass
         if self._closed:
             for dispatch in pending:
                 dispatch.fail(ClusterUnavailableError(
@@ -256,14 +401,43 @@ class ClusterServer:
 
     # -- request intake ------------------------------------------------------
 
+    def _admit(self, request: ConvRequest) -> None:
+        """Claim an in-flight unit for *request* or raise Overloaded.
+
+        Mirrors :meth:`ConvServer._admit`: ``shed-oldest`` evicts the
+        oldest *queued* request to make room (only meaningful when
+        batching is on — with ``max_batch=1`` nothing queues, so the
+        policy degrades to ``reject-new``).
+        """
+        while not self._budget.try_acquire():
+            if self.config.shed_policy != "shed-oldest" \
+                    or self._queue is None \
+                    or self._queue.shed_oldest() is None:
+                counters.add("serve.rejected")
+                raise Overloaded(
+                    f"cluster server is at its in-flight budget "
+                    f"({self.config.max_inflight}); request rejected "
+                    f"({self.config.shed_policy})")
+        attach_accounting(request.future)
+        self._budget.attach(request.future)
+
     def submit(self, x: np.ndarray, weight: np.ndarray,
                bias: np.ndarray | None = None,
                padding: int | tuple | str = 0, stride: int | tuple = 1,
                dilation: int | tuple = 1, groups: int = 1,
                algorithm: str = "polyhankel", strategy: str = "sum",
                backend: str | None = None, op: str = "conv2d",
-               output_padding: int | tuple = 0) -> Future:
-        """Enqueue one convolution on the cluster; returns its future."""
+               output_padding: int | tuple = 0,
+               deadline_s: float | None = None) -> Future:
+        """Enqueue one convolution on the cluster; returns its future.
+
+        *deadline_s* propagates to every stage — queue, router, and the
+        worker process itself sheds the order when the deadline passes
+        before execution (the future raises
+        :class:`~repro.serve.overload.DeadlineExceeded`).  Raises
+        :class:`~repro.serve.overload.Overloaded` when admission control
+        refuses the request.
+        """
         if self._closed:
             raise RuntimeError("cluster server is closed")
         op = str(getattr(op, "value", op))
@@ -272,9 +446,11 @@ class ClusterServer:
             x = np.asarray(x, dtype=float)[None]
         request = make_request(x, weight, bias, padding, stride, dilation,
                                groups, algorithm, strategy, backend,
-                               op, output_padding)
+                               op, output_padding,
+                               deadline=resolve_deadline(deadline_s))
         counters.add("serve.requests")
         counters.add("serve.cluster.requests")
+        self._admit(request)
         if self._queue is not None and request.batch <= self.max_batch:
             self._queue.submit(request)
         else:
@@ -288,16 +464,35 @@ class ClusterServer:
                algorithm: str = "polyhankel", strategy: str = "sum",
                backend: str | None = None,
                timeout: float | None = None) -> np.ndarray:
-        """Synchronous convenience wrapper around :meth:`submit`."""
-        return self.submit(x, weight, bias, padding, stride, dilation,
-                           groups, algorithm, strategy,
-                           backend).result(timeout)
+        """Synchronous convenience wrapper around :meth:`submit`.
+
+        *timeout* doubles as the request's deadline; a timed-out future
+        is cancelled so no stage keeps working for a caller that left
+        (see :meth:`ConvServer.conv2d` for the rationale).
+        """
+        future = self.submit(x, weight, bias, padding, stride, dilation,
+                             groups, algorithm, strategy, backend,
+                             deadline_s=timeout)
+        try:
+            return future.result(timeout)
+        except DeadlineExceeded:
+            # Shed by a stage; keep its typed error.  (Ordering matters:
+            # on 3.11+ DeadlineExceeded IS a futures TimeoutError.)
+            raise
+        except FutureTimeoutError:
+            future.cancel()
+            raise DeadlineExceeded(
+                f"cluster conv2d timed out after {timeout:g}s; request "
+                f"cancelled") from None
 
     def _execute_batch(self, batch: list[ConvRequest]) -> None:
         # No router lock here: _route can block on slot backpressure, and
         # the reader threads that free slots need the lock to complete
         # dispatches.  _route/_send_dispatch take it only around the
         # shared maps they touch.
+        batch = shed_expired(batch)
+        if not batch:
+            return
         dispatch = _Dispatch(batch, stack_requests(batch))
         self._route(dispatch)
 
@@ -324,12 +519,38 @@ class ClusterServer:
 
     def _route(self, dispatch: _Dispatch,
                exclude: frozenset = frozenset()) -> None:
-        """Send *dispatch* to a replica, retrying transport failures."""
+        """Send *dispatch* to a replica, retrying transport failures.
+
+        Retries are paced by capped exponential backoff with
+        deterministic jitter (:func:`~repro.serve.overload.backoff_delay`
+        keyed on the dispatch's coalescing key), and every pass first
+        sheds riders whose deadline lapsed while the dispatch waited —
+        a batch whose riders are all dead is dropped without a send.
+        """
         while True:
             if dispatch.attempts > self.max_retries:
                 dispatch.fail(ClusterUnavailableError(
                     f"dispatch failed after {dispatch.attempts} "
                     f"attempt(s)"))
+                self._release_dispatch_slots(dispatch)
+                self._notify_drained()
+                return
+            if dispatch.attempts > 0:
+                time.sleep(backoff_delay(
+                    dispatch.attempts, self.config.backoff_base_s,
+                    self.config.backoff_cap_s, token=dispatch.key))
+            # Shed expired riders *in place* (their futures resolve but
+            # the list keeps its shape — split_result needs row
+            # alignment if the batch still flies); drop the dispatch
+            # entirely once nobody is left waiting.
+            now = time.monotonic()
+            for request in dispatch.requests:
+                if request.expired(now):
+                    waited = (now - request.enqueued_at) * 1e3
+                    shed_request(request, DeadlineExceeded(
+                        f"request deadline exceeded before cluster "
+                        f"dispatch (waited {waited:.1f}ms)"))
+            if all(r.future.done() for r in dispatch.requests):
                 self._release_dispatch_slots(dispatch)
                 self._notify_drained()
                 return
@@ -340,14 +561,25 @@ class ClusterServer:
                 self._release_dispatch_slots(dispatch)
                 self._notify_drained()
                 return
+            generation = replica.generation
             try:
                 self._send_dispatch(replica, dispatch)
                 return
+            except SlotTimeout:
+                # Arena pressure, not a replica problem (SlotTimeout is
+                # an OSError — catch it first or a starved weight
+                # shipment reads as transport death and the router kills
+                # a healthy worker).  Back off and retry the same pool.
+                dispatch.attempts += 1
             except (OSError, ValueError, EOFError):
-                # Transport died under us: mark the replica, try another.
+                # Transport died under us: mark the replica, try
+                # another.  The death is scoped to the generation we
+                # picked — if the supervisor respawned meanwhile, the
+                # failure belonged to the old pipe and the fresh process
+                # stays up.
                 dispatch.attempts += 1
                 exclude = exclude | {replica.id}
-                self._on_replica_death(replica)
+                self._on_replica_death(replica, generation)
             except Exception as exc:
                 dispatch.fail(exc)
                 self._release_dispatch_slots(dispatch)
@@ -363,7 +595,11 @@ class ClusterServer:
     def _ship_tensor(self, replica: _Replica, fp: tuple,
                      array: np.ndarray, spec=None) -> None:
         """Send one weight/bias into the replica's tensor cache."""
-        slot = self._alloc.acquire(timeout=self.slot_timeout_s)
+        # use_reserve: a shipment is transient (freed on the worker's
+        # ack or the replica's death) and must go through even when
+        # long-lived dispatch pairs have pinned every ordinary slot.
+        slot = self._alloc.acquire(timeout=self.slot_timeout_s,
+                                   use_reserve=True)
         try:
             seq = self._arena.write(slot, np.asarray(array, dtype=float))
             send_control(replica.conn, {"kind": "tensor", "fp": fp,
@@ -435,12 +671,17 @@ class ClusterServer:
                     "in_seq": dispatch.in_seq,
                     "out_slot": dispatch.out_slot,
                     "weight_fp": weight_fp, "bias_fp": bias_fp,
+                    # The batch deadline (max over riders; None when any
+                    # rider is unbounded): once it passes, *every* rider
+                    # is dead, so the worker may shed the whole order.
+                    "deadline": batch_deadline(dispatch.requests),
                     "params": params,
                 })
             except BaseException:
                 with self._lock:
                     replica.inflight.pop(req_id, None)
                 raise
+        dispatch.sent_at = time.monotonic()
         counters.add("serve.cluster.dispatches", replica=replica.id)
         counters.add("serve.cluster.dispatch_rows", dispatch.rows,
                      replica=replica.id)
@@ -449,18 +690,27 @@ class ClusterServer:
         slots = [s for s in (dispatch.in_slot, dispatch.out_slot)
                  if s is not None]
         dispatch.in_slot = dispatch.out_slot = None
-        if slots:
-            self._alloc.release(*slots)
+        if not slots:
+            return
+        if faults._STACK and faults.should_leak_slots():
+            # Chaos drill: simulate a slot-accounting bug by "forgetting"
+            # this release.  The arena simply runs on reduced capacity;
+            # the counter is what lets the drill (and an operator)
+            # notice.
+            counters.add("serve.cluster.slot_leaks", len(slots))
+            return
+        self._alloc.release(*slots)
 
     # -- completion side -----------------------------------------------------
 
-    def _reader(self, replica: _Replica, conn) -> None:
+    def _reader(self, replica: _Replica, conn,
+                generation: int | None = None) -> None:
         """Drain one replica's completions until its pipe dies."""
         while True:
             try:
                 msg = recv_control_from(conn)
             except (EOFError, OSError):
-                self._on_replica_death(replica)
+                self._on_replica_death(replica, generation)
                 return
             kind = msg["kind"]
             if kind == "done":
@@ -486,6 +736,22 @@ class ClusterServer:
                 else:
                     self._route(dispatch,
                                 exclude=frozenset({replica.id}))
+            elif kind == "shed":
+                # The worker found every rider's deadline already past
+                # and declined to execute; resolve the riders typed and
+                # free the slot pair.
+                with self._lock:
+                    dispatch = replica.inflight.pop(msg["req"], None)
+                if dispatch is None:
+                    continue
+                counters.add("serve.cluster.worker_sheds",
+                             replica=replica.id)
+                for request in dispatch.requests:
+                    shed_request(request, DeadlineExceeded(
+                        "request deadline exceeded before cluster "
+                        "execution (shed by the worker)"))
+                self._release_dispatch_slots(dispatch)
+                self._notify_drained()
             elif kind in ("tensor_ok", "tensor_err"):
                 with self._lock:
                     slot = replica.pending_tensor_slots.pop(
@@ -494,6 +760,13 @@ class ClusterServer:
                     self._alloc.release(slot)
                 if kind == "tensor_err":
                     replica.shipped.discard(msg["fp"])
+            elif kind in ("fault_ok", "fault_err"):
+                if kind == "fault_err":
+                    self._fault_errors[msg["token"]] = \
+                        msg.get("error", "unknown error")
+                event = self._fault_events.pop(msg["token"], None)
+                if event is not None:
+                    event.set()
             elif kind == "stats":
                 counters.merge_rows(f"replica{replica.id}", msg["rows"])
                 event = self._stats_events.pop(msg["token"], None)
@@ -539,6 +812,70 @@ class ClusterServer:
         with self._lock:
             return [r.pid for r in self._replicas.values()
                     if r.pid is not None]
+
+    # -- chaos drills --------------------------------------------------------
+
+    def _fault_order(self, replica: _Replica, order: dict,
+                     timeout: float) -> bool:
+        """Ship one fault-control order and wait for its ack.
+
+        A worker-side rejection (``fault_err`` — e.g. an unknown fault
+        kind) raises :class:`ValueError` with the worker's message: a
+        drill that thinks it armed a fault when the worker refused would
+        assert recovery that never happened.
+        """
+        token = next(self._token_ids)
+        event = threading.Event()
+        self._fault_events[token] = event
+        try:
+            with replica.send_lock:
+                send_control(replica.conn, dict(order, token=token))
+        except (OSError, ValueError):
+            self._fault_events.pop(token, None)
+            return False
+        ok = event.wait(timeout)
+        self._fault_events.pop(token, None)
+        error = self._fault_errors.pop(token, None)
+        if error is not None:
+            raise ValueError(
+                f"replica {replica.id} rejected fault order: {error}")
+        return ok
+
+    def inject_worker_faults(self, *kinds: str,
+                             replica_ids: list[int] | None = None,
+                             seed: int = 0, rate: float = 1.0,
+                             max_fires: int | None = None,
+                             params: dict | None = None,
+                             timeout: float = 5.0) -> list[int]:
+        """Arm fault injection inside worker processes (chaos drills).
+
+        Sends an ``inject`` order to the chosen replicas (*all* when
+        *replica_ids* is None) and waits for each acknowledgement;
+        returns the ids that acked.  Validation happens worker-side with
+        the same :class:`~repro.guard.faults.FaultState` rules as
+        in-process injection.  Router-side faults (``slot_leak``) are
+        armed with :func:`repro.guard.faults.inject` in the caller
+        instead.
+        """
+        order = {"kind": "inject", "kinds": list(kinds), "seed": seed,
+                 "rate": rate, "max_fires": max_fires,
+                 "params": params or {}}
+        with self._lock:
+            replicas = [r for r in self._replicas.values()
+                        if r.alive and (replica_ids is None
+                                        or r.id in replica_ids)]
+        return [r.id for r in replicas
+                if self._fault_order(r, order, timeout)]
+
+    def clear_worker_faults(self, replica_ids: list[int] | None = None,
+                            timeout: float = 5.0) -> list[int]:
+        """Disarm every control-plane fault on the chosen replicas."""
+        with self._lock:
+            replicas = [r for r in self._replicas.values()
+                        if r.alive and (replica_ids is None
+                                        or r.id in replica_ids)]
+        return [r.id for r in replicas
+                if self._fault_order(r, {"kind": "clear_faults"}, timeout)]
 
     def refresh_worker_stats(self, timeout: float = 2.0) -> None:
         """Pull every live replica's counter snapshot into the registry."""
@@ -614,6 +951,14 @@ class ClusterServer:
                                    else min(remaining, 0.5))
         self._closed = True
         self._respawn_wanted.set()
+        self._watchdog_stop.set()
+        # Join the supervisor before snapshotting: a respawn completing
+        # after the snapshot would put up a fresh worker no stop order
+        # ever reaches.  Once the join returns, any replica it spawned
+        # is in the snapshot below.
+        if self._supervisor.is_alive():
+            self._supervisor.join(
+                timeout=self.config.ping_timeout_s + 1.0)
         with self._lock:
             replicas = list(self._replicas.values())
         for replica in replicas:
@@ -623,17 +968,18 @@ class ClusterServer:
                         send_control(replica.conn, {"kind": "stop"})
                 except (OSError, ValueError):
                     pass
+        join_s = self.config.join_timeout_s
         for replica in replicas:
             process = replica.process
             if process is None:
                 continue
-            process.join(timeout=2.0)
+            process.join(timeout=join_s)
             if process.is_alive():
                 process.terminate()
-                process.join(timeout=2.0)
+                process.join(timeout=join_s)
             if process.is_alive():  # pragma: no cover - stuck worker
                 process.kill()
-                process.join(timeout=2.0)
+                process.join(timeout=join_s)
             replica.alive = False
             if replica.conn is not None:
                 try:

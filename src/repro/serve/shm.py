@@ -85,6 +85,33 @@ class SlotsExhaustedError(RuntimeError):
     """No arena slot became free within the allowed wait."""
 
 
+class SlotTimeout(SlotsExhaustedError, TimeoutError):
+    """The allocator's wait for free slots timed out.
+
+    Subclasses :class:`SlotsExhaustedError` (so existing handlers keep
+    working) *and* :class:`TimeoutError` (so overload-aware callers can
+    treat slot starvation like any other deadline miss).  Counted under
+    ``serve.slot_timeout`` — starvation must be observable on a dashboard
+    before it cascades into cluster-wide unavailability.
+    """
+
+
+#: Heartbeat record one worker stamps per loop iteration (see
+#: :meth:`TensorArena.beat`).  ``generation`` is the router-assigned
+#: incarnation counter, so a stale stamp from a killed predecessor can
+#: never vouch for its respawned successor.
+HEARTBEAT_DTYPE = np.dtype([
+    ("generation", np.uint64),
+    ("stamp", np.float64),    # time.monotonic() at the stamp
+    ("pid", np.int64),
+])
+
+#: Bytes reserved per heartbeat record (padded past the packed struct).
+HEARTBEAT_BYTES = 32
+
+assert HEARTBEAT_DTYPE.itemsize <= HEARTBEAT_BYTES
+
+
 class TensorArena:
     """One shared-memory segment cut into fixed-size header+payload slots.
 
@@ -96,20 +123,25 @@ class TensorArena:
     """
 
     def __init__(self, slots: int, slot_bytes: int, name: str | None = None,
-                 _create: bool = True):
+                 heartbeats: int = 0, _create: bool = True):
         if slots < 1:
             raise ValueError("slots must be >= 1")
         if slot_bytes < 1:
             raise ValueError("slot_bytes must be >= 1")
+        if heartbeats < 0:
+            raise ValueError("heartbeats must be >= 0")
         self.slots = int(slots)
         self.slot_bytes = int(slot_bytes)
+        self.heartbeats = int(heartbeats)
         self._stride = HEADER_BYTES + self.slot_bytes
+        size = self._stride * self.slots \
+            + HEARTBEAT_BYTES * self.heartbeats
         if name is None:
             name = f"{ARENA_PREFIX}{os.getpid()}_{secrets.token_hex(4)}"
         self.owner = _create
         if _create or os.name != "posix":
             self._shm = shared_memory.SharedMemory(
-                name=name, create=_create, size=self._stride * self.slots)
+                name=name, create=_create, size=size)
         else:
             # Python's resource tracker registers every attach (bpo-39959)
             # and would unlink the segment when *this* process exits even
@@ -128,17 +160,17 @@ class TensorArena:
             resource_tracker.register = _skip_shm
             try:
                 self._shm = shared_memory.SharedMemory(
-                    name=name, create=False,
-                    size=self._stride * self.slots)
+                    name=name, create=False, size=size)
             finally:
                 resource_tracker.register = original_register
         self._closed = False
 
     @classmethod
-    def attach(cls, name: str, slots: int,
-               slot_bytes: int) -> "TensorArena":
+    def attach(cls, name: str, slots: int, slot_bytes: int,
+               heartbeats: int = 0) -> "TensorArena":
         """Map an existing arena created by another process."""
-        return cls(slots, slot_bytes, name=name, _create=False)
+        return cls(slots, slot_bytes, name=name, heartbeats=heartbeats,
+                   _create=False)
 
     @property
     def name(self) -> str:
@@ -231,6 +263,38 @@ class TensorArena:
                 f"slot {slot}: generation changed during copy-out")
         return out
 
+    # -- liveness heartbeats -------------------------------------------------
+
+    def _heartbeat(self, index: int) -> np.void:
+        """Mutable view of one heartbeat record past the slot region."""
+        if not 0 <= index < self.heartbeats:
+            raise IndexError(
+                f"heartbeat {index} out of range 0..{self.heartbeats - 1}")
+        arr = np.ndarray(
+            (1,), dtype=HEARTBEAT_DTYPE, buffer=self._shm.buf,
+            offset=self._stride * self.slots + index * HEARTBEAT_BYTES)
+        return arr[0]
+
+    def beat(self, index: int, generation: int) -> None:
+        """Stamp heartbeat *index* with *generation* and ``monotonic()``.
+
+        Single-writer by construction (each worker owns its own record),
+        so no seqlock: a torn read can at worst delay or spuriously
+        trigger one watchdog scan, and the generation check filters
+        stamps left by a previous incarnation of the worker slot.
+        """
+        record = self._heartbeat(index)
+        record["generation"] = int(generation)
+        record["stamp"] = time.monotonic()
+        record["pid"] = os.getpid()
+
+    def read_heartbeat(self, index: int) -> dict:
+        """The last stamp of heartbeat *index* (all-zero before any)."""
+        record = self._heartbeat(index)
+        return {"generation": int(record["generation"]),
+                "stamp": float(record["stamp"]),
+                "pid": int(record["pid"])}
+
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
@@ -259,10 +323,24 @@ class SlotAllocator:
     dispatch needs its request *and* response slot together, and taking
     them one at a time would let N submitters each hold one slot while
     waiting for a second, deadlocking the arena.
+
+    *reserved* slots are headroom only ``use_reserve=True`` acquirers
+    may draw on.  Dispatch slot pairs live until their futures resolve,
+    so enough of them can pin the whole arena; a weight shipment to a
+    freshly (re)spawned replica then needs one more slot before any
+    dispatch can complete — a deadlock.  Ships are transient (released
+    on the worker's ack, or on the replica's death), so reserving one
+    slot for them breaks the cycle without shrinking steady-state
+    throughput.
     """
 
-    def __init__(self, arena: TensorArena):
+    def __init__(self, arena: TensorArena, reserved: int = 0):
+        if not 0 <= reserved < arena.slots:
+            raise ValueError(
+                f"reserved must be in [0, {arena.slots}) for a "
+                f"{arena.slots}-slot arena, got {reserved}")
         self._arena = arena
+        self._reserved = int(reserved)
         self._cond = threading.Condition()
         self._free = list(range(arena.slots))
         self._closed = False
@@ -271,23 +349,31 @@ class SlotAllocator:
         with self._cond:
             return len(self._free)
 
-    def acquire_many(self, count: int,
-                     timeout: float | None = None) -> list[int]:
-        """Pop *count* free slots, blocking until all are available."""
-        if count > self._arena.slots:
+    def acquire_many(self, count: int, timeout: float | None = None,
+                     *, use_reserve: bool = False) -> list[int]:
+        """Pop *count* free slots, blocking until all are available.
+
+        Ordinary acquirers never dip into the reserved headroom; pass
+        ``use_reserve=True`` for transient holds (weight shipments) that
+        must make progress even when dispatches pin the rest.
+        """
+        floor = 0 if use_reserve else self._reserved
+        if count + floor > self._arena.slots:
             raise ValueError(
                 f"cannot acquire {count} slots from a "
-                f"{self._arena.slots}-slot arena")
+                f"{self._arena.slots}-slot arena "
+                f"({self._reserved} reserved)")
         deadline = None if timeout is None else time.monotonic() + timeout
         start = time.monotonic()
         with self._cond:
-            while len(self._free) < count:
+            while len(self._free) - floor < count:
                 if self._closed:
                     raise SlotsExhaustedError("allocator is closed")
                 remaining = None if deadline is None \
                     else deadline - time.monotonic()
                 if remaining is not None and remaining <= 0:
-                    raise SlotsExhaustedError(
+                    counters.add("serve.slot_timeout")
+                    raise SlotTimeout(
                         f"no {count} free slot(s) within {timeout:g}s "
                         f"({len(self._free)}/{self._arena.slots} free) — "
                         f"grow the arena or slow the offered load")
@@ -301,8 +387,9 @@ class SlotAllocator:
             counters.add("serve.cluster.slot_wait_ms", waited * 1e3)
         return slots
 
-    def acquire(self, timeout: float | None = None) -> int:
-        return self.acquire_many(1, timeout)[0]
+    def acquire(self, timeout: float | None = None,
+                *, use_reserve: bool = False) -> int:
+        return self.acquire_many(1, timeout, use_reserve=use_reserve)[0]
 
     def release(self, *slots: int) -> None:
         with self._cond:

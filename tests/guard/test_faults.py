@@ -101,6 +101,54 @@ class TestBlowupAndBackend:
             check_backend_fault("numpy", "rfft", 64)
 
 
+class TestClusterKinds:
+    def test_kind_registry_split(self):
+        """Engine and cluster kinds partition FAULT_KINDS cleanly."""
+        engine = set(faults.ENGINE_FAULT_KINDS)
+        cluster = set(faults.CLUSTER_FAULT_KINDS)
+        assert not engine & cluster
+        assert engine | cluster == set(faults.FAULT_KINDS)
+
+    def test_max_fires_caps_each_kind(self):
+        with inject("slot_leak", max_fires=2) as state:
+            fired = [faults.should_leak_slots() for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+        assert state.counts == {"slot_leak": 2}
+
+    def test_max_fires_validated(self):
+        with pytest.raises(ValueError, match="max_fires"):
+            with inject("slot_leak", max_fires=0):
+                pass
+
+    def test_params_reach_the_hook(self):
+        """slow_worker sleeps for the armed delay_s, not the default."""
+        import time
+
+        with inject("slow_worker", params={"delay_s": 0.0}) as state:
+            start = time.monotonic()
+            faults.maybe_slow_worker()
+            assert time.monotonic() - start < 0.04
+        assert state.counts == {"slow_worker": 1}
+
+    def test_arm_disarm_without_scope(self):
+        """Workers arm over the control pipe — no with-block available."""
+        state = faults.FaultState(kinds=frozenset({"response_drop"}))
+        faults.arm(state)
+        try:
+            assert faults.faults_active()
+            assert faults.should_drop_response()
+        finally:
+            faults.disarm(state)
+        assert not faults.faults_active()
+        assert not faults.should_drop_response()
+
+    def test_unarmed_cluster_hooks_are_inert(self):
+        with inject("nan_input"):
+            assert not faults.should_drop_response()
+            assert not faults.should_leak_slots()
+            faults.maybe_worker_stall()  # returns immediately
+
+
 class TestSpectrumCorruption:
     def test_doctors_in_place_once_per_array(self):
         spec = np.ones(32, dtype=complex)
