@@ -63,8 +63,13 @@ import numpy as np
 # v7 the ``overload`` section: the offered-load sweep (0.5x-3x calibrated
 # capacity) of the deadline-propagating, admission-bounded server —
 # goodput, shed/reject split and completed-latency tail per multiplier,
-# with the goodput-at-2x floor (min_goodput_pct) as the CI contract.
-SCHEMA_VERSION = 7
+# with the goodput-at-2x floor (min_goodput_pct) as the CI contract;
+# v8 the ``selection`` section: a seeded, roofline-model-driven replay of
+# the online algorithm-selection bandit per drill key — regret vs. the
+# modeled oracle (ceiling max_regret_pct travels with the entry) and
+# convergence onto the oracle's tie set, deterministic so never
+# re-measured.
+SCHEMA_VERSION = 8
 
 
 @dataclass(frozen=True)
@@ -771,6 +776,7 @@ def run_suite(smoke: bool = False, repeats: int = 25,
                 if m in (1.0, preset.gate_multiplier)) if smoke else None
             overload_results += run_overload_case(preset,
                                                   multipliers=multipliers)
+    selection_results = run_selection_suite(requests=100 if smoke else 300)
     return {
         "schema": SCHEMA_VERSION,
         "date": datetime.date.today().isoformat(),
@@ -788,12 +794,68 @@ def run_suite(smoke: bool = False, repeats: int = 25,
         "serve": serve_results,
         "cluster": cluster_results,
         "overload": overload_results,
+        "selection": selection_results,
         "caches": {
             "plan": plan_cache_info()._asdict(),
             "spectrum": spectrum_cache_info()._asdict(),
             "fft_plan": fft_plan_cache_info()._asdict(),
         },
     }
+
+
+#: Ceiling on cumulative served regret vs. the roofline oracle over a
+#: selection replay — the CI contract each ``selection`` entry carries.
+MAX_REGRET_PCT = 5.0
+
+
+def run_selection_suite(seed: int = 0, requests: int = 300) -> list[dict]:
+    """Seeded bandit-convergence replay for the regression gate.
+
+    Drives the online algorithm-selection bandit with synthetic
+    observations drawn from the roofline model under seeded noise, one
+    entry per drill key (see :mod:`repro.selection.drill`).  The replay
+    is deterministic and machine-independent, so entries are never
+    re-measured; each carries its own ``max_regret_pct`` ceiling and the
+    gate also requires convergence onto the oracle's modeled-cost tie
+    set.
+    """
+    from repro.selection.bandit import BanditConfig, SelectionBandit
+    from repro.selection.drill import (
+        DRILL_SHAPES,
+        _digest,
+        _model_ms,
+        replay_key,
+    )
+
+    config = BanditConfig(apply=True, explore_fraction=0.25, min_obs=5)
+    bandit = SelectionBandit(config)
+    rng = np.random.default_rng(seed)
+    entries = []
+    for name, shape in DRILL_SHAPES:
+        digest = _digest(shape)
+        entry = replay_key(bandit, digest, shape,
+                           _model_ms(shape, config.device), rng, requests)
+        entry.update({
+            "name": f"selection/{name}",
+            "seed": seed,
+            "requests": requests,
+            "max_regret_pct": MAX_REGRET_PCT,
+        })
+        entries.append(entry)
+    return entries
+
+
+def format_selection_report(entries: list[dict]) -> str:
+    """Human-readable table for selection-convergence entries."""
+    lines = [f"{'key':<28} {'oracle':<16} {'chosen':<16} "
+             f"{'regret%':>8} {'ceil%':>6} {'explored':>8}  converged"]
+    for r in entries:
+        lines.append(
+            f"{r['name']:<28} {r['oracle']:<16} {str(r['chosen']):<16} "
+            f"{r['regret_pct']:>8.2f} {r['max_regret_pct']:>6.1f} "
+            f"{r['explored']:>8}  "
+            f"{'yes' if r['converged'] else 'NO'}")
+    return "\n".join(lines)
 
 
 def run_inject_drill(kinds: tuple[str, ...] | None = None,
@@ -1061,6 +1123,9 @@ def format_report(report: dict) -> str:
 
         lines.append("")
         lines.append(format_overload_report(report["overload"]))
+    if report.get("selection"):
+        lines.append("")
+        lines.append(format_selection_report(report["selection"]))
     return "\n".join(lines)
 
 

@@ -423,6 +423,42 @@ def cmd_serve_stats(args) -> int:
     return 0
 
 
+def cmd_selection_stats(args) -> int:
+    from repro.selection.bandit import (
+        SelectionBandit, format_selection_stats, load_table,
+    )
+
+    if args.table:
+        from repro.selection.bandit import SelectionTableError
+
+        try:
+            payload = load_table(args.table)
+        except SelectionTableError as exc:
+            print(f"selection table rejected: {exc}")
+            return 1
+        if payload is None:
+            print(f"no readable selection table at {args.table} "
+                  f"(missing, corrupt, or empty)")
+            return 1
+        bandit = SelectionBandit()
+        bandit.warm_start(args.table)
+        print(format_selection_stats(bandit.stats()))
+        return 0
+    print(format_selection_stats())
+    return 0
+
+
+def cmd_selection_drill(args) -> int:
+    from repro.selection.drill import (
+        format_selection_drill, run_selection_drill,
+    )
+
+    report = run_selection_drill(seed=args.seed, requests=args.requests,
+                                 table_path=args.table)
+    print(format_selection_drill(report))
+    return 0 if report["ok"] else 1
+
+
 def cmd_doctor(args) -> int:
     from repro.guard.doctor import format_report, run_doctor
 
@@ -626,6 +662,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="serving counters of this process (requests, batches, "
              "coalesce rate, queue wait)"
     ).set_defaults(fn=cmd_serve_stats)
+
+    selection_stats = sub.add_parser(
+        "selection-stats",
+        help="online algorithm-selection bandit: per-key arm posteriors "
+             "and decisions (live bandit or a persisted table)")
+    selection_stats.add_argument("--table", metavar="PATH", default=None,
+                                 help="read a persisted selection table "
+                                      "instead of the live bandit")
+    selection_stats.set_defaults(fn=cmd_selection_stats)
+
+    selection_drill = sub.add_parser(
+        "selection-drill",
+        help="CI convergence drill: seeded replay to the roofline oracle, "
+             "warm-start round-trip, poisoned-shadow bit-exactness "
+             "(nonzero exit on failure)")
+    selection_drill.add_argument("--seed", type=int, default=0)
+    selection_drill.add_argument("--requests", type=int, default=300,
+                                 help="replay length per key "
+                                      "(default 300)")
+    selection_drill.add_argument("--table", metavar="PATH", default=None,
+                                 help="persist the phase-1 table here "
+                                      "(default: a temp file)")
+    selection_drill.set_defaults(fn=cmd_selection_drill)
 
     sub.add_parser(
         "doctor",

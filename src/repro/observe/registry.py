@@ -223,7 +223,7 @@ def serve_stats() -> dict:
     batch_rows = counters.total("serve.batch_size")
     wait_ms = counters.total("serve.queue_wait_ms")
     coalesced = counters.total("serve.coalesced")
-    return {
+    stats = {
         "requests": int(requests),
         "batches": int(batches),
         "coalesced": int(coalesced),
@@ -237,6 +237,14 @@ def serve_stats() -> dict:
         "mean_queue_wait_ms": wait_ms / batches if batches else None,
         "coalesce_rate": coalesced / requests if requests else None,
     }
+    # Online algorithm selection: surface the counters whenever the
+    # bandit has made at least one decision this process lifetime.
+    from repro.selection.bandit import selection_counter_stats
+
+    selection = selection_counter_stats()
+    if selection["decisions"]:
+        stats["selection"] = selection
+    return stats
 
 
 def replica_stats() -> dict[str, dict]:
@@ -285,6 +293,17 @@ def format_serve_stats(stats: dict | None = None) -> str:
         f"mean wait (ms)  {fmt(stats['mean_queue_wait_ms'], '10.3f')}",
         f"coalesce rate   {fmt(stats['coalesce_rate'], '10.1%')}",
     ]
+    selection = stats.get("selection")
+    if selection:
+        lines.append("")
+        lines.append(
+            f"selection: {selection['decisions']} decision(s), "
+            f"{selection['applied']} applied, "
+            f"{selection['explored']} shadow(s) "
+            f"({selection['shadow_ok']} ok, "
+            f"{selection['shadow_parity_fail']} parity-fail, "
+            f"{selection['shadow_error']} error), "
+            f"{selection['arms_poisoned']} arm(s) poisoned")
     cluster = stats.get("cluster")
     if cluster and cluster.get("replicas"):
         lines.append("")

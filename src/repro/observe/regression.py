@@ -31,6 +31,12 @@ baseline JSON and decides pass/fail:
   relatively guarded when the baseline has the point, and any
   ``late_completions`` (a request completing after being reported shed)
   fails outright.
+- **Selection convergence** (the report's ``selection`` section): a
+  seeded, model-driven replay of the online algorithm-selection bandit
+  (see :mod:`repro.selection.bandit`), so it is deterministic and needs
+  no baseline — each entry carries its own ``max_regret_pct`` ceiling
+  against the roofline oracle and must converge onto the oracle's
+  modeled-cost tie set.
 
 Baselines are ordinary ``repro bench`` JSON reports; cases are matched by
 name, and cases present on only one side are ignored (suites may grow).
@@ -56,7 +62,7 @@ class Regression:
 
     case: str
     metric: str
-    kind: str  # 'wall' | 'counter' | 'throughput'
+    kind: str  # 'wall' | 'counter' | 'throughput' | 'selection'
     baseline: float
     current: float
     limit: float
@@ -66,6 +72,12 @@ class Regression:
         return self.current / self.baseline if self.baseline else float("inf")
 
     def describe(self) -> str:
+        if self.kind == "selection":
+            if self.metric == "oracle_hit":
+                return (f"{self.case}: bandit converged off the roofline "
+                        f"oracle's modeled-cost tie set")
+            return (f"{self.case}: {self.metric} {self.current:g} exceeded "
+                    f"its ceiling {self.limit:g}")
         if self.kind == "throughput":
             # Throughput regresses downward: the limit is a floor.
             return (f"{self.case}: {self.metric} {self.current:g} fell "
@@ -121,6 +133,7 @@ def compare_reports(current: dict, baseline: dict,
     regressions += _compare_serve(current, baseline, tolerance)
     regressions += _compare_cluster(current, baseline, tolerance)
     regressions += _compare_overload(current, baseline, tolerance)
+    regressions += _compare_selection(current)
     return regressions
 
 
@@ -222,6 +235,30 @@ def _compare_overload(current: dict, baseline: dict,
             regressions.append(Regression(
                 cur["name"], "late_completions", "counter",
                 0.0, float(late), 0.0))
+    return regressions
+
+
+def _compare_selection(current: dict) -> list[Regression]:
+    """Convergence regressions of the report's ``selection`` section.
+
+    The section is a deterministic seeded replay against the roofline
+    model, so no baseline comparison is needed — the contract is absolute
+    and travels with the *current* entry (like the overload goodput
+    floor): regret against the modeled oracle must stay under the
+    entry's ``max_regret_pct``, and the bandit must converge onto the
+    oracle's modeled-cost tie set.
+    """
+    regressions = []
+    for cur in current.get("selection", []):
+        ceiling = cur.get("max_regret_pct")
+        regret = cur.get("regret_pct")
+        if ceiling is not None and regret is not None and regret > ceiling:
+            regressions.append(Regression(
+                cur["name"], "regret_pct", "selection",
+                0.0, regret, ceiling))
+        if not cur.get("oracle_hit", True):
+            regressions.append(Regression(
+                cur["name"], "oracle_hit", "selection", 1.0, 0.0, 1.0))
     return regressions
 
 

@@ -105,3 +105,27 @@ def compare(shape: ConvShape, device: GpuDevice | str,
 
     algorithms = algorithms or modeled_algorithms()
     return {a: simulate_ms(a, shape, device) for a in algorithms}
+
+
+#: Device the online-selection bandit prices its priors on.  The absolute
+#: magnitudes are calibrated away by the bandit's measured-over-modeled
+#: scale; only the *relative* ranking of the arms matters, and that is a
+#: property of the algorithms' arithmetic, not of the device.
+PRIOR_DEVICE = "3090ti"
+
+
+def prior_ms(algorithm: ConvAlgorithm | str, shape: ConvShape,
+             device: GpuDevice | str = PRIOR_DEVICE) -> float | None:
+    """Roofline prior for the selection bandit's warm start.
+
+    ``None`` for algorithms without a counter model (naive): the bandit
+    seeds those pessimistically instead of pretending the model priced
+    them, so an unmodeled arm is explored last, never served on a guess.
+    """
+    from repro.baselines.registry import get_entry
+    from repro.perfmodel.counters import modeled_algorithms
+
+    algorithm = get_entry(algorithm).algorithm
+    if algorithm not in modeled_algorithms():
+        return None
+    return simulate_ms(algorithm, shape, device)

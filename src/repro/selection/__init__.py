@@ -1,15 +1,49 @@
-"""Cost-model-driven convolution algorithm selection."""
+"""Convolution algorithm selection: static heuristics and online learning.
 
+Three tiers, in order of information available:
+
+- :func:`select_algorithm_rules` — closed-form O(1) rules from the paper;
+- :func:`select_algorithm` — roofline-model argmin with a deterministic
+  tie-break (the oracle the cost model supports);
+- :class:`~repro.selection.bandit.SelectionBandit` — per-coalescing-key
+  online learning over live serving traffic, warm-started from the model
+  and converged on measurement (see :mod:`repro.selection.bandit`).
+"""
+
+from repro.selection.bandit import (
+    BanditConfig,
+    SelectionBandit,
+    SelectionTableError,
+    active_bandit,
+    disable_bandit,
+    enable_bandit,
+    format_selection_stats,
+    load_table,
+    save_table,
+)
 from repro.selection.heuristic import (
     CANDIDATES,
+    TIE_BREAK,
     SelectionResult,
+    ranked_fallback_order,
     select_algorithm,
     select_algorithm_rules,
 )
 
 __all__ = [
     "CANDIDATES",
+    "TIE_BREAK",
     "SelectionResult",
     "select_algorithm",
     "select_algorithm_rules",
+    "ranked_fallback_order",
+    "BanditConfig",
+    "SelectionBandit",
+    "SelectionTableError",
+    "active_bandit",
+    "enable_bandit",
+    "disable_bandit",
+    "format_selection_stats",
+    "load_table",
+    "save_table",
 ]

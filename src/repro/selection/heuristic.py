@@ -19,17 +19,33 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines.registry import ConvAlgorithm, supports
+from repro.baselines.registry import FALLBACK_ORDER, ConvAlgorithm, supports
 from repro.perfmodel.counters import modeled_algorithms
 from repro.perfmodel.device import GpuDevice, get_device
 from repro.perfmodel.timing import simulate_ms
 from repro.utils.shapes import ConvShape
 
-#: Algorithms the selector will consider (POLYHANKEL_OS shares POLYHANKEL's
-#: cost model, so only one of the two is ranked).
-CANDIDATES: tuple[ConvAlgorithm, ...] = tuple(
-    a for a in modeled_algorithms() if a is not ConvAlgorithm.POLYHANKEL_OS
+#: Algorithms the selector will consider — every modeled algorithm,
+#: including both PolyHankel variants.  They share one cost model, so
+#: their modeled times tie exactly; the tie resolves through
+#: :data:`TIE_BREAK` below instead of silently dropping one of the pair
+#: from the ranking (which hid POLYHANKEL_OS from every consumer of the
+#: full ranking, the guard's degradation order included).
+CANDIDATES: tuple[ConvAlgorithm, ...] = tuple(modeled_algorithms())
+
+#: Deterministic preference order for modeled-cost ties: the guard
+#: chain's descent first (POLYHANKEL before its overlap-save variant —
+#: same math, and the batch pipeline is the better-exercised path), then
+#: the remaining algorithms in registry declaration order.  Sorting on
+#: ``(modeled_ms, tie-break index)`` makes the full ranking a total
+#: order: equal-cost pairs always rank the same way, on every host.
+TIE_BREAK: tuple[ConvAlgorithm, ...] = tuple(FALLBACK_ORDER) + tuple(
+    a for a in ConvAlgorithm if a not in FALLBACK_ORDER
 )
+
+
+def _tie_break_index(algorithm: ConvAlgorithm) -> int:
+    return TIE_BREAK.index(algorithm)
 
 
 @dataclass(frozen=True)
@@ -78,8 +94,33 @@ def select_algorithm(shape: ConvShape,
             + (f" within workspace limit {workspace_limit_bytes:.0f} bytes"
                if workspace_limit_bytes is not None else "")
         )
-    scored.sort(key=lambda pair: pair[1])
+    scored.sort(key=lambda pair: (pair[1], _tie_break_index(pair[0])))
     return SelectionResult(shape, device.name, tuple(scored))
+
+
+def ranked_fallback_order(shape: ConvShape,
+                          device: GpuDevice | str = "3090ti"
+                          ) -> tuple[ConvAlgorithm, ...]:
+    """The guard chain's descent, ordered by the selector's ranking.
+
+    ``fallback_chain(shape, order="ranked")`` (and a
+    :class:`~repro.guard.state.GuardConfig` with ``chain="ranked"``) use
+    this instead of the static :data:`~repro.baselines.registry.
+    FALLBACK_ORDER`: when the primary degrades, the first fallback tried
+    is the algorithm the roofline model ranks fastest *for this shape*,
+    not a fixed favorite.  Unmodeled last resorts (naive) keep their
+    static position at the tail; if the model cannot rank anything for
+    the shape, the static order stands.
+    """
+    modeled = tuple(a for a in FALLBACK_ORDER if a in CANDIDATES)
+    try:
+        ranking = select_algorithm(shape, device,
+                                   candidates=modeled).ranking
+    except ValueError:
+        return FALLBACK_ORDER
+    order = [algo for algo, _ in ranking]
+    order += [algo for algo in FALLBACK_ORDER if algo not in order]
+    return tuple(order)
 
 
 #: Rule thresholds distilled from the paper's Figs. 3-4 (and re-derivable

@@ -217,6 +217,13 @@ class ConvServer:
         self._closed = True
         self._queue.close(timeout)
         self._pool.close()
+        # Persist the learned selection table (no-op unless a table path
+        # is configured) so the next server warm-starts from measurement.
+        from repro.selection.bandit import active_bandit
+
+        bandit = active_bandit()
+        if bandit is not None:
+            bandit.save()
 
     def __enter__(self) -> "ConvServer":
         return self

@@ -83,6 +83,9 @@ def _reinit_locks_in_child() -> None:
     fft_plan._lock = threading.Lock()
     faults._stack_lock = threading.Lock()
     registry.counters.reset_unsafe()
+    from repro.selection import bandit as selection_bandit
+
+    selection_bandit._reset_child_state()
 
 
 if hasattr(os, "register_at_fork"):  # pragma: no branch - posix only
@@ -101,6 +104,9 @@ def _fresh_worker_state() -> None:
     clear_ndplan_cache()
     clear_fft_plan_cache()
     registry.counters.reset_unsafe()
+    from repro.selection import bandit as selection_bandit
+
+    selection_bandit._reset_child_state()
 
 
 def _worker_main(worker_id: int, arena_name: str, slots: int,

@@ -72,6 +72,15 @@ def execute_conv(x: np.ndarray, weight: np.ndarray,
     algorithms receive the portable parameter set.  *breaker_key* scopes
     the guard's circuit breaker (see :func:`repro.guard.chain.
     guarded_conv2d`).
+
+    When the online selection bandit is active (``REPRO_SELECTION_BANDIT``
+    or :func:`repro.selection.bandit.enable_bandit`) every conv2d — the
+    coalesced batch path, the shard path and the cluster workers all
+    funnel through here — consults it: the bandit may substitute its
+    converged arm for the requested algorithm (apply mode) and may run a
+    parity-checked shadow of an exploration arm, but the returned result
+    is always the primary's (see :func:`repro.selection.bandit.
+    bandit_conv2d`).
     """
     from repro.nn import functional as F
 
@@ -87,14 +96,29 @@ def execute_conv(x: np.ndarray, weight: np.ndarray,
             engine_kwargs = {"strategy": strategy, "backend": backend}
         elif op == "conv3d":
             engine_kwargs = {"backend": backend}
-    if guard_enabled():
-        if op == "conv2d":
-            from repro.guard.chain import guarded_conv2d
+    if op == "conv2d":
+        from repro.selection.bandit import active_bandit
 
-            return guarded_conv2d(x, weight, bias=bias, padding=padding,
-                                  stride=stride, dilation=dilation,
-                                  groups=groups, algorithm=algorithm,
-                                  breaker_key=breaker_key, **engine_kwargs)
+        bandit = active_bandit()
+        if bandit is not None:
+            from repro.selection.bandit import bandit_conv2d
+
+            def run(algo: str) -> np.ndarray:
+                kw = {"strategy": strategy, "backend": backend} \
+                    if algo == "polyhankel" else {}
+                return _run_conv2d(x, weight, bias, padding, stride,
+                                   dilation, groups, algo, kw,
+                                   breaker_key)
+            return bandit_conv2d(bandit, x, weight, bias,
+                                 padding=padding, stride=stride,
+                                 dilation=dilation, groups=groups,
+                                 requested=str(algorithm),
+                                 strategy=strategy, backend=backend,
+                                 run=run)
+        return _run_conv2d(x, weight, bias, padding, stride, dilation,
+                           groups, str(algorithm), engine_kwargs,
+                           breaker_key)
+    if guard_enabled():
         from repro.guard.chain import guarded_convnd
 
         return guarded_convnd(x, weight, op=op, bias=bias, padding=padding,
@@ -102,9 +126,6 @@ def execute_conv(x: np.ndarray, weight: np.ndarray,
                               groups=groups, output_padding=output_padding,
                               algorithm=algorithm, breaker_key=breaker_key,
                               **engine_kwargs)
-    if op == "conv2d":
-        return F.conv2d(x, weight, bias, padding, stride, dilation=dilation,
-                        groups=groups, algorithm=algorithm, **engine_kwargs)
     if op == "conv_transpose2d":
         return F.conv_transpose2d(x, weight, bias, padding, stride,
                                   output_padding, dilation, groups,
@@ -112,6 +133,28 @@ def execute_conv(x: np.ndarray, weight: np.ndarray,
     op_fn = {"conv1d": F.conv1d, "conv3d": F.conv3d}[op]
     return op_fn(x, weight, bias, padding, stride, dilation, groups,
                  algorithm=algorithm, **engine_kwargs)
+
+
+def _run_conv2d(x, weight, bias, padding, stride, dilation, groups: int,
+                algorithm: str, engine_kwargs: dict,
+                breaker_key) -> np.ndarray:
+    """One conv2d through the normal dispatch (guarded when enabled).
+
+    Factored out of :func:`execute_conv` so the selection bandit can run
+    whichever arm it decided through exactly the serving dispatch —
+    including the guard chain — rather than a private side path.
+    """
+    if guard_enabled():
+        from repro.guard.chain import guarded_conv2d
+
+        return guarded_conv2d(x, weight, bias=bias, padding=padding,
+                              stride=stride, dilation=dilation,
+                              groups=groups, algorithm=algorithm,
+                              breaker_key=breaker_key, **engine_kwargs)
+    from repro.nn import functional as F
+
+    return F.conv2d(x, weight, bias, padding, stride, dilation=dilation,
+                    groups=groups, algorithm=algorithm, **engine_kwargs)
 
 
 def shard_splits(n: int, groups: int,

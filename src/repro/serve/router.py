@@ -896,6 +896,15 @@ class ClusterServer:
         deadline = time.monotonic() + timeout
         for event in events:
             event.wait(max(0.0, deadline - time.monotonic()))
+        # Replica workers record per-arm selection timings as counters;
+        # the merge above lands them proc-tagged in the registry.  Fold
+        # their growth into the router's bandit so the whole cluster
+        # learns from every replica's measurements.
+        from repro.selection.bandit import active_bandit
+
+        bandit = active_bandit()
+        if bandit is not None:
+            bandit.ingest_replica_rows()
 
     def stats(self, refresh: bool = True) -> dict:
         """Aggregated router + per-replica view of the cluster."""
@@ -949,6 +958,15 @@ class ClusterServer:
                     break
                 self._drained.wait(remaining if remaining is None
                                    else min(remaining, 0.5))
+        # Final pull of replica arm timings, then persist the learned
+        # selection table (no-op unless a table path is configured) so a
+        # restarted cluster warm-starts instead of re-exploring.
+        from repro.selection.bandit import active_bandit
+
+        bandit = active_bandit()
+        if bandit is not None:
+            self.refresh_worker_stats(timeout=1.0)
+            bandit.save()
         self._closed = True
         self._respawn_wanted.set()
         self._watchdog_stop.set()

@@ -54,9 +54,12 @@ class TestModelDriven:
         with pytest.raises(ValueError, match="no capable algorithm"):
             select_algorithm(shape, "v100", candidates=(A.WINOGRAD,))
 
-    def test_candidates_exclude_duplicate_polyhankel_model(self):
+    def test_candidates_include_both_polyhankel_variants(self):
+        # The variants share one cost model (their times tie exactly);
+        # both must appear in the ranking, resolved by TIE_BREAK, so
+        # consumers of the full ranking see the overlap-save path too.
         assert A.POLYHANKEL in CANDIDATES
-        assert A.POLYHANKEL_OS not in CANDIDATES
+        assert A.POLYHANKEL_OS in CANDIDATES
 
 
 class TestRuleBased:
@@ -124,3 +127,84 @@ class TestWorkspaceLimit:
             select_algorithm(self.SHAPE, "3090ti",
                              candidates=(A.GEMM,),
                              workspace_limit_bytes=1)
+
+
+class TestDeterministicTieBreak:
+    """The PolyHankel pair shares one cost model: ties must resolve
+    explicitly, never by which dict-iteration order dropped a variant."""
+
+    SHAPE = ConvShape(ih=64, iw=64, kh=5, kw=5, n=8, c=3, f=8, padding=2)
+
+    def test_both_variants_ranked(self):
+        ranked = [a for a, _ in
+                  select_algorithm(self.SHAPE, "3090ti").ranking]
+        assert A.POLYHANKEL in ranked
+        assert A.POLYHANKEL_OS in ranked
+
+    def test_tied_costs_follow_tie_break_order(self):
+        result = select_algorithm(self.SHAPE, "3090ti")
+        times = dict(result.ranking)
+        assert times[A.POLYHANKEL] == times[A.POLYHANKEL_OS]
+        ranked = [a for a, _ in result.ranking]
+        assert ranked.index(A.POLYHANKEL) < ranked.index(A.POLYHANKEL_OS)
+
+    def test_ranking_is_total_and_repeatable(self):
+        first = select_algorithm(self.SHAPE, "3090ti").ranking
+        for _ in range(3):
+            assert select_algorithm(self.SHAPE, "3090ti").ranking == first
+
+    def test_tie_break_covers_every_algorithm(self):
+        from repro.selection.heuristic import TIE_BREAK
+
+        assert set(TIE_BREAK) == set(A)
+        # The guard's static descent keeps its relative order up front.
+        from repro.baselines.registry import FALLBACK_ORDER
+
+        assert TIE_BREAK[:len(FALLBACK_ORDER)] == tuple(FALLBACK_ORDER)
+
+
+class TestRankedFallbackOrder:
+    def test_chain_respects_selector_ranking(self):
+        from repro.baselines.registry import fallback_chain
+        from repro.selection.heuristic import ranked_fallback_order
+
+        # GEMM territory: the ranked chain must try GEMM before the
+        # static favorite when the primary degrades.
+        shape = ConvShape(ih=8, iw=8, kh=3, kw=3, n=1, c=4, f=8, padding=1)
+        order = ranked_fallback_order(shape)
+        assert order[0] is A.GEMM
+        chain = fallback_chain(shape, primary="polyhankel", order="ranked")
+        assert chain[0] is A.POLYHANKEL  # requested primary stays first
+        assert chain[1] is A.GEMM        # then the modeled-fastest
+
+    def test_unmodeled_tail_preserved(self):
+        from repro.selection.heuristic import ranked_fallback_order
+
+        shape = ConvShape(ih=16, iw=16, kh=3, kw=3)
+        order = ranked_fallback_order(shape)
+        assert set(order) == set(
+            __import__("repro.baselines.registry",
+                       fromlist=["FALLBACK_ORDER"]).FALLBACK_ORDER)
+        assert order[-1] is A.NAIVE
+
+    def test_unknown_order_string_rejected(self):
+        from repro.baselines.registry import fallback_chain
+
+        shape = ConvShape(ih=16, iw=16, kh=3, kw=3)
+        with pytest.raises(ValueError, match="unknown chain order"):
+            fallback_chain(shape, order="fastest")
+
+    def test_guard_config_ranked_chain_end_to_end(self):
+        import numpy as np
+
+        from repro.baselines.registry import convolve
+        from repro.guard.chain import guarded_conv2d
+        from repro.guard.state import GuardConfig
+
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 3, 12, 12))
+        w = rng.standard_normal((4, 3, 3, 3))
+        out = guarded_conv2d(x, w, padding=1,
+                             config=GuardConfig(chain="ranked"))
+        expected = convolve(x, w, algorithm="naive", padding=1)
+        assert np.allclose(out, expected)
